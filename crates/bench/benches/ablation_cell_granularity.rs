@@ -1,0 +1,40 @@
+//! Ablation (DESIGN.md §5): geospatial cell granularity.
+//!
+//! §6.2: Iridium's occasional >100 ms detours under J4 "arise from the
+//! detours due to the granularity of the geospatial cells and can be
+//! avoided with finer-grained cells (thus more bits in the addressing)".
+//! This bench sweeps the relay's coordinate-space coverage radius and
+//! reports the trace cost; the companion integration test checks the
+//! hop-count effect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_orbit::{ConstellationConfig, J4Propagator, Propagator, SatId};
+use spacecore::relay::GeoRelay;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ConstellationConfig::iridium();
+    let prop = J4Propagator::new(cfg.clone());
+    let base = GeoRelay::for_shell(&cfg);
+    let base_r = base.coverage_radius();
+
+    let mut g = c.benchmark_group("ablation_cell_granularity");
+    for scale in [0.75f64, 1.0, 1.5, 2.0] {
+        let relay = GeoRelay::for_shell(&cfg).with_coverage_radius(base_r * scale);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("radius_x{scale}")),
+            &relay,
+            |b, relay| {
+                let mut t = 0.0;
+                b.iter(|| {
+                    t += 60.0;
+                    let dst = prop.state(SatId::new(3, 6), t).coord;
+                    std::hint::black_box(relay.trace(&prop, SatId::new(0, 0), dst, t, 1.0))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

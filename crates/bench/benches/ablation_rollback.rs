@@ -1,0 +1,60 @@
+//! Ablation (DESIGN.md §5): local-path vs. legacy-rollback mix.
+//!
+//! SpaceCore rolls back to the home-routed procedure for UEs without
+//! the local-state proxy (§5). This bench measures establishment cost
+//! at 0%, 50% and 100% legacy-UE fractions, plus the raw local path
+//! (Algorithm 2 decrypt + station-to-station) in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_geo::sphere::GeoPoint;
+use sc_orbit::SatId;
+use spacecore::home::{HomeConfig, HomeNetwork};
+use spacecore::satellite::SpaceCoreSatellite;
+
+fn bench(c: &mut Criterion) {
+    let home = HomeNetwork::new(HomeConfig::default());
+    let sat = SpaceCoreSatellite::provision(&home, SatId::new(1, 1));
+
+    let mut g = c.benchmark_group("ablation_rollback");
+    for legacy_pct in [0u32, 50, 100] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("legacy_{legacy_pct}pct")),
+            &legacy_pct,
+            |b, pct| {
+                let mut ues: Vec<_> = (0..100u64)
+                    .map(|i| {
+                        let mut ue =
+                            home.register_ue(10_000 + i, &GeoPoint::from_degrees(40.0, 116.0));
+                        ue.supports_spacecore = (i % 100) >= *pct as u64;
+                        ue
+                    })
+                    .collect();
+                let mut now = 0.0;
+                b.iter(|| {
+                    now += 0.001;
+                    for ue in ues.iter_mut() {
+                        std::hint::black_box(sat.establish_session(&home, ue, now));
+                        sat.release(ue.supi);
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+
+    c.bench_function("ablation_rollback/local_path_only", |b| {
+        let mut ue = home.register_ue(99_999, &GeoPoint::from_degrees(40.0, 116.0));
+        let mut now = 0.0;
+        b.iter(|| {
+            now += 0.001;
+            let o = sat
+                .try_local_establishment(&home, &mut ue, now)
+                .expect("authorized");
+            sat.release(ue.supi);
+            std::hint::black_box(o)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

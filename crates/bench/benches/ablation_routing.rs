@@ -1,0 +1,51 @@
+//! Ablation (DESIGN.md §5): Algorithm 1's stateless geospatial relaying
+//! vs. Dijkstra shortest-path over the full ISL graph.
+//!
+//! Measures (a) decision cost — Algorithm 1 is O(1) per hop with no
+//! routing state, Dijkstra is O(E log V) per path with a global
+//! topology view — and (b) end-to-end path computation for a random
+//! satellite pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_netsim::isl::{IslConfig, IslNetwork};
+use sc_orbit::{ConstellationConfig, GroundStationSet, IdealPropagator, Propagator, SatId};
+use spacecore::relay::GeoRelay;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ConstellationConfig::starlink();
+    let prop = IdealPropagator::new(cfg.clone());
+    let relay = GeoRelay::for_shell(&cfg);
+    let gs = GroundStationSet::starlink_like();
+    let net = IslNetwork::build(&prop, &gs, 0.0, IslConfig::default());
+
+    c.bench_function("ablation_routing/algorithm1_trace", |b| {
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 7) % 72;
+            let dst = prop.state(SatId::new(i, (i % 22) as u16), 0.0).coord;
+            std::hint::black_box(relay.trace(&prop, SatId::new(0, 0), dst, 0.0, 1.0))
+        })
+    });
+
+    c.bench_function("ablation_routing/dijkstra_path", |b| {
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 7) % 72;
+            let dst = net.sat_node(SatId::new(i, (i % 22) as u16));
+            std::hint::black_box(
+                net.graph()
+                    .shortest_path(net.sat_node(SatId::new(0, 0)), dst, |_| false),
+            )
+        })
+    });
+
+    // Per-hop decision: the O(1) forwarding core of Algorithm 1.
+    c.bench_function("ablation_routing/algorithm1_decide", |b| {
+        let sat = prop.state(SatId::new(0, 0), 0.0).coord;
+        let dst = prop.state(SatId::new(36, 11), 0.0).coord;
+        b.iter(|| std::hint::black_box(relay.decide(sat, dst)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

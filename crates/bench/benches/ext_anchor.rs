@@ -1,0 +1,15 @@
+//! Criterion bench for the anchor-bottleneck extension experiment.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ext_anchor::run", |b| {
+        b.iter(|| std::hint::black_box(sc_emu::ext_anchor::run()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the message-level resilience extension
+//! experiment (one DES sweep).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ext_resilience::run", |b| {
+        b.iter(|| std::hint::black_box(sc_emu::ext_resilience::run()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench regenerating fig12: times one full experiment run.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig12::run", |b| b.iter(|| std::hint::black_box(sc_emu::fig12::run())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 18a — ABE encryption/decryption latency vs. attribute count.
+//!
+//! This is the real micro-benchmark behind the figure: the actual
+//! `sc-crypto` ABE implementation is timed per attribute count, giving
+//! the encrypt/decrypt scaling the paper plots (and doubling as the
+//! "ABE attribute-set size" ablation from DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_crypto::abe::AbeSystem;
+use sc_crypto::policy::{attr_set, AccessTree};
+
+fn bench(c: &mut Criterion) {
+    let (pk, msk) = AbeSystem::setup(0xBEEF);
+    let payload = vec![0x42u8; 256];
+
+    let mut enc = c.benchmark_group("fig18a/encrypt");
+    for k in [2usize, 4, 6, 8, 10] {
+        let attrs: Vec<String> = (0..k).map(|i| format!("attr-{i}")).collect();
+        let refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+        let policy = AccessTree::all_of(&refs);
+        enc.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(AbeSystem::encrypt(&pk, &payload, &policy, i))
+            })
+        });
+    }
+    enc.finish();
+
+    let mut dec = c.benchmark_group("fig18a/decrypt");
+    for k in [2usize, 4, 6, 8, 10] {
+        let attrs: Vec<String> = (0..k).map(|i| format!("attr-{i}")).collect();
+        let refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+        let policy = AccessTree::all_of(&refs);
+        let sk = AbeSystem::keygen(&msk, &attr_set(&refs));
+        let ct = AbeSystem::encrypt(&pk, &payload, &policy, 1);
+        dec.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| std::hint::black_box(AbeSystem::decrypt(&ct, &sk).expect("authorized")))
+        });
+    }
+    dec.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

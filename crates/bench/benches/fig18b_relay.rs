@@ -1,0 +1,46 @@
+//! Fig. 18b — stateless geospatial relaying Beijing → New York, per
+//! constellation, under ideal and J4-perturbed orbits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_geo::sphere::GeoPoint;
+use sc_orbit::{ConstellationConfig, IdealPropagator, J4Propagator, Propagator};
+use spacecore::relay::GeoRelay;
+
+fn bench(c: &mut Criterion) {
+    let beijing = GeoPoint::from_degrees(39.9042, 116.4074);
+    let ny = GeoPoint::from_degrees(40.7128, -74.0060);
+    let mut g = c.benchmark_group("fig18b/relay");
+    g.sample_size(20);
+    for cfg in ConstellationConfig::all_presets() {
+        let relay = GeoRelay::for_shell(&cfg);
+        let ideal = IdealPropagator::new(cfg.clone());
+        let j4 = J4Propagator::new(cfg.clone());
+        let props: [(&str, &dyn Propagator); 2] = [("ideal", &ideal), ("j4", &j4)];
+        for (pname, prop) in props {
+            g.bench_with_input(
+                BenchmarkId::new(cfg.name, pname),
+                &pname,
+                |b, _| {
+                    let mut t = 0.0;
+                    b.iter(|| {
+                        t += 30.0;
+                        // Sparse shells (Iridium) have instants with no
+                        // satellite above the source's minimum elevation;
+                        // skip those gaps rather than fail the bench.
+                        match relay.deliver_ground_to_ground(prop, &beijing, &ny, t, 1.0) {
+                            Some(tr) => {
+                                assert!(tr.delivered);
+                                std::hint::black_box(tr.delay_ms)
+                            }
+                            None => std::hint::black_box(0.0),
+                        }
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

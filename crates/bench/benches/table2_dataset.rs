@@ -1,0 +1,24 @@
+//! Table 2 — synthetic signaling trace generation throughput for each
+//! dataset source.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_dataset::table2::{DatasetSource, Table2};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/synthesize");
+    let n = 10_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    for src in DatasetSource::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(src.name()), &src, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(Table2::synthesize(*s, n, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

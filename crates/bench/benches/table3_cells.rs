@@ -1,0 +1,31 @@
+//! Table 3 — geospatial cell statistics computation per constellation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_orbit::ConstellationConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/cell_stats");
+    for cfg in ConstellationConfig::all_presets() {
+        let grid = cfg.cell_grid();
+        g.bench_with_input(BenchmarkId::from_parameter(cfg.name), &grid, |b, grid| {
+            b.iter(|| std::hint::black_box(grid.stats()))
+        });
+    }
+    g.finish();
+
+    // Point-to-cell assignment throughput (hot path of Algorithm 1's
+    // destination extraction).
+    let grid = ConstellationConfig::starlink().cell_grid();
+    c.bench_function("table3/cell_of_point", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let lat = ((i % 100) as f64 - 50.0) / 60.0;
+            let lon = ((i % 360) as f64 - 180.0).to_radians();
+            std::hint::black_box(grid.cell_of_point(&sc_geo::GeoPoint::new(lat, lon)))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

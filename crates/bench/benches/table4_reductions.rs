@@ -1,0 +1,16 @@
+//! Table 4 — computing SpaceCore's signaling reduction factors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table4::run", |b| {
+        b.iter(|| std::hint::black_box(sc_emu::table4::run()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

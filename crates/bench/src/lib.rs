@@ -1,0 +1,2 @@
+//! Bench-only crate: see `benches/` for one Criterion target per paper
+//! table/figure plus the DESIGN.md ablations.

@@ -1,0 +1,438 @@
+//! Ciphertext-policy ABE simulator (§4.4).
+//!
+//! Faithful to the share-based structure of BSW/GPSW CP-ABE: encryption
+//! draws a random secret `s`, recursively splits it down the access tree
+//! with Shamir sharing at every threshold gate, and blinds each leaf
+//! share under its attribute. Decryption unblinds exactly the leaves its
+//! attribute set covers and reconstructs bottom-up; it succeeds **iff**
+//! the attribute set satisfies the policy.
+//!
+//! Simulation boundary (crate-level doc): leaf blinding keys are derived
+//! from a system key reachable from the public parameters, so the
+//! construction resists only adversaries modeled as API users — exactly
+//! the adversary model of the paper's leakage experiments (Fig. 19),
+//! where "leaked" means *states an entity can decrypt through the
+//! protocol*. Costs scale with leaf count as in real ABE (Fig. 18a).
+
+use crate::field::{hash_to_fe, keyed_hash, xor_stream, Fe};
+use crate::policy::{AccessTree, Attribute};
+use crate::shamir;
+use std::collections::BTreeSet;
+
+/// Public parameters. Cloned freely to UEs and satellites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbePublicKey {
+    system_key: u64,
+}
+
+/// Master secret key, held only by the home network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbeMasterKey {
+    msk: u64,
+    system_key: u64,
+}
+
+/// A decryption key bound to an attribute set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbeSecretKey {
+    /// The attributes this key embodies (e.g. a satellite's capabilities).
+    attrs: BTreeSet<Attribute>,
+    /// Per-attribute unblinding elements issued by KeyGen.
+    unblind: Vec<(Attribute, Fe)>,
+}
+
+impl AbeSecretKey {
+    /// The attribute set the key was issued for.
+    pub fn attributes(&self) -> &BTreeSet<Attribute> {
+        &self.attrs
+    }
+}
+
+/// A ciphertext: the policy in the clear (standard for CP-ABE), blinded
+/// leaf shares, and the wrapped payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbeCiphertext {
+    policy: AccessTree,
+    /// Blinded share per leaf, in depth-first leaf order.
+    leaf_shares: Vec<Fe>,
+    nonce: u64,
+    payload: Vec<u8>,
+    mac: u64,
+}
+
+impl AbeCiphertext {
+    /// The (public) policy this ciphertext is encrypted under.
+    pub fn policy(&self) -> &AccessTree {
+        &self.policy
+    }
+
+    /// Ciphertext size in bytes (payload + share overhead), for cost
+    /// accounting.
+    pub fn size_bytes(&self) -> usize {
+        self.payload.len() + self.leaf_shares.len() * 8 + 16
+    }
+
+    /// Deconstruct into components (for the wire codec).
+    pub fn parts(&self) -> (&AccessTree, &[Fe], u64, &[u8], u64) {
+        (
+            &self.policy,
+            &self.leaf_shares,
+            self.nonce,
+            &self.payload,
+            self.mac,
+        )
+    }
+
+    /// Reassemble from components (wire decode). The caller is trusted
+    /// to supply matching parts; mismatches simply fail to decrypt.
+    pub fn from_parts(
+        policy: AccessTree,
+        leaf_shares: Vec<Fe>,
+        nonce: u64,
+        payload: Vec<u8>,
+        mac: u64,
+    ) -> Self {
+        Self {
+            policy,
+            leaf_shares,
+            nonce,
+            payload,
+            mac,
+        }
+    }
+}
+
+/// Errors from decryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbeError {
+    /// The key's attribute set does not satisfy the ciphertext policy —
+    /// the satellite must roll back to the legacy home-routed procedure.
+    PolicyNotSatisfied,
+    /// Shares reconstructed but the MAC failed: tampered ciphertext.
+    IntegrityFailure,
+}
+
+impl std::fmt::Display for AbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbeError::PolicyNotSatisfied => f.write_str("attribute set does not satisfy policy"),
+            AbeError::IntegrityFailure => f.write_str("ciphertext integrity check failed"),
+        }
+    }
+}
+
+impl std::error::Error for AbeError {}
+
+/// The ABE system: setup, key generation, encrypt, decrypt.
+#[derive(Debug, Clone)]
+pub struct AbeSystem;
+
+impl AbeSystem {
+    /// `Setup(1^λ)` → `(pk, msk)` (Algorithm 2 line 2). Deterministic in
+    /// the seed for reproducible experiments.
+    pub fn setup(seed: u64) -> (AbePublicKey, AbeMasterKey) {
+        let system_key = keyed_hash(seed, b"spacecore-abe-system");
+        let msk = keyed_hash(seed, b"spacecore-abe-master");
+        (
+            AbePublicKey { system_key },
+            AbeMasterKey { msk, system_key },
+        )
+    }
+
+    /// `KeyGen(pk, msk, S)` → secret key for attribute set `S`
+    /// (Algorithm 2 lines 3–4: satellite keys installed before launch,
+    /// UE keys pre-stored in SIM cards).
+    pub fn keygen(msk: &AbeMasterKey, attrs: &BTreeSet<Attribute>) -> AbeSecretKey {
+        let unblind = attrs
+            .iter()
+            .map(|a| (a.clone(), leaf_blind(msk.system_key, a)))
+            .collect();
+        AbeSecretKey {
+            attrs: attrs.clone(),
+            unblind,
+        }
+    }
+
+    /// `Encrypt(pk, state, A)` (Algorithm 2 line 7): wrap `plaintext`
+    /// under access tree `policy`. `entropy` seeds the per-ciphertext
+    /// randomness (secret, nonce, share polynomials).
+    pub fn encrypt(
+        pk: &AbePublicKey,
+        plaintext: &[u8],
+        policy: &AccessTree,
+        entropy: u64,
+    ) -> AbeCiphertext {
+        let mut rng = SplitMix64::new(entropy ^ pk.system_key);
+        let secret = Fe::new(rng.next_nonzero());
+        let nonce = rng.next();
+
+        // Recursively share the secret down the tree.
+        let mut leaf_shares = Vec::with_capacity(policy.leaf_count());
+        share_node(pk.system_key, policy, secret, &mut rng, &mut leaf_shares);
+
+        let mut payload = plaintext.to_vec();
+        let mac = keyed_hash(secret.value(), plaintext);
+        xor_stream(secret.value(), nonce, &mut payload);
+
+        AbeCiphertext {
+            policy: policy.clone(),
+            leaf_shares,
+            nonce,
+            payload,
+            mac,
+        }
+    }
+
+    /// `Decrypt(msg, sk)` (Algorithm 2 lines 8/11): recover the plaintext
+    /// iff `sk`'s attributes satisfy the ciphertext policy.
+    pub fn decrypt(ct: &AbeCiphertext, sk: &AbeSecretKey) -> Result<Vec<u8>, AbeError> {
+        let mut idx = 0usize;
+        let secret = recover_node(&ct.policy, &ct.leaf_shares, sk, &mut idx)
+            .ok_or(AbeError::PolicyNotSatisfied)?;
+        let mut payload = ct.payload.clone();
+        xor_stream(secret.value(), ct.nonce, &mut payload);
+        if keyed_hash(secret.value(), &payload) != ct.mac {
+            return Err(AbeError::IntegrityFailure);
+        }
+        Ok(payload)
+    }
+}
+
+/// Per-attribute leaf blinding element.
+fn leaf_blind(system_key: u64, attr: &Attribute) -> Fe {
+    hash_to_fe(system_key, attr.as_str().as_bytes())
+}
+
+/// Recursively split `secret` down the tree, pushing blinded leaf shares
+/// in depth-first order.
+fn share_node(
+    system_key: u64,
+    node: &AccessTree,
+    secret: Fe,
+    rng: &mut SplitMix64,
+    out: &mut Vec<Fe>,
+) {
+    match node {
+        AccessTree::Leaf(attr) => {
+            out.push(secret.add(leaf_blind(system_key, attr)));
+        }
+        _ => {
+            let (k, n) = node.gate();
+            let shares = shamir::split(secret, k, n, || Fe::new(rng.next()));
+            for (child, share) in node.children().iter().zip(shares) {
+                share_node(system_key, child, share.y, rng, out);
+            }
+        }
+    }
+}
+
+/// Recursively recover a node's secret from the leaves the key covers.
+/// Advances `idx` through the depth-first leaf order even for subtrees it
+/// cannot satisfy (to stay aligned).
+fn recover_node(
+    node: &AccessTree,
+    leaf_shares: &[Fe],
+    sk: &AbeSecretKey,
+    idx: &mut usize,
+) -> Option<Fe> {
+    match node {
+        AccessTree::Leaf(attr) => {
+            let blinded = leaf_shares[*idx];
+            *idx += 1;
+            sk.unblind
+                .iter()
+                .find(|(a, _)| a == attr)
+                .map(|(_, b)| blinded.sub(*b))
+        }
+        _ => {
+            let (k, _) = node.gate();
+            let mut shares = Vec::new();
+            for (i, child) in node.children().iter().enumerate() {
+                let recovered = recover_node(child, leaf_shares, sk, idx);
+                if let Some(y) = recovered {
+                    shares.push(shamir::Share {
+                        x: Fe::new(i as u64 + 1),
+                        y,
+                    });
+                }
+            }
+            if shares.len() < k {
+                return None;
+            }
+            shares.truncate(k);
+            Some(shamir::reconstruct(&shares))
+        }
+    }
+}
+
+/// Deterministic splitmix64 RNG for per-ciphertext randomness.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_nonzero(&mut self) -> u64 {
+        loop {
+            let v = self.next() % crate::field::P;
+            if v != 0 {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::attr_set;
+
+    fn setup() -> (AbePublicKey, AbeMasterKey) {
+        AbeSystem::setup(0xC0FFEE)
+    }
+
+    fn paper_policy() -> AccessTree {
+        AccessTree::Or(vec![
+            AccessTree::all_of(&["role:ue", "supi:1"]),
+            AccessTree::all_of(&["role:satellite", "qos", "bw>=10g"]),
+        ])
+    }
+
+    #[test]
+    fn authorized_satellite_decrypts() {
+        let (pk, msk) = setup();
+        let sk = AbeSystem::keygen(&msk, &attr_set(&["role:satellite", "qos", "bw>=10g"]));
+        let ct = AbeSystem::encrypt(&pk, b"ue session state", &paper_policy(), 1);
+        assert_eq!(AbeSystem::decrypt(&ct, &sk).unwrap(), b"ue session state");
+    }
+
+    #[test]
+    fn owner_ue_decrypts() {
+        let (pk, msk) = setup();
+        let sk = AbeSystem::keygen(&msk, &attr_set(&["role:ue", "supi:1"]));
+        let ct = AbeSystem::encrypt(&pk, b"state", &paper_policy(), 2);
+        assert_eq!(AbeSystem::decrypt(&ct, &sk).unwrap(), b"state");
+    }
+
+    #[test]
+    fn unauthorized_satellite_fails() {
+        let (pk, msk) = setup();
+        // Missing the "qos" capability.
+        let sk = AbeSystem::keygen(&msk, &attr_set(&["role:satellite", "bw>=10g"]));
+        let ct = AbeSystem::encrypt(&pk, b"state", &paper_policy(), 3);
+        assert_eq!(
+            AbeSystem::decrypt(&ct, &sk).unwrap_err(),
+            AbeError::PolicyNotSatisfied
+        );
+    }
+
+    #[test]
+    fn revocation_via_policy_update() {
+        // Appendix B: "the home network detects [hijack] and invalidates
+        // its authenticity by updating A … such that A(S_sat)=false".
+        let (pk, msk) = setup();
+        let hijacked = AbeSystem::keygen(&msk, &attr_set(&["role:satellite", "qos", "bw>=10g"]));
+        let new_policy = AccessTree::And(vec![
+            AccessTree::all_of(&["role:satellite", "qos", "bw>=10g"]),
+            AccessTree::leaf("epoch:2"), // hijacked sat lacks the new epoch attr
+        ]);
+        let ct = AbeSystem::encrypt(&pk, b"refreshed", &new_policy, 4);
+        assert_eq!(
+            AbeSystem::decrypt(&ct, &hijacked).unwrap_err(),
+            AbeError::PolicyNotSatisfied
+        );
+        let fresh =
+            AbeSystem::keygen(&msk, &attr_set(&["role:satellite", "qos", "bw>=10g", "epoch:2"]));
+        assert!(AbeSystem::decrypt(&ct, &fresh).is_ok());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (pk, msk) = setup();
+        let sk = AbeSystem::keygen(&msk, &attr_set(&["role:ue", "supi:1"]));
+        let mut ct = AbeSystem::encrypt(&pk, b"billing: 15GB", &paper_policy(), 5);
+        // A selfish UE flips payload bits to manipulate its billing state.
+        ct.payload[0] ^= 0xFF;
+        assert_eq!(
+            AbeSystem::decrypt(&ct, &sk).unwrap_err(),
+            AbeError::IntegrityFailure
+        );
+    }
+
+    #[test]
+    fn threshold_policies_work() {
+        let (pk, msk) = setup();
+        let policy = AccessTree::Threshold {
+            k: 2,
+            children: vec![
+                AccessTree::leaf("a"),
+                AccessTree::leaf("b"),
+                AccessTree::leaf("c"),
+            ],
+        };
+        let ct = AbeSystem::encrypt(&pk, b"secret", &policy, 6);
+        let ok = AbeSystem::keygen(&msk, &attr_set(&["a", "c"]));
+        assert!(AbeSystem::decrypt(&ct, &ok).is_ok());
+        let insufficient = AbeSystem::keygen(&msk, &attr_set(&["b"]));
+        assert!(AbeSystem::decrypt(&ct, &insufficient).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_same_entropy() {
+        let (pk, _) = setup();
+        let a = AbeSystem::encrypt(&pk, b"x", &paper_policy(), 7);
+        let b = AbeSystem::encrypt(&pk, b"x", &paper_policy(), 7);
+        assert_eq!(a, b);
+        let c = AbeSystem::encrypt(&pk, b"x", &paper_policy(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nested_policies() {
+        let (pk, msk) = setup();
+        let policy = AccessTree::And(vec![
+            AccessTree::leaf("root-attr"),
+            AccessTree::Or(vec![
+                AccessTree::all_of(&["x", "y"]),
+                AccessTree::Threshold {
+                    k: 2,
+                    children: vec![
+                        AccessTree::leaf("p"),
+                        AccessTree::leaf("q"),
+                        AccessTree::leaf("r"),
+                    ],
+                },
+            ]),
+        ]);
+        let ct = AbeSystem::encrypt(&pk, b"deep", &policy, 9);
+        let ok = AbeSystem::keygen(&msk, &attr_set(&["root-attr", "p", "r"]));
+        assert_eq!(AbeSystem::decrypt(&ct, &ok).unwrap(), b"deep");
+        let missing_root = AbeSystem::keygen(&msk, &attr_set(&["p", "r", "x", "y"]));
+        assert!(AbeSystem::decrypt(&ct, &missing_root).is_err());
+    }
+
+    #[test]
+    fn ciphertext_size_scales_with_leaves() {
+        let (pk, _) = setup();
+        let small = AbeSystem::encrypt(&pk, b"data", &AccessTree::leaf("a"), 1);
+        let big = AbeSystem::encrypt(
+            &pk,
+            b"data",
+            &AccessTree::all_of(&["a", "b", "c", "d", "e", "f", "g", "h"]),
+            1,
+        );
+        assert!(big.size_bytes() > small.size_bytes());
+    }
+}

@@ -1,0 +1,46 @@
+//! Security substrate for SpaceCore's home-controlled state updates
+//! (§4.4, Algorithm 2, Appendix B).
+//!
+//! The paper protects UE-side state replicas with attribute-based
+//! encryption (OpenABE) and negotiates per-session keys with a
+//! station-to-station Diffie–Hellman exchange. This crate rebuilds that
+//! layer from scratch:
+//!
+//! * [`field`] — prime-field arithmetic (2⁶¹−1 Mersenne field),
+//! * [`shamir`] — Shamir secret sharing (threshold gates),
+//! * [`policy`] — access trees: monotone Boolean formulas over attributes,
+//! * [`abe`] — a ciphertext-policy ABE **simulator** with real access-tree
+//!   share semantics,
+//! * [`dh`] — finite-field Diffie–Hellman and the station-to-station
+//!   protocol of Algorithm 2 (lines 10–14),
+//! * [`statecrypt`] — the complete Algorithm 2 workflow: home setup, key
+//!   generation for satellites/UEs, state encryption with version + TTL,
+//!   signing, decryption and verification at the serving satellite.
+//!
+//! ## Substitution note (DESIGN.md §3)
+//!
+//! This is a **functional simulation**, not production cryptography: the
+//! field is 61-bit, the "signatures" are keyed hashes, and the ABE
+//! construction is not collusion-resistant. The paper's experiments
+//! measure (a) *who can decrypt which state under which policy* (Fig. 19
+//! leakage under hijack/man-in-the-middle) and (b) *processing cost as a
+//! function of attribute-set size* (Fig. 18a). Both are preserved: policy
+//! satisfaction uses real secret-sharing over the access tree, and
+//! encrypt/decrypt cost scales with the number of attributes exactly as
+//! in a real ABE implementation.
+
+pub mod abe;
+pub mod dh;
+pub mod field;
+pub mod policy;
+pub mod shamir;
+pub mod statecrypt;
+pub mod suci;
+pub mod wire;
+
+pub use abe::{AbeCiphertext, AbeError, AbeMasterKey, AbePublicKey, AbeSecretKey, AbeSystem};
+pub use dh::{DhParams, StationToStation, StsError};
+pub use policy::{AccessTree, Attribute};
+pub use wire::{decode_state, encode_state, WireError};
+pub use suci::{conceal, deconceal, Suci, SuciHomeKey};
+pub use statecrypt::{EncryptedUeState, HomeCrypto, SatCredentials, StateCryptError, UeCredentials};

@@ -1,0 +1,258 @@
+//! Global UE population model (World-Bank-style subscription density).
+//!
+//! The paper distributes emulated UEs "assuming the global distributions
+//! of UEs from the World Bank". We model the distribution as a mixture of
+//! regional hotspots (population-weighted Gaussian blobs over major
+//! population centres) — coarse, but it preserves exactly what the
+//! experiments consume: *how many users a satellite sees as it traverses
+//! each region* (the Fig. 12 temporal dynamics) and *where sessions are
+//! generated globally* (Figs. 10/20 aggregates).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sc_geo::sphere::GeoPoint;
+
+/// Continental region labels used by Figure 12's annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    NorthAmerica,
+    SouthCentralAmerica,
+    EuropeAsia,
+    Africa,
+    Oceania,
+    Ocean,
+}
+
+impl Region {
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "North America",
+            Region::SouthCentralAmerica => "South & Central America",
+            Region::EuropeAsia => "Europe & Asia",
+            Region::Africa => "Africa",
+            Region::Oceania => "Oceania",
+            Region::Ocean => "Ocean",
+        }
+    }
+}
+
+/// One population hotspot.
+#[derive(Debug, Clone, Copy)]
+struct Hotspot {
+    center: GeoPoint,
+    /// Relative subscription weight (≈ millions of subscribers).
+    weight: f64,
+    /// Spatial spread, radians of central angle.
+    sigma: f64,
+    region: Region,
+}
+
+/// The global population/subscription model.
+#[derive(Debug, Clone)]
+pub struct PopulationModel {
+    hotspots: Vec<Hotspot>,
+    total_weight: f64,
+}
+
+impl Default for PopulationModel {
+    fn default() -> Self {
+        Self::world_bank_like()
+    }
+}
+
+impl PopulationModel {
+    /// The default world model: ~20 hotspots weighted like the World
+    /// Bank 2019 mobile-subscription distribution.
+    pub fn world_bank_like() -> Self {
+        use Region::*;
+        let h = |lat: f64, lon: f64, weight: f64, sigma_deg: f64, region: Region| Hotspot {
+            center: GeoPoint::from_degrees(lat, lon),
+            weight,
+            sigma: sigma_deg.to_radians(),
+            region,
+        };
+        let hotspots = vec![
+            // Europe & Asia (the dominant mass).
+            h(31.0, 112.0, 1700.0, 10.0, EuropeAsia), // eastern China
+            h(23.0, 80.0, 1200.0, 9.0, EuropeAsia),   // India
+            h(36.0, 138.0, 190.0, 4.0, EuropeAsia),   // Japan
+            h(-2.0, 110.0, 350.0, 8.0, EuropeAsia),   // Indonesia / SE Asia
+            h(16.0, 102.0, 220.0, 6.0, EuropeAsia),   // Indochina
+            h(50.0, 10.0, 480.0, 8.0, EuropeAsia),    // western/central Europe
+            h(55.0, 45.0, 250.0, 10.0, EuropeAsia),   // Russia / eastern Europe
+            h(33.0, 48.0, 280.0, 8.0, EuropeAsia),    // Middle East
+            h(40.0, 68.0, 120.0, 7.0, EuropeAsia),    // central Asia
+            // North America.
+            h(40.0, -95.0, 360.0, 10.0, NorthAmerica),
+            h(19.5, -99.0, 120.0, 5.0, NorthAmerica), // Mexico
+            // South & Central America.
+            h(-15.0, -52.0, 210.0, 9.0, SouthCentralAmerica), // Brazil
+            h(-34.0, -61.0, 70.0, 6.0, SouthCentralAmerica),  // Argentina
+            h(5.0, -74.0, 90.0, 6.0, SouthCentralAmerica),    // Andes north
+            // Africa.
+            h(9.0, 8.0, 190.0, 7.0, Africa),    // Nigeria / west Africa
+            h(0.5, 36.0, 130.0, 7.0, Africa),   // east Africa
+            h(-28.0, 25.0, 90.0, 6.0, Africa),  // southern Africa
+            h(30.0, 30.0, 110.0, 5.0, Africa),  // Egypt / north Africa
+            // Oceania.
+            h(-31.0, 140.0, 35.0, 8.0, Oceania), // Australia
+            h(-40.0, 175.0, 6.0, 3.0, Oceania),  // New Zealand
+        ];
+        let total_weight = hotspots.iter().map(|h| h.weight).sum();
+        Self {
+            hotspots,
+            total_weight,
+        }
+    }
+
+    /// Relative subscription density at a point (arbitrary units;
+    /// integrates to ≈ total weight).
+    pub fn density(&self, p: &GeoPoint) -> f64 {
+        self.hotspots
+            .iter()
+            .map(|h| {
+                let d = h.center.central_angle(p);
+                h.weight * (-0.5 * (d / h.sigma).powi(2)).exp() / (h.sigma * h.sigma)
+            })
+            .sum()
+    }
+
+    /// Region classification of a point: the region of the nearest
+    /// hotspot if within 3σ, else [`Region::Ocean`].
+    pub fn region_of(&self, p: &GeoPoint) -> Region {
+        let mut best: Option<(f64, Region)> = None;
+        for h in &self.hotspots {
+            let d = h.center.central_angle(p) / h.sigma;
+            if d <= 3.0 && best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, h.region));
+            }
+        }
+        best.map_or(Region::Ocean, |(_, r)| r)
+    }
+
+    /// Fraction of global users a satellite footprint centred at `p`
+    /// with half-angle `half_angle` (radians) covers. Approximated by
+    /// the density at the centre times the footprint solid angle,
+    /// normalized by the mixture's total integral (each Gaussian blob
+    /// integrates to `2π · weight` under the `weight/σ²` scaling).
+    pub fn coverage_fraction(&self, p: &GeoPoint, half_angle: f64) -> f64 {
+        let footprint_sr = std::f64::consts::PI * half_angle * half_angle;
+        (self.density(p) * footprint_sr / (std::f64::consts::TAU * self.total_weight)).min(1.0)
+    }
+
+    /// Sample `n` UE positions from the mixture (deterministic in seed).
+    pub fn sample_ues(&self, n: usize, seed: u64) -> Vec<GeoPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                // Pick a hotspot by weight.
+                let mut x: f64 = rng.gen::<f64>() * self.total_weight;
+                let mut chosen = self.hotspots.last().expect("non-empty");
+                for h in &self.hotspots {
+                    if x < h.weight {
+                        chosen = h;
+                        break;
+                    }
+                    x -= h.weight;
+                }
+                // Gaussian offset (Box-Muller) around the centre.
+                let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
+                let r = chosen.sigma * (-2.0 * u1.ln()).sqrt();
+                let theta = std::f64::consts::TAU * u2;
+                let dlat = r * theta.sin();
+                let dlon = r * theta.cos() / chosen.center.lat.cos().max(0.2);
+                let lat = (chosen.center.lat + dlat).clamp(-1.55, 1.55);
+                GeoPoint::new(lat, chosen.center.lon + dlon)
+            })
+            .collect()
+    }
+
+    /// Total model weight (≈ global subscriptions, millions).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_in_china_sparse_in_pacific() {
+        let m = PopulationModel::world_bank_like();
+        let shanghai = GeoPoint::from_degrees(31.2, 121.5);
+        let pacific = GeoPoint::from_degrees(-30.0, -140.0);
+        assert!(m.density(&shanghai) > 100.0 * m.density(&pacific));
+    }
+
+    #[test]
+    fn region_classification() {
+        let m = PopulationModel::world_bank_like();
+        assert_eq!(
+            m.region_of(&GeoPoint::from_degrees(39.9, 116.4)),
+            Region::EuropeAsia
+        );
+        assert_eq!(
+            m.region_of(&GeoPoint::from_degrees(40.7, -74.0)),
+            Region::NorthAmerica
+        );
+        assert_eq!(
+            m.region_of(&GeoPoint::from_degrees(-23.5, -46.6)),
+            Region::SouthCentralAmerica
+        );
+        assert_eq!(m.region_of(&GeoPoint::from_degrees(6.5, 3.4)), Region::Africa);
+        assert_eq!(
+            m.region_of(&GeoPoint::from_degrees(-33.9, 151.2)),
+            Region::Oceania
+        );
+        assert_eq!(
+            m.region_of(&GeoPoint::from_degrees(-35.0, -140.0)),
+            Region::Ocean
+        );
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let m = PopulationModel::world_bank_like();
+        let ues = m.sample_ues(20_000, 1);
+        assert_eq!(ues.len(), 20_000);
+        let eurasia = ues
+            .iter()
+            .filter(|p| m.region_of(p) == Region::EuropeAsia)
+            .count() as f64
+            / 20_000.0;
+        // Europe & Asia holds the clear majority of subscriptions.
+        assert!(eurasia > 0.5, "{eurasia}");
+        let oceania = ues
+            .iter()
+            .filter(|p| m.region_of(p) == Region::Oceania)
+            .count() as f64
+            / 20_000.0;
+        assert!(oceania < 0.05, "{oceania}");
+    }
+
+    #[test]
+    fn sampling_deterministic() {
+        let m = PopulationModel::world_bank_like();
+        assert_eq!(m.sample_ues(100, 9), m.sample_ues(100, 9));
+        assert_ne!(m.sample_ues(100, 9), m.sample_ues(100, 10));
+    }
+
+    #[test]
+    fn coverage_fraction_bounded() {
+        let m = PopulationModel::world_bank_like();
+        let f = m.coverage_fraction(&GeoPoint::from_degrees(31.0, 112.0), 0.15);
+        assert!(f > 0.0 && f <= 1.0, "{f}");
+        let ocean = m.coverage_fraction(&GeoPoint::from_degrees(-40.0, -140.0), 0.15);
+        assert!(ocean < f / 50.0, "ocean {ocean} vs china {f}");
+    }
+
+    #[test]
+    fn all_samples_have_valid_latitudes() {
+        let m = PopulationModel::world_bank_like();
+        for p in m.sample_ues(5000, 3) {
+            assert!(p.lat.abs() <= 1.56);
+            assert!(p.lon.abs() <= std::f64::consts::PI + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Trace 1-style session event logs.
+//!
+//! The paper prints an Inmarsat session-establishment capture (Trace 1):
+//! timestamped protocol events from the service request through RAU,
+//! authentication, QoS negotiation, to PDP activation — spanning ~10 s
+//! over the GEO pipe. This module generates such logs synthetically for
+//! any latency profile, so tests, examples, and docs can show *what a
+//! session looks like* under each architecture, not just its aggregate
+//! cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One timestamped protocol event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Seconds from the start of the session attempt.
+    pub t_s: f64,
+    /// Protocol family tag (as in Trace 1: UMTS-GMM / UMTS-MM /
+    /// UMTS-SM / 5G-NAS / 5G-RRC).
+    pub protocol: &'static str,
+    /// Event description.
+    pub event: &'static str,
+}
+
+/// A generated session-establishment log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionTrace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl SessionTrace {
+    /// Total duration (time of the last event).
+    pub fn duration_s(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.t_s)
+    }
+
+    /// Render in the paper's Trace 1 style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("{:9.3} {}:{}\n", e.t_s, e.protocol, e.event));
+        }
+        out
+    }
+}
+
+/// The Trace 1 event skeleton (Inmarsat/UMTS names), with nominal
+/// fractional positions of each event within the session.
+const GEO_SKELETON: &[(&str, &str, f64)] = &[
+    ("UMTS-GMM", "Initiating service request", 0.0),
+    ("UMTS-GMM", "Signalling connection secured", 0.06),
+    ("UMTS-GMM", "Initiating RAU procedure", 0.42),
+    ("UMTS-MM", "MM_LOCUPDPEND", 0.42),
+    ("UMTS-MM", "MM_WAITRRLOCUPD", 0.43),
+    ("UMTS-MM", "MM_LOCUPDINIT", 0.43),
+    ("UMTS-SM", "AL State:DATA_CONN_ACTIVE", 0.49),
+    ("UMTS-GMM", "Authentication request received", 0.58),
+    ("UMTS-SM", "Qos: transferdelay:22, maxSDU:1500", 0.60),
+    ("UMTS-SM", "Qos:bitRateUp:512/896, Down:512/896", 0.60),
+    ("UMTS-SM-GW", "pdp new state Active", 0.61),
+];
+
+/// The SpaceCore local-establishment skeleton (Fig. 16a): four events,
+/// no home round-trips.
+const SPACECORE_SKELETON: &[(&str, &str, f64)] = &[
+    ("5G-RRC", "rrc connection setup", 0.0),
+    ("5G-RRC", "rrc setup complete (state replica piggybacked)", 0.3),
+    ("SC-PROXY", "replica decrypted, session key agreed", 0.7),
+    ("5G-SM", "session accept, data active", 1.0),
+];
+
+/// Generate a GEO-pipe session trace with total duration drawn around
+/// `mean_duration_s` (Trace 1's Inmarsat session took ~10.1 s).
+pub fn geo_pipe_session(mean_duration_s: f64, seed: u64) -> SessionTrace {
+    skeleton_trace(GEO_SKELETON, mean_duration_s, 0.25, seed)
+}
+
+/// Generate a SpaceCore local-establishment trace (duration ~0.15 s at
+/// low load, per Fig. 17b).
+pub fn spacecore_session(mean_duration_s: f64, seed: u64) -> SessionTrace {
+    skeleton_trace(SPACECORE_SKELETON, mean_duration_s, 0.15, seed)
+}
+
+fn skeleton_trace(
+    skeleton: &[(&'static str, &'static str, f64)],
+    mean_duration_s: f64,
+    jitter: f64,
+    seed: u64,
+) -> SessionTrace {
+    assert!(mean_duration_s > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let duration = mean_duration_s * (1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0));
+    let mut t_prev = 0.0f64;
+    let events = skeleton
+        .iter()
+        .map(|(proto, ev, frac)| {
+            let noise = 1.0 + 0.05 * (rng.gen::<f64>() * 2.0 - 1.0);
+            let t = (frac * duration * noise).max(t_prev);
+            t_prev = t;
+            TraceEvent {
+                t_s: t,
+                protocol: proto,
+                event: ev,
+            }
+        })
+        .collect();
+    SessionTrace { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_trace_matches_trace1_shape() {
+        let t = geo_pipe_session(10.1, 42);
+        assert_eq!(t.events.len(), GEO_SKELETON.len());
+        // Monotone timestamps.
+        for w in t.events.windows(2) {
+            assert!(w[1].t_s >= w[0].t_s);
+        }
+        // First event is the service request at t≈0; PDP activation last.
+        assert_eq!(t.events[0].event, "Initiating service request");
+        assert!(t.events.last().unwrap().event.contains("Active"));
+        // Duration in the seconds range like Trace 1.
+        assert!((3.0..20.0).contains(&t.duration_s()), "{}", t.duration_s());
+    }
+
+    #[test]
+    fn spacecore_trace_is_subsecond() {
+        let t = spacecore_session(0.15, 1);
+        assert!(t.duration_s() < 0.5, "{}", t.duration_s());
+        assert!(t.events.iter().any(|e| e.protocol == "SC-PROXY"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(geo_pipe_session(10.0, 7), geo_pipe_session(10.0, 7));
+        assert_ne!(geo_pipe_session(10.0, 7), geo_pipe_session(10.0, 8));
+    }
+
+    #[test]
+    fn render_is_trace1_style() {
+        let s = geo_pipe_session(10.1, 3).render();
+        assert!(s.contains("UMTS-GMM:Initiating service request"), "{s}");
+        assert!(s.lines().count() == GEO_SKELETON.len());
+    }
+
+    #[test]
+    fn ordering_preserved_under_extreme_jitter() {
+        for seed in 0..50 {
+            let t = geo_pipe_session(5.0, seed);
+            for w in t.events.windows(2) {
+                assert!(w[1].t_s >= w[0].t_s, "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Traffic-class profiles: how different device classes load the core.
+//!
+//! §2.2 motivates SpaceCore with "massive connectivities to
+//! delay-tolerant, low-energy Internet-of-Things" alongside consumer
+//! broadband. Device classes differ in exactly the parameters the storm
+//! arithmetic consumes: session inter-arrival, session length, payload
+//! volume, and paging (downlink-initiated) share. This module defines
+//! the profiles and mixes them into effective workload parameters.
+
+use crate::workload::WorkloadParams;
+
+/// A device/traffic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Sensor-style IoT: rare, tiny, uplink-dominated reports.
+    IotSensor,
+    /// Tracker-style IoT: periodic reports plus occasional downlink
+    /// commands (paging-heavy relative to its volume).
+    IotTracker,
+    /// Consumer smartphone traffic.
+    Consumer,
+    /// Enterprise / backhaul-style always-on.
+    Enterprise,
+}
+
+/// The per-class behavioural profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassProfile {
+    /// Mean session inter-arrival, seconds.
+    pub session_interarrival_s: f64,
+    /// Mean session (active radio) duration, seconds.
+    pub session_duration_s: f64,
+    /// Fraction of sessions that are downlink-initiated (need paging).
+    pub downlink_fraction: f64,
+    /// Mean bytes per session.
+    pub bytes_per_session: u64,
+}
+
+impl TrafficClass {
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::IotSensor,
+        TrafficClass::IotTracker,
+        TrafficClass::Consumer,
+        TrafficClass::Enterprise,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::IotSensor => "IoT sensor",
+            TrafficClass::IotTracker => "IoT tracker",
+            TrafficClass::Consumer => "consumer",
+            TrafficClass::Enterprise => "enterprise",
+        }
+    }
+
+    /// The behavioural profile.
+    pub fn profile(self) -> ClassProfile {
+        match self {
+            TrafficClass::IotSensor => ClassProfile {
+                session_interarrival_s: 3600.0, // hourly report
+                session_duration_s: 2.0,
+                downlink_fraction: 0.02,
+                bytes_per_session: 512,
+            },
+            TrafficClass::IotTracker => ClassProfile {
+                session_interarrival_s: 600.0,
+                session_duration_s: 3.0,
+                downlink_fraction: 0.4,
+                bytes_per_session: 2_048,
+            },
+            TrafficClass::Consumer => ClassProfile {
+                session_interarrival_s: 106.9, // the paper's measured value
+                session_duration_s: 12.5,
+                downlink_fraction: 0.3,
+                bytes_per_session: 4 << 20,
+            },
+            TrafficClass::Enterprise => ClassProfile {
+                session_interarrival_s: 60.0,
+                session_duration_s: 45.0,
+                downlink_fraction: 0.5,
+                bytes_per_session: 64 << 20,
+            },
+        }
+    }
+}
+
+/// A population mix over classes (fractions must sum to 1).
+#[derive(Debug, Clone)]
+pub struct TrafficMix {
+    entries: Vec<(TrafficClass, f64)>,
+}
+
+impl TrafficMix {
+    /// Build a mix; fractions are validated.
+    pub fn new(entries: Vec<(TrafficClass, f64)>) -> Self {
+        let sum: f64 = entries.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions must sum to 1, got {sum}");
+        assert!(entries.iter().all(|(_, f)| *f >= 0.0));
+        Self { entries }
+    }
+
+    /// The paper's implicit consumer-dominated mix.
+    pub fn consumer_dominated() -> Self {
+        Self::new(vec![
+            (TrafficClass::Consumer, 0.85),
+            (TrafficClass::IotTracker, 0.08),
+            (TrafficClass::IotSensor, 0.05),
+            (TrafficClass::Enterprise, 0.02),
+        ])
+    }
+
+    /// The massive-IoT future the paper motivates (§2.2 value 2).
+    pub fn iot_dominated() -> Self {
+        Self::new(vec![
+            (TrafficClass::IotSensor, 0.60),
+            (TrafficClass::IotTracker, 0.30),
+            (TrafficClass::Consumer, 0.09),
+            (TrafficClass::Enterprise, 0.01),
+        ])
+    }
+
+    /// Mix fractions.
+    pub fn entries(&self) -> &[(TrafficClass, f64)] {
+        &self.entries
+    }
+
+    /// Effective aggregate session rate per device, sessions/s.
+    pub fn sessions_per_device_s(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(c, f)| f / c.profile().session_interarrival_s)
+            .sum()
+    }
+
+    /// Effective paging share (downlink-initiated fraction, weighted by
+    /// each class's session rate).
+    pub fn downlink_fraction(&self) -> f64 {
+        let total = self.sessions_per_device_s();
+        self.entries
+            .iter()
+            .map(|(c, f)| {
+                let p = c.profile();
+                f / p.session_interarrival_s * p.downlink_fraction
+            })
+            .sum::<f64>()
+            / total
+    }
+
+    /// Effective active fraction (time with a live radio connection).
+    pub fn active_fraction(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(c, f)| {
+                let p = c.profile();
+                f * (p.session_duration_s / p.session_interarrival_s).min(1.0)
+            })
+            .sum()
+    }
+
+    /// Fold the mix into [`WorkloadParams`] (keeping the base transit).
+    pub fn workload_params(&self, base: &WorkloadParams) -> WorkloadParams {
+        WorkloadParams {
+            session_interarrival_s: 1.0 / self.sessions_per_device_s(),
+            inactivity_release_s: base.inactivity_release_s,
+            transit_s: base.transit_s,
+            active_fraction: self.active_fraction(),
+            downlink_fraction: self.downlink_fraction(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumer_profile_matches_paper_constants() {
+        let p = TrafficClass::Consumer.profile();
+        assert!((p.session_interarrival_s - 106.9).abs() < 1e-9);
+        assert!((p.session_duration_s - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixes_validate() {
+        let _ = TrafficMix::consumer_dominated();
+        let _ = TrafficMix::iot_dominated();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_mix_rejected() {
+        TrafficMix::new(vec![(TrafficClass::Consumer, 0.5)]);
+    }
+
+    #[test]
+    fn iot_mix_fewer_sessions_per_device() {
+        // Massive IoT: each device signals far less often…
+        let consumer = TrafficMix::consumer_dominated();
+        let iot = TrafficMix::iot_dominated();
+        assert!(iot.sessions_per_device_s() < consumer.sessions_per_device_s() / 3.0);
+    }
+
+    #[test]
+    fn iot_mix_is_paging_heavier_per_session() {
+        // …but a larger share of its (tracker) sessions are
+        // network-triggered.
+        let consumer = TrafficMix::consumer_dominated();
+        let iot = TrafficMix::iot_dominated();
+        assert!(iot.downlink_fraction() > 0.5 * consumer.downlink_fraction());
+    }
+
+    #[test]
+    fn active_fraction_bounded() {
+        for mix in [TrafficMix::consumer_dominated(), TrafficMix::iot_dominated()] {
+            let a = mix.active_fraction();
+            assert!(a > 0.0 && a < 1.0, "{a}");
+        }
+    }
+
+    #[test]
+    fn workload_params_fold() {
+        let base = WorkloadParams::paper_defaults();
+        let p = TrafficMix::iot_dominated().workload_params(&base);
+        assert!(p.session_interarrival_s > base.session_interarrival_s);
+        assert_eq!(p.transit_s, base.transit_s);
+        // More devices per satellite are sustainable: at equal capacity,
+        // the session rate drops.
+        assert!(1.0 / p.session_interarrival_s < 1.0 / base.session_interarrival_s);
+    }
+}

@@ -1,0 +1,13 @@
+//! Extension experiment: anchor-gateway bottleneck.
+
+fn main() {
+    let r = sc_emu::ext_anchor::run();
+    println!("{}", sc_emu::ext_anchor::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/ext_anchor.json",
+        serde_json::to_string_pretty(&r).expect("serialize"),
+    )
+    .expect("write json");
+    eprintln!("wrote results/ext_anchor.json");
+}

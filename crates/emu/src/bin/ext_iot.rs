@@ -1,0 +1,13 @@
+//! Extension experiment: traffic-mix sensitivity (massive IoT).
+
+fn main() {
+    let r = sc_emu::ext_iot::run();
+    println!("{}", sc_emu::ext_iot::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/ext_iot.json",
+        serde_json::to_string_pretty(&r).expect("serialize"),
+    )
+    .expect("write json");
+    eprintln!("wrote results/ext_iot.json");
+}

@@ -1,0 +1,13 @@
+//! Extension experiment: message-level procedure resilience.
+
+fn main() {
+    let r = sc_emu::ext_resilience::run();
+    println!("{}", sc_emu::ext_resilience::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/ext_resilience.json",
+        serde_json::to_string_pretty(&r).expect("serialize"),
+    )
+    .expect("write json");
+    eprintln!("wrote results/ext_resilience.json");
+}

@@ -1,0 +1,13 @@
+//! Extension experiment: advantage vs. constellation scale.
+
+fn main() {
+    let r = sc_emu::ext_scaling::run();
+    println!("{}", sc_emu::ext_scaling::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/ext_scaling.json",
+        serde_json::to_string_pretty(&r).expect("serialize"),
+    )
+    .expect("write json");
+    eprintln!("wrote results/ext_scaling.json");
+}

@@ -1,0 +1,11 @@
+//! Regenerates fig05 of the paper. Prints the table and writes
+//! `results/fig05.json`.
+
+fn main() {
+    let r = sc_emu::fig05::run();
+    println!("{}", sc_emu::fig05::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    std::fs::write("results/fig05.json", json).expect("write json");
+    eprintln!("wrote results/fig05.json");
+}

@@ -1,0 +1,11 @@
+//! Regenerates fig08 of the paper. Prints the table and writes
+//! `results/fig08.json`.
+
+fn main() {
+    let r = sc_emu::fig08::run();
+    println!("{}", sc_emu::fig08::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    std::fs::write("results/fig08.json", json).expect("write json");
+    eprintln!("wrote results/fig08.json");
+}

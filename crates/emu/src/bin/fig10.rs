@@ -1,0 +1,11 @@
+//! Regenerates fig10 of the paper. Prints the table and writes
+//! `results/fig10.json`.
+
+fn main() {
+    let r = sc_emu::fig10::run();
+    println!("{}", sc_emu::fig10::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    std::fs::write("results/fig10.json", json).expect("write json");
+    eprintln!("wrote results/fig10.json");
+}

@@ -1,0 +1,11 @@
+//! Regenerates fig12 of the paper. Prints the table and writes
+//! `results/fig12.json`.
+
+fn main() {
+    let r = sc_emu::fig12::run();
+    println!("{}", sc_emu::fig12::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    std::fs::write("results/fig12.json", json).expect("write json");
+    eprintln!("wrote results/fig12.json");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 13 (failure inputs). Prints tables and writes
+//! `results/fig13.json`.
+
+fn main() {
+    let r = sc_emu::fig13::run();
+    println!("{}", sc_emu::fig13::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/fig13.json",
+        serde_json::to_string_pretty(&r).expect("serialize"),
+    )
+    .expect("write json");
+    eprintln!("wrote results/fig13.json");
+}

@@ -1,0 +1,11 @@
+//! Regenerates fig18 of the paper. Prints the table and writes
+//! `results/fig18.json`.
+
+fn main() {
+    let r = sc_emu::fig18::run();
+    println!("{}", sc_emu::fig18::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    std::fs::write("results/fig18.json", json).expect("write json");
+    eprintln!("wrote results/fig18.json");
+}

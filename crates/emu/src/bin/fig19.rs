@@ -1,0 +1,11 @@
+//! Regenerates fig19 of the paper. Prints the table and writes
+//! `results/fig19.json`.
+
+fn main() {
+    let r = sc_emu::fig19::run();
+    println!("{}", sc_emu::fig19::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    std::fs::write("results/fig19.json", json).expect("write json");
+    eprintln!("wrote results/fig19.json");
+}

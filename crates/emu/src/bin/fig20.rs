@@ -1,0 +1,11 @@
+//! Regenerates fig20 of the paper. Prints the table and writes
+//! `results/fig20.json`.
+
+fn main() {
+    let r = sc_emu::fig20::run();
+    println!("{}", sc_emu::fig20::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    std::fs::write("results/fig20.json", json).expect("write json");
+    eprintln!("wrote results/fig20.json");
+}

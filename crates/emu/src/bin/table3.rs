@@ -1,0 +1,11 @@
+//! Regenerates table3 of the paper. Prints the table and writes
+//! `results/table3.json`.
+
+fn main() {
+    let r = sc_emu::table3::run();
+    println!("{}", sc_emu::table3::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    std::fs::write("results/table3.json", json).expect("write json");
+    eprintln!("wrote results/table3.json");
+}

@@ -1,0 +1,139 @@
+//! Extension experiment: how SpaceCore's advantage scales with
+//! constellation size.
+//!
+//! The paper closes with "a native stateless architecture in 5G and
+//! beyond would be necessary to unleash the potential of LEO
+//! mega-constellations" (§7). This experiment makes that trend concrete:
+//! the per-satellite signaling reduction versus the legacy 5G NTN
+//! design, as the shell grows from Iridium-class (66 satellites) through
+//! the Table 1 presets to a hypothetical second-generation shell —
+//! stateful designs pay more per satellite as relaying fan-in grows,
+//! while SpaceCore's per-satellite cost is size-independent.
+
+use sc_orbit::ConstellationConfig;
+use serde::Serialize;
+use spacecore::solutions::{Solution, SolutionKind};
+
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtScaling {
+    pub points: Vec<ScalePoint>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    pub shell: String,
+    pub total_sats: usize,
+    pub spacecore_sat_msgs: f64,
+    pub ntn_sat_msgs: f64,
+    pub reduction: f64,
+}
+
+/// Hypothetical next-generation shell (Starlink Gen2-class density).
+fn gen2() -> ConstellationConfig {
+    ConstellationConfig {
+        name: "Gen2 (hypothetical)",
+        planes: 120,
+        sats_per_plane: 60,
+        altitude_km: 500.0,
+        inclination_rad: 53f64.to_radians(),
+        phasing: 30,
+        min_elevation_rad: 25f64.to_radians(),
+    }
+}
+
+/// Run at 30K capacity across shells of increasing size.
+pub fn run() -> ExtScaling {
+    let mut shells: Vec<ConstellationConfig> = ConstellationConfig::all_presets().to_vec();
+    shells.push(gen2());
+    shells.sort_by_key(|c| c.total_sats());
+    let cap = 30_000;
+    let points = shells
+        .into_iter()
+        .map(|cfg| {
+            let sc = Solution::new(SolutionKind::SpaceCore, cfg.clone()).sat_msgs_per_s(cap);
+            let ntn = Solution::new(SolutionKind::FiveGNtn, cfg.clone()).sat_msgs_per_s(cap);
+            ScalePoint {
+                shell: cfg.name.to_string(),
+                total_sats: cfg.total_sats(),
+                spacecore_sat_msgs: sc,
+                ntn_sat_msgs: ntn,
+                reduction: ntn / sc,
+            }
+        })
+        .collect();
+    ExtScaling { points }
+}
+
+/// Text rendering.
+pub fn render(r: &ExtScaling) -> String {
+    let mut t = crate::report::TextTable::new(&[
+        "shell",
+        "satellites",
+        "SpaceCore msg/s",
+        "5G NTN msg/s",
+        "reduction",
+    ]);
+    for p in &r.points {
+        t.row(vec![
+            p.shell.clone(),
+            p.total_sats.to_string(),
+            crate::report::fmt_num(p.spacecore_sat_msgs),
+            crate::report::fmt_num(p.ntn_sat_msgs),
+            format!("{:.1}x", p.reduction),
+        ]);
+    }
+    format!(
+        "Extension — SpaceCore's advantage vs. constellation scale (30K capacity)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_grows_with_constellation_size() {
+        // The closing claim: bigger constellations need statelessness
+        // more. Reductions must be monotone in shell size.
+        let r = run();
+        for w in r.points.windows(2) {
+            assert!(w[0].total_sats < w[1].total_sats);
+            assert!(
+                w[1].reduction > w[0].reduction,
+                "{} {} -> {} {}",
+                w[0].shell,
+                w[0].reduction,
+                w[1].shell,
+                w[1].reduction
+            );
+        }
+    }
+
+    #[test]
+    fn spacecore_cost_size_independent() {
+        // SpaceCore's per-satellite cost depends on served users only,
+        // not on the fleet size — identical across same-workload shells
+        // up to the transit-time geometry factor.
+        let r = run();
+        let min = r
+            .points
+            .iter()
+            .map(|p| p.spacecore_sat_msgs)
+            .fold(f64::INFINITY, f64::min);
+        let max = r
+            .points
+            .iter()
+            .map(|p| p.spacecore_sat_msgs)
+            .fold(0.0, f64::max);
+        assert!(max / min < 1.5, "{min}..{max}");
+    }
+
+    #[test]
+    fn gen2_included_and_largest() {
+        let r = run();
+        let last = r.points.last().unwrap();
+        assert!(last.shell.contains("Gen2"));
+        assert_eq!(last.total_sats, 7200);
+    }
+}

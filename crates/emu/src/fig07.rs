@@ -1,0 +1,148 @@
+//! Figure 7 — breakdown of satellite CPU usage by core functions.
+//!
+//! For each hardware profile and each initial/mobility-registration rate
+//! (the paper sweeps 10–250/s), the stacked per-NF CPU shares for the
+//! all-functions-in-space split (the configuration that saturates the
+//! Pi in Fig. 7a).
+
+use sc_fiveg::cpu::{HardwareProfile, NfCostTable};
+use sc_fiveg::messages::{Procedure, ProcedureKind};
+use sc_fiveg::nf::SplitOption;
+use serde::Serialize;
+
+/// The registration-rate sweep used by the paper.
+pub const RATES: [f64; 10] = [10.0, 20.0, 30.0, 40.0, 50.0, 70.0, 100.0, 150.0, 200.0, 250.0];
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig07 {
+    pub hardware: Vec<HardwareSeries>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct HardwareSeries {
+    pub hardware: String,
+    pub points: Vec<CpuPoint>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct CpuPoint {
+    pub rate_per_s: f64,
+    /// (NF name, CPU %) stacked shares.
+    pub breakdown: Vec<(String, f64)>,
+    pub total_percent: f64,
+}
+
+/// Run the experiment: registration workload is an even mix of initial
+/// and mobility registrations (the paper's x-axis label:
+/// "Initial/Mobility registrations per second").
+pub fn run() -> Fig07 {
+    let split = SplitOption::AllFunctions.split();
+    let c1 = Procedure::build(ProcedureKind::InitialRegistration);
+    let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
+    let mut hardware = Vec::new();
+    for hw in HardwareProfile::ALL {
+        let table = NfCostTable::new(hw);
+        let mut points = Vec::new();
+        for rate in RATES {
+            // Half initial, half mobility registrations.
+            let mut merged: Vec<(String, f64)> = Vec::new();
+            for (proc_, share) in [(&c1, 0.5), (&c4, 0.5)] {
+                for (nf, pct) in table.cpu_breakdown(proc_, &split, rate * share) {
+                    match merged.iter_mut().find(|(n, _)| *n == nf.name()) {
+                        Some((_, p)) => *p += pct,
+                        None => merged.push((nf.name().to_string(), pct)),
+                    }
+                }
+            }
+            let total: f64 = merged.iter().map(|(_, p)| p).sum::<f64>().min(100.0);
+            points.push(CpuPoint {
+                rate_per_s: rate,
+                breakdown: merged,
+                total_percent: total,
+            });
+        }
+        hardware.push(HardwareSeries {
+            hardware: hw.name().to_string(),
+            points,
+        });
+    }
+    Fig07 { hardware }
+}
+
+/// Text rendering: one table per hardware.
+pub fn render(r: &Fig07) -> String {
+    let mut out = String::from("Fig. 7 — satellite CPU breakdown by core function\n");
+    for hs in &r.hardware {
+        out.push_str(&format!("\n{}\n", hs.hardware));
+        let nf_names: Vec<&str> = hs.points[0]
+            .breakdown
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        let mut header = vec!["rate/s"];
+        header.extend(nf_names.iter());
+        header.push("total%");
+        let mut t = crate::report::TextTable::new(&header);
+        for p in &hs.points {
+            let mut row = vec![crate::report::fmt_num(p.rate_per_s)];
+            for n in &nf_names {
+                let v = p
+                    .breakdown
+                    .iter()
+                    .find(|(bn, _)| bn == n)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0);
+                row.push(crate::report::fmt_num(v));
+            }
+            row.push(crate::report::fmt_num(p.total_percent));
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_saturates_xeon_does_not() {
+        let r = run();
+        let pi_max = r.hardware[0].points.last().unwrap().total_percent;
+        let xeon_max = r.hardware[1].points.last().unwrap().total_percent;
+        // Fig. 7a: hardware 1 hits 100% by 250 reg/s; Fig. 7b: hardware 2
+        // stays below saturation.
+        assert!(pi_max >= 99.0, "{pi_max}");
+        assert!(xeon_max < 80.0, "{xeon_max}");
+    }
+
+    #[test]
+    fn cpu_monotone_in_rate() {
+        for hs in run().hardware {
+            for w in hs.points.windows(2) {
+                assert!(w[1].total_percent >= w[0].total_percent - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_covers_core_functions() {
+        let r = run();
+        let names: Vec<&String> = r.hardware[0].points[0]
+            .breakdown
+            .iter()
+            .map(|(n, _)| n)
+            .collect();
+        for expect in ["AMF", "SMF", "UPF", "AUSF", "UDM", "PCF"] {
+            assert!(names.iter().any(|n| *n == expect), "{expect} missing");
+        }
+    }
+
+    #[test]
+    fn render_has_both_hardware_tables() {
+        let txt = render(&run());
+        assert!(txt.contains("Raspberry Pi"));
+        assert!(txt.contains("Xeon"));
+    }
+}

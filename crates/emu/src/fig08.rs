@@ -1,0 +1,124 @@
+//! Figure 8 — signaling latency vs. load on satellite hardware.
+//!
+//! Two panels: (a) initial/mobility registrations, (b) session
+//! establishments, each on the two hardware profiles, sweeping 10–500
+//! events/s. The shape to reproduce: flat below the CPU knee, then
+//! rapid (near-linear) growth to tens of seconds once the satellite
+//! saturates — the queueing signature of Fig. 8.
+
+use sc_fiveg::cpu::{HardwareProfile, NfCostTable};
+use sc_fiveg::messages::{Procedure, ProcedureKind};
+use sc_fiveg::nf::SplitOption;
+use serde::Serialize;
+
+/// The load sweep of Figure 8.
+pub const RATES: [f64; 7] = [10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0];
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig08 {
+    pub registration: Vec<LatencySeries>,
+    pub session: Vec<LatencySeries>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySeries {
+    pub hardware: String,
+    /// (rate/s, latency seconds).
+    pub points: Vec<(f64, f64)>,
+}
+
+fn sweep(kind: ProcedureKind) -> Vec<LatencySeries> {
+    let split = SplitOption::AllFunctions.split();
+    let p = Procedure::build(kind);
+    HardwareProfile::ALL
+        .iter()
+        .map(|hw| {
+            let model = NfCostTable::new(*hw)
+                .latency_model(&p, &split)
+                .expect("all functions in space");
+            LatencySeries {
+                hardware: hw.name().to_string(),
+                points: RATES.iter().map(|r| (*r, model.sojourn_s(*r))).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Run the experiment.
+pub fn run() -> Fig08 {
+    Fig08 {
+        registration: sweep(ProcedureKind::InitialRegistration),
+        session: sweep(ProcedureKind::SessionEstablishment),
+    }
+}
+
+/// Text rendering.
+pub fn render(r: &Fig08) -> String {
+    let mut out = String::from("Fig. 8 — signaling latency vs. load on satellite hardware\n");
+    for (title, series) in [
+        ("(a) initial/mobility registration", &r.registration),
+        ("(b) session establishment", &r.session),
+    ] {
+        out.push_str(&format!("\n{title}\n"));
+        let mut header = vec!["rate/s".to_string()];
+        header.extend(series.iter().map(|s| s.hardware.clone()));
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = crate::report::TextTable::new(&hdr);
+        for (i, rate) in RATES.iter().enumerate() {
+            let mut row = vec![crate::report::fmt_num(*rate)];
+            for s in series {
+                row.push(format!("{:.3} s", s.points[i].1));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_orders_of_magnitude_on_pi() {
+        let r = run();
+        let pi = &r.registration[0];
+        let low = pi.points.first().unwrap().1;
+        let high = pi.points.last().unwrap().1;
+        // Fig. 8a: from milliseconds to many seconds.
+        assert!(low < 0.1, "{low}");
+        assert!(high > 1.0, "{high}");
+        assert!(high / low > 50.0);
+    }
+
+    #[test]
+    fn xeon_outperforms_pi_at_every_load() {
+        let r = run();
+        for panel in [&r.registration, &r.session] {
+            for (a, b) in panel[0].points.iter().zip(&panel[1].points) {
+                assert!(b.1 <= a.1, "xeon {b:?} vs pi {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn registration_heavier_than_session() {
+        // C1 touches more NFs than C2 → saturates earlier on the Pi.
+        let r = run();
+        let reg500 = r.registration[0].points.last().unwrap().1;
+        let sess500 = r.session[0].points.last().unwrap().1;
+        assert!(reg500 > sess500, "{reg500} vs {sess500}");
+    }
+
+    #[test]
+    fn monotone_in_load() {
+        for panel in [run().registration, run().session] {
+            for s in panel {
+                for w in s.points.windows(2) {
+                    assert!(w[1].1 >= w[0].1 - 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Figure 10 — signaling migration overhead of satellites and ground
+//! stations, four stateful options × four constellations × capacities.
+//!
+//! Rows reproduced: per-satellite session-establishment signaling,
+//! per-satellite mobility signaling, and per-ground-station load, for
+//! satellite capacities {2K, 10K, 20K, 30K} — with the paper's
+//! qualitative facts: 10³–10⁵ msg/s per satellite, about an order of
+//! magnitude more per ground station, and "None" GS mobility load for
+//! options 3-4 (mobility handled in space).
+
+use sc_dataset::workload::{RateModel, WorkloadParams};
+use sc_fiveg::messages::{Procedure, ProcedureKind};
+use sc_fiveg::nf::SplitOption;
+use sc_orbit::ConstellationConfig;
+use serde::Serialize;
+
+/// Satellite capacities swept by the paper.
+pub const CAPACITIES: [u32; 4] = [2_000, 10_000, 20_000, 30_000];
+
+/// Number of gateways serving each constellation.
+pub const GROUND_STATIONS: usize = 30;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    pub cells: Vec<Cell>,
+}
+
+/// One (constellation, option, capacity) cell of the figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    pub constellation: String,
+    pub option: String,
+    pub capacity: u32,
+    /// Session-establishment signaling at the satellite, msg/s.
+    pub sat_session_msgs: f64,
+    /// Mobility signaling at the satellite, msg/s.
+    pub sat_mobility_msgs: f64,
+    /// Total ground-station load, msg/s (0 = the paper's "None").
+    pub gs_msgs: f64,
+}
+
+/// Run the experiment.
+pub fn run() -> Fig10 {
+    let mut cells = Vec::new();
+    for cfg in ConstellationConfig::all_presets() {
+        let params = WorkloadParams::for_constellation(&cfg);
+        let model = RateModel::new(params);
+        for option in SplitOption::STATEFUL {
+            for capacity in CAPACITIES {
+                let split = option.split();
+                let sessions = model.session_rate(capacity);
+                let handovers = model.handover_rate(capacity);
+                let mob_regs = if matches!(
+                    option,
+                    SplitOption::SessionMobility | SplitOption::AllFunctions
+                ) {
+                    model.mobility_reg_rate(capacity)
+                } else {
+                    0.0
+                };
+
+                let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
+                let paging = Procedure::build(ProcedureKind::Paging);
+                let c3 = Procedure::build(ProcedureKind::Handover);
+                let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
+
+                let sat_session = sessions
+                    * (c2.satellite_messages(&split) as f64 * model.radio_overhead
+                        + params.downlink_fraction * paging.satellite_messages(&split) as f64);
+                let sat_mobility = handovers * c3.satellite_messages(&split) as f64
+                    + mob_regs * c4.satellite_messages(&split) as f64;
+
+                let per_sat_gs = sessions * c2.ground_messages(&split) as f64
+                    + handovers * c3.ground_messages(&split) as f64
+                    + mob_regs * c4.ground_messages(&split) as f64;
+                let gs = per_sat_gs * cfg.total_sats() as f64 / GROUND_STATIONS as f64;
+
+                cells.push(Cell {
+                    constellation: cfg.name.to_string(),
+                    option: option.name().to_string(),
+                    capacity,
+                    sat_session_msgs: sat_session,
+                    sat_mobility_msgs: sat_mobility,
+                    gs_msgs: gs,
+                });
+            }
+        }
+    }
+    Fig10 { cells }
+}
+
+/// Text rendering.
+pub fn render(r: &Fig10) -> String {
+    let mut t = crate::report::TextTable::new(&[
+        "constellation",
+        "option",
+        "capacity",
+        "sat session msg/s",
+        "sat mobility msg/s",
+        "ground station msg/s",
+    ]);
+    for c in &r.cells {
+        t.row(vec![
+            c.constellation.clone(),
+            c.option.clone(),
+            c.capacity.to_string(),
+            crate::report::fmt_num(c.sat_session_msgs),
+            crate::report::fmt_num(c.sat_mobility_msgs),
+            if c.gs_msgs == 0.0 {
+                "None".into()
+            } else {
+                crate::report::fmt_num(c.gs_msgs)
+            },
+        ]);
+    }
+    format!(
+        "Fig. 10 — signaling overhead: 4 options × 4 constellations\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell<'a>(r: &'a Fig10, cons: &str, opt: &str, cap: u32) -> &'a Cell {
+        r.cells
+            .iter()
+            .find(|c| c.constellation == cons && c.option == opt && c.capacity == cap)
+            .expect("cell exists")
+    }
+
+    #[test]
+    fn has_all_cells() {
+        let r = run();
+        assert_eq!(r.cells.len(), 4 * 4 * 4);
+    }
+
+    #[test]
+    fn session_storm_magnitudes_starlink() {
+        // Paper: "each satellite suffers from 1,035-41,559 signalings/s
+        // from session establishments, depending on … capacity".
+        let r = run();
+        let low = cell(&r, "Starlink", "Radio only", 2_000).sat_session_msgs;
+        let high = cell(&r, "Starlink", "Data session", 30_000).sat_session_msgs;
+        assert!(low > 200.0 && low < 5_000.0, "{low}");
+        assert!(high > 4_000.0 && high < 60_000.0, "{high}");
+    }
+
+    #[test]
+    fn ground_station_order_of_magnitude_worse() {
+        // §3: "This cost is worsened at the ground stations by one order
+        // of magnitude due to space-terrestrial asymmetry (except for
+        // Option 4)."
+        let r = run();
+        for cons in ["Starlink", "Kuiper"] {
+            let c = cell(&r, cons, "Radio only", 20_000);
+            assert!(
+                c.gs_msgs > 5.0 * (c.sat_session_msgs + c.sat_mobility_msgs) / 10.0,
+                "{cons}: gs {} sat {}",
+                c.gs_msgs,
+                c.sat_session_msgs
+            );
+            assert!(c.gs_msgs > c.sat_session_msgs, "{cons}");
+        }
+    }
+
+    #[test]
+    fn option4_has_no_ground_load() {
+        let r = run();
+        for cons in ["Starlink", "OneWeb", "Kuiper", "Iridium"] {
+            for cap in CAPACITIES {
+                assert_eq!(cell(&r, cons, "All functions", cap).gs_msgs, 0.0, "{cons}");
+            }
+        }
+    }
+
+    #[test]
+    fn mobility_registrations_only_for_options_3_4() {
+        let r = run();
+        // Options 1-2: mobility = handovers only; options 3-4 add C4
+        // storms on top.
+        let ho_only = cell(&r, "Starlink", "Radio only", 30_000).sat_mobility_msgs;
+        let with_regs = cell(&r, "Starlink", "Session & mobility", 30_000).sat_mobility_msgs;
+        assert!(with_regs > ho_only, "{with_regs} vs {ho_only}");
+    }
+
+    #[test]
+    fn load_scales_with_capacity() {
+        let r = run();
+        let a = cell(&r, "Kuiper", "Data session", 2_000).sat_session_msgs;
+        let b = cell(&r, "Kuiper", "Data session", 20_000).sat_session_msgs;
+        assert!((b / a - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_marks_none() {
+        let txt = render(&run());
+        assert!(txt.contains("None"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Figure 12 — temporal dynamics of a fast-moving LEO satellite's
+//! signaling overhead (Option 3).
+//!
+//! One Starlink satellite is followed for one orbital period (~95 min);
+//! at each time step the number of users under its footprint comes from
+//! the population model, and the Option 3 (Baoyun-split) signaling and
+//! state-transmission rates are computed. The paper's signature shape:
+//! bursty peaks as the satellite crosses Europe & Asia, near-zero over
+//! oceans, varying with the satellite's capacity cap.
+
+use sc_dataset::population::PopulationModel;
+use sc_dataset::workload::{RateModel, WorkloadParams};
+use sc_fiveg::messages::{Procedure, ProcedureKind};
+use sc_fiveg::nf::SplitOption;
+use sc_orbit::{ConstellationConfig, IdealPropagator, Propagator, SatId};
+use serde::Serialize;
+
+/// Satellite capacity caps swept (the paper's legend: 2K–30K).
+pub const CAPACITIES: [u32; 4] = [2_000, 10_000, 20_000, 30_000];
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12 {
+    /// Sample interval, seconds.
+    pub dt_s: f64,
+    pub points: Vec<TimePoint>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct TimePoint {
+    pub t_min: f64,
+    pub region: String,
+    /// Users under the footprint before capacity capping.
+    pub users_in_view: f64,
+    /// (capacity, signaling msg/s) series.
+    pub signaling_per_s: Vec<(u32, f64)>,
+    /// (capacity, states tx/s) series.
+    pub state_tx_per_s: Vec<(u32, f64)>,
+}
+
+/// Run the experiment: follow satellite (0,0) for one orbit.
+pub fn run() -> Fig12 {
+    let cfg = ConstellationConfig::starlink();
+    let prop = IdealPropagator::new(cfg.clone());
+    let pop = PopulationModel::world_bank_like();
+    let params = WorkloadParams::for_constellation(&cfg);
+    let model = RateModel::new(params);
+    let split = SplitOption::SessionMobility.split();
+    let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
+    let c3 = Procedure::build(ProcedureKind::Handover);
+    let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
+
+    // Global satellite-subscriber base served by this shell: a few
+    // million early adopters, so dense regions exceed small capacity
+    // caps while oceans are near-empty (the Fig. 12 dynamic range).
+    let global_users = 3.0e6;
+    let half_angle = sc_geo::sphere::coverage_half_angle(cfg.altitude_km, cfg.min_elevation_rad);
+
+    let dt_s = 60.0;
+    let period = cfg.period_s();
+    let mut points = Vec::new();
+    let mut t = 0.0;
+    while t <= period + 1.0 {
+        let st = prop.state(SatId::new(0, 0), t);
+        let frac = pop.coverage_fraction(&st.subpoint, half_angle);
+        let users = frac * global_users;
+        let region = pop.region_of(&st.subpoint);
+
+        let mut signaling = Vec::new();
+        let mut state_tx = Vec::new();
+        for cap in CAPACITIES {
+            let served = users.min(cap as f64);
+            let sessions = served / params.session_interarrival_s;
+            let sweeps = served / params.transit_s;
+            let msgs = sessions * c2.satellite_messages(&split) as f64 * model.radio_overhead
+                + sweeps * params.active_fraction * c3.satellite_messages(&split) as f64
+                + sweeps * c4.satellite_messages(&split) as f64;
+            let stx = sessions * c2.state_tx_crossing(&split) as f64
+                + sweeps * params.active_fraction * c3.state_op_count() as f64
+                + sweeps * c4.state_op_count() as f64;
+            signaling.push((cap, msgs));
+            state_tx.push((cap, stx));
+        }
+        points.push(TimePoint {
+            t_min: t / 60.0,
+            region: region.name().to_string(),
+            users_in_view: users,
+            signaling_per_s: signaling,
+            state_tx_per_s: state_tx,
+        });
+        t += dt_s;
+    }
+    Fig12 { dt_s, points }
+}
+
+/// Regions traversed, in order of first appearance (for assertions and
+/// rendering).
+pub fn regions_visited(r: &Fig12) -> Vec<String> {
+    let mut seen = Vec::new();
+    for p in &r.points {
+        if seen.last() != Some(&p.region) {
+            seen.push(p.region.clone());
+        }
+    }
+    seen
+}
+
+/// Text rendering.
+pub fn render(r: &Fig12) -> String {
+    let mut t = crate::report::TextTable::new(&[
+        "t (min)",
+        "region",
+        "users in view",
+        "signaling/s @30K",
+        "state tx/s @30K",
+    ]);
+    for p in r.points.iter().step_by(5) {
+        t.row(vec![
+            crate::report::fmt_num(p.t_min),
+            p.region.clone(),
+            crate::report::fmt_num(p.users_in_view),
+            crate::report::fmt_num(p.signaling_per_s.last().unwrap().1),
+            crate::report::fmt_num(p.state_tx_per_s.last().unwrap().1),
+        ]);
+    }
+    format!(
+        "Fig. 12 — temporal dynamics of one satellite over one orbit (Option 3)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_one_full_orbit() {
+        let r = run();
+        let last = r.points.last().unwrap().t_min;
+        assert!(last >= 90.0 && last <= 110.0, "{last}");
+    }
+
+    #[test]
+    fn bursty_over_land_quiet_over_ocean() {
+        let r = run();
+        let peak = r
+            .points
+            .iter()
+            .map(|p| p.signaling_per_s.last().unwrap().1)
+            .fold(0.0, f64::max);
+        let ocean_points: Vec<f64> = r
+            .points
+            .iter()
+            .filter(|p| p.region == "Ocean")
+            .map(|p| p.signaling_per_s.last().unwrap().1)
+            .collect();
+        assert!(!ocean_points.is_empty(), "orbit never crosses ocean?");
+        let ocean_max = ocean_points.iter().fold(0.0f64, |a, b| a.max(*b));
+        assert!(peak > 10.0 * ocean_max.max(1.0), "peak {peak} ocean {ocean_max}");
+    }
+
+    #[test]
+    fn capacity_caps_the_peaks() {
+        let r = run();
+        for p in &r.points {
+            let s2k = p.signaling_per_s[0].1;
+            let s30k = p.signaling_per_s[3].1;
+            assert!(s30k >= s2k - 1e-9);
+        }
+        // Somewhere the cap must bind: the 2K series saturates while 30K
+        // keeps growing.
+        let any_capped = r.points.iter().any(|p| {
+            p.users_in_view > 2_000.0
+                && p.signaling_per_s[3].1 > 2.0 * p.signaling_per_s[0].1
+        });
+        assert!(any_capped);
+    }
+
+    #[test]
+    fn visits_multiple_regions() {
+        let r = run();
+        let regions = regions_visited(&r);
+        assert!(regions.len() >= 3, "{regions:?}");
+    }
+
+    #[test]
+    fn state_tx_tracks_signaling() {
+        let r = run();
+        for p in &r.points {
+            let s = p.signaling_per_s.last().unwrap().1;
+            let x = p.state_tx_per_s.last().unwrap().1;
+            assert_eq!(s == 0.0, x == 0.0);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 13 — intermittent failures in mobile satellites.
+//!
+//! * **(a)** satellite failures: monthly decay additions and the
+//!   cumulative count, shaped like the Celestrak Starlink series the
+//!   paper plots (≈1 in 40 satellites failed overall).
+//! * **(b)** radio link failures: a frame-error-rate time series from
+//!   the Gilbert–Elliott process calibrated to the Tiantong capture —
+//!   long quiet stretches punctuated by bursts reaching tens of percent.
+
+use sc_netsim::failure::{GilbertElliott, Xorshift64};
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13 {
+    pub decay: Vec<DecayPoint>,
+    pub frame_errors: Vec<FerPoint>,
+}
+
+/// One month of satellite decay.
+#[derive(Debug, Clone, Serialize)]
+pub struct DecayPoint {
+    pub month: u32,
+    pub additions: u32,
+    pub cumulative: u32,
+}
+
+/// One window of the frame-error series.
+#[derive(Debug, Clone, Serialize)]
+pub struct FerPoint {
+    pub t_s: f64,
+    /// Frame error rate (%) over the window.
+    pub fer_percent: f64,
+}
+
+/// Fleet size for the decay model (Starlink shell 1).
+pub const FLEET: u32 = 1584;
+/// Months simulated.
+pub const MONTHS: u32 = 24;
+
+/// Run the experiment.
+pub fn run() -> Fig13 {
+    // (a) Decay: per-satellite monthly hazard calibrated so the
+    // cumulative failures approach 1/40 of the fleet over the window.
+    let target_fraction = 1.0 / 40.0;
+    let hazard = target_fraction / MONTHS as f64;
+    let mut rng = Xorshift64::new(0xDECA7);
+    let mut alive = FLEET;
+    let mut cumulative = 0u32;
+    let mut decay = Vec::new();
+    for month in 1..=MONTHS {
+        let mut additions = 0;
+        for _ in 0..alive {
+            if rng.chance(hazard) {
+                additions += 1;
+            }
+        }
+        alive -= additions;
+        cumulative += additions;
+        decay.push(DecayPoint {
+            month,
+            additions,
+            cumulative,
+        });
+    }
+
+    // (b) Frame errors: 1200 s of 100-frame windows.
+    let mut ge = GilbertElliott::tiantong_profile(0xF3A);
+    let mut frame_errors = Vec::new();
+    let frames_per_window = 100;
+    for w in 0..120 {
+        let errs = (0..frames_per_window).filter(|_| ge.lost()).count();
+        frame_errors.push(FerPoint {
+            t_s: w as f64 * 10.0,
+            fer_percent: errs as f64 / frames_per_window as f64 * 100.0,
+        });
+    }
+    Fig13 {
+        decay,
+        frame_errors,
+    }
+}
+
+/// Text rendering.
+pub fn render(r: &Fig13) -> String {
+    let mut out = String::from("Fig. 13a — satellite decay (synthetic Celestrak-like series)\n");
+    let mut t = crate::report::TextTable::new(&["month", "additions", "cumulative"]);
+    for p in r.decay.iter().step_by(3) {
+        t.row(vec![
+            p.month.to_string(),
+            p.additions.to_string(),
+            p.cumulative.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nFig. 13b — radio frame error bursts (Tiantong-calibrated)\n");
+    let mut t2 = crate::report::TextTable::new(&["t (s)", "FER (%)"]);
+    for p in r.frame_errors.iter().step_by(10) {
+        t2.row(vec![
+            crate::report::fmt_num(p.t_s),
+            crate::report::fmt_num(p.fer_percent),
+        ]);
+    }
+    out.push_str(&t2.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_decay_near_one_in_forty() {
+        let r = run();
+        let last = r.decay.last().unwrap();
+        let frac = last.cumulative as f64 / FLEET as f64;
+        assert!((frac - 1.0 / 40.0).abs() < 0.015, "{frac}");
+    }
+
+    #[test]
+    fn cumulative_is_monotone_sum_of_additions() {
+        let r = run();
+        let mut sum = 0;
+        for p in &r.decay {
+            sum += p.additions;
+            assert_eq!(p.cumulative, sum);
+        }
+    }
+
+    #[test]
+    fn frame_errors_are_bursty() {
+        let r = run();
+        let quiet = r
+            .frame_errors
+            .iter()
+            .filter(|p| p.fer_percent <= 2.0)
+            .count();
+        let bursty = r
+            .frame_errors
+            .iter()
+            .filter(|p| p.fer_percent >= 10.0)
+            .count();
+        // Mostly quiet…
+        assert!(quiet > r.frame_errors.len() / 2, "{quiet}");
+        // …with real bursts (Fig. 13b peaks at 3-5%+ per window; our
+        // bad-state loss is 35% so windows inside bursts go high).
+        assert!(bursty >= 1, "no bursts in {} windows", r.frame_errors.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run();
+        let b = run();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}

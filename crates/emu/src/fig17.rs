@@ -1,0 +1,198 @@
+//! Figure 17 — prototype results: signaling delay and satellite CPU for
+//! the five solutions across the three procedures, on hardware 1.
+//!
+//! Panels: (a) initial registration, (b) session establishment,
+//! (c) mobility registration by LEO mobility — each sweeping 100–500
+//! events/s. Headline shapes: SkyCore wins initial registration,
+//! SpaceCore wins session establishment (≈7.3× vs 5G NTN, ≈11.1× vs
+//! Baoyun), and SpaceCore's mobility-registration line is identically
+//! zero (the procedure does not occur).
+
+use sc_fiveg::cpu::HardwareProfile;
+use sc_fiveg::messages::ProcedureKind;
+use sc_orbit::ConstellationConfig;
+use serde::Serialize;
+use spacecore::solutions::{Solution, SolutionKind};
+
+/// The event-rate sweep of Figure 17.
+pub const RATES: [f64; 5] = [100.0, 200.0, 300.0, 400.0, 500.0];
+
+/// The three paneled procedures.
+pub const PROCEDURES: [ProcedureKind; 3] = [
+    ProcedureKind::InitialRegistration,
+    ProcedureKind::SessionEstablishment,
+    ProcedureKind::MobilityRegistration,
+];
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig17 {
+    pub panels: Vec<Panel>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    pub procedure: String,
+    pub series: Vec<SolutionSeries>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct SolutionSeries {
+    pub solution: String,
+    /// (rate/s, delay seconds, satellite CPU %).
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Run the experiment on hardware 1 (Raspberry Pi 4), as in the figure.
+pub fn run() -> Fig17 {
+    run_on(HardwareProfile::RaspberryPi4)
+}
+
+/// Run on a chosen hardware profile.
+pub fn run_on(hw: HardwareProfile) -> Fig17 {
+    let cfg = ConstellationConfig::starlink();
+    let panels = PROCEDURES
+        .iter()
+        .map(|kind| Panel {
+            procedure: kind.name().to_string(),
+            series: SolutionKind::ALL
+                .iter()
+                .map(|k| {
+                    let s = Solution::new(*k, cfg.clone());
+                    SolutionSeries {
+                        solution: k.name().to_string(),
+                        points: RATES
+                            .iter()
+                            .map(|r| {
+                                (
+                                    *r,
+                                    s.signaling_delay_s(*kind, *r, hw),
+                                    s.satellite_cpu_percent(*kind, *r, hw),
+                                )
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Fig17 { panels }
+}
+
+/// Text rendering.
+pub fn render(r: &Fig17) -> String {
+    let mut out = String::from("Fig. 17 — prototype: delay & satellite CPU, hardware 1\n");
+    for p in &r.panels {
+        out.push_str(&format!("\n{}\n", p.procedure));
+        let mut header = vec!["rate/s".to_string()];
+        for s in &p.series {
+            header.push(format!("{} delay(s)", s.solution));
+            header.push(format!("{} cpu%", s.solution));
+        }
+        let hdr: Vec<&str> = header.iter().map(|x| x.as_str()).collect();
+        let mut t = crate::report::TextTable::new(&hdr);
+        for (i, rate) in RATES.iter().enumerate() {
+            let mut row = vec![crate::report::fmt_num(*rate)];
+            for s in &p.series {
+                row.push(format!("{:.3}", s.points[i].1));
+                row.push(crate::report::fmt_num(s.points[i].2));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series<'a>(r: &'a Fig17, proc_: &str, sol: &str) -> &'a SolutionSeries {
+        r.panels
+            .iter()
+            .find(|p| p.procedure.contains(proc_))
+            .unwrap()
+            .series
+            .iter()
+            .find(|s| s.solution == sol)
+            .unwrap()
+    }
+
+    #[test]
+    fn spacecore_wins_session_establishment() {
+        let r = run();
+        let sc = series(&r, "session", "SpaceCore").points[0].1;
+        for other in ["5G NTN", "SkyCore", "DPCM", "Baoyun"] {
+            let o = series(&r, "session", other).points[0].1;
+            assert!(sc < o, "SpaceCore {sc} vs {other} {o}");
+        }
+        // Headline factors at low rate: ≳3× vs 5G NTN, ≳5× vs Baoyun.
+        let ntn = series(&r, "session", "5G NTN").points[0].1;
+        let baoyun = series(&r, "session", "Baoyun").points[0].1;
+        assert!(ntn / sc > 3.0);
+        assert!(baoyun / sc > 5.0);
+    }
+
+    #[test]
+    fn skycore_wins_initial_registration() {
+        let r = run();
+        let sky = series(&r, "initial", "SkyCore").points[0].1;
+        for other in ["SpaceCore", "5G NTN", "DPCM", "Baoyun"] {
+            let o = series(&r, "initial", other).points[0].1;
+            assert!(sky < o, "SkyCore {sky} vs {other} {o}");
+        }
+    }
+
+    #[test]
+    fn spacecore_mobility_registration_is_zero() {
+        let r = run();
+        let sc = series(&r, "mobility", "SpaceCore");
+        for (_, d, cpu) in &sc.points {
+            assert_eq!(*d, 0.0);
+            assert_eq!(*cpu, 0.0);
+        }
+        // Baselines pay and their delay grows with rate.
+        for other in ["5G NTN", "SkyCore", "DPCM", "Baoyun"] {
+            let s = series(&r, "mobility", other);
+            assert!(s.points[0].1 > 0.1, "{other}");
+            assert!(s.points.last().unwrap().1 >= s.points[0].1, "{other}");
+        }
+    }
+
+    #[test]
+    fn baoyun_cpu_high_spacecore_cpu_low() {
+        let r = run();
+        let sc_cpu = series(&r, "session", "SpaceCore").points.last().unwrap().2;
+        let baoyun_cpu = series(&r, "session", "Baoyun").points.last().unwrap().2;
+        let sky_cpu = series(&r, "initial", "SkyCore").points.last().unwrap().2;
+        assert!(baoyun_cpu > sc_cpu, "baoyun {baoyun_cpu} sc {sc_cpu}");
+        assert!(sky_cpu > 50.0, "{sky_cpu}");
+    }
+
+    #[test]
+    fn delays_monotone_in_rate() {
+        for p in run().panels {
+            for s in p.series {
+                for w in s.points.windows(2) {
+                    assert!(w[1].1 >= w[0].1 - 1e-9, "{}", s.solution);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xeon_strictly_faster() {
+        let pi = run_on(HardwareProfile::RaspberryPi4);
+        let xeon = run_on(HardwareProfile::XeonWorkstation);
+        // At the highest rate, each solution's session delay on Xeon ≤ Pi.
+        for (p, x) in pi.panels.iter().zip(&xeon.panels) {
+            for (sp, sx) in p.series.iter().zip(&x.series) {
+                assert!(
+                    sx.points.last().unwrap().1 <= sp.points.last().unwrap().1 + 1e-9,
+                    "{}",
+                    sp.solution
+                );
+            }
+        }
+    }
+}

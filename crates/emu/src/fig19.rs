@@ -1,0 +1,165 @@
+//! Figure 19 — leaked sensitive states in satellite attacks
+//! (Starlink, 30K capacity).
+//!
+//! * **(a)** satellite hijacking: cumulative leaked states over 100
+//!   minutes. SpaceCore stays flat at the currently-active set; SkyCore
+//!   leaks its entire pre-stored subscriber base; the stateful serving
+//!   cores accumulate contexts as users transit.
+//! * **(b)** man-in-the-middle passive listening on ISLs with no IPsec:
+//!   states/s readable in flight. SpaceCore's migrations are local and
+//!   ABE-protected → zero.
+
+use sc_orbit::ConstellationConfig;
+use serde::Serialize;
+use spacecore::solutions::{Solution, SolutionKind};
+
+/// The paper's Fig. 19 configuration.
+pub const CAPACITY: u32 = 30_000;
+/// Operator subscriber base pre-stored by SkyCore.
+pub const SUBSCRIBERS: u64 = 10_000_000;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig19 {
+    pub hijack: Vec<HijackSeries>,
+    pub mitm: Vec<MitmBar>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct HijackSeries {
+    pub solution: String,
+    /// (minute, cumulative leaked states).
+    pub points: Vec<(f64, f64)>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct MitmBar {
+    pub solution: String,
+    pub leaked_per_s: f64,
+}
+
+/// Run the experiment.
+pub fn run() -> Fig19 {
+    let cfg = ConstellationConfig::starlink();
+    let minutes: Vec<f64> = (0..=100).step_by(5).map(|m| m as f64).collect();
+    let hijack = SolutionKind::ALL
+        .iter()
+        .map(|k| {
+            let s = Solution::new(*k, cfg.clone());
+            HijackSeries {
+                solution: k.name().to_string(),
+                points: minutes
+                    .iter()
+                    .map(|m| (*m, s.hijack_leakage(*m, CAPACITY, SUBSCRIBERS)))
+                    .collect(),
+            }
+        })
+        .collect();
+    let mitm = SolutionKind::ALL
+        .iter()
+        .map(|k| {
+            let s = Solution::new(*k, cfg.clone());
+            MitmBar {
+                solution: k.name().to_string(),
+                leaked_per_s: s.mitm_leakage_per_s(CAPACITY),
+            }
+        })
+        .collect();
+    Fig19 { hijack, mitm }
+}
+
+/// Text rendering.
+pub fn render(r: &Fig19) -> String {
+    let mut out = String::from("Fig. 19a — cumulative leaked states under satellite hijack\n");
+    let mut header = vec!["minute".to_string()];
+    header.extend(r.hijack.iter().map(|s| s.solution.clone()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = crate::report::TextTable::new(&hdr);
+    for i in (0..r.hijack[0].points.len()).step_by(4) {
+        let mut row = vec![crate::report::fmt_num(r.hijack[0].points[i].0)];
+        for s in &r.hijack {
+            row.push(crate::report::fmt_num(s.points[i].1));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nFig. 19b — man-in-the-middle leakage (no IPsec)\n");
+    let mut t2 = crate::report::TextTable::new(&["solution", "states leaked /s"]);
+    for b in &r.mitm {
+        t2.row(vec![b.solution.clone(), crate::report::fmt_num(b.leaked_per_s)]);
+    }
+    out.push_str(&t2.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hijack_at<'a>(r: &'a Fig19, sol: &str, minute: f64) -> f64 {
+        r.hijack
+            .iter()
+            .find(|s| s.solution == sol)
+            .unwrap()
+            .points
+            .iter()
+            .find(|(m, _)| *m == minute)
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn spacecore_flat_and_bounded() {
+        let r = run();
+        let at0 = hijack_at(&r, "SpaceCore", 0.0);
+        let at100 = hijack_at(&r, "SpaceCore", 100.0);
+        assert_eq!(at0, at100, "stateless: leakage must not grow");
+        assert!(at100 < CAPACITY as f64, "bounded by the active set");
+    }
+
+    #[test]
+    fn skycore_leaks_whole_base_immediately() {
+        let r = run();
+        assert!(hijack_at(&r, "SkyCore", 0.0) >= SUBSCRIBERS as f64);
+    }
+
+    #[test]
+    fn stateful_cores_accumulate() {
+        let r = run();
+        for sol in ["Baoyun", "DPCM", "5G NTN"] {
+            let early = hijack_at(&r, sol, 5.0);
+            let late = hijack_at(&r, sol, 100.0);
+            assert!(late > 5.0 * early, "{sol}: {early} -> {late}");
+        }
+    }
+
+    #[test]
+    fn spacecore_always_least_leaky() {
+        let r = run();
+        for m in [5.0, 50.0, 100.0] {
+            let sc = hijack_at(&r, "SpaceCore", m);
+            for sol in ["SkyCore", "Baoyun", "DPCM", "5G NTN"] {
+                assert!(hijack_at(&r, sol, m) > sc, "{sol} at {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn mitm_zero_only_for_spacecore() {
+        let r = run();
+        for b in &r.mitm {
+            if b.solution == "SpaceCore" {
+                assert_eq!(b.leaked_per_s, 0.0);
+            } else {
+                assert!(b.leaked_per_s > 0.0, "{}", b.solution);
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_solutions() {
+        let txt = render(&run());
+        for s in ["SpaceCore", "5G NTN", "SkyCore", "DPCM", "Baoyun"] {
+            assert!(txt.contains(s), "{s}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Figure 20 — signaling migration overhead per satellite and per
+//! ground station: five solutions × four constellations × capacities.
+//!
+//! The headline figure: SpaceCore's satellite bars sit one-to-two orders
+//! of magnitude below every baseline, and its ground-station row reads
+//! "None" (as does SkyCore's, which pre-stores states — at the cost of
+//! the Fig. 19 leakage).
+
+use sc_orbit::ConstellationConfig;
+use serde::Serialize;
+use spacecore::solutions::{Solution, SolutionKind};
+
+/// Satellite capacities swept.
+pub const CAPACITIES: [u32; 4] = [2_000, 10_000, 20_000, 30_000];
+
+/// Gateways per constellation.
+pub const GROUND_STATIONS: usize = 30;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig20 {
+    pub cells: Vec<Cell>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    pub constellation: String,
+    pub solution: String,
+    pub capacity: u32,
+    pub sat_msgs_per_s: f64,
+    pub gs_msgs_per_s: f64,
+    pub state_tx_per_s: f64,
+}
+
+/// Run the experiment.
+pub fn run() -> Fig20 {
+    let mut cells = Vec::new();
+    for cfg in ConstellationConfig::all_presets() {
+        for kind in SolutionKind::ALL {
+            let s = Solution::new(kind, cfg.clone());
+            for capacity in CAPACITIES {
+                cells.push(Cell {
+                    constellation: cfg.name.to_string(),
+                    solution: kind.name().to_string(),
+                    capacity,
+                    sat_msgs_per_s: s.sat_msgs_per_s(capacity),
+                    gs_msgs_per_s: s.ground_msgs_per_s(capacity, GROUND_STATIONS),
+                    state_tx_per_s: s.state_tx_per_s(capacity),
+                });
+            }
+        }
+    }
+    Fig20 { cells }
+}
+
+/// Look up one cell.
+pub fn cell<'a>(r: &'a Fig20, cons: &str, sol: &str, cap: u32) -> &'a Cell {
+    r.cells
+        .iter()
+        .find(|c| c.constellation == cons && c.solution == sol && c.capacity == cap)
+        .expect("cell exists")
+}
+
+/// Text rendering.
+pub fn render(r: &Fig20) -> String {
+    let mut t = crate::report::TextTable::new(&[
+        "constellation",
+        "solution",
+        "capacity",
+        "sat msg/s",
+        "GS msg/s",
+        "state tx/s",
+    ]);
+    for c in &r.cells {
+        t.row(vec![
+            c.constellation.clone(),
+            c.solution.clone(),
+            c.capacity.to_string(),
+            crate::report::fmt_num(c.sat_msgs_per_s),
+            if c.gs_msgs_per_s == 0.0 {
+                "None".into()
+            } else {
+                crate::report::fmt_num(c.gs_msgs_per_s)
+            },
+            crate::report::fmt_num(c.state_tx_per_s),
+        ]);
+    }
+    format!(
+        "Fig. 20 — signaling overhead: 5 solutions × 4 constellations\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cells_present() {
+        assert_eq!(run().cells.len(), 4 * 5 * 4);
+    }
+
+    #[test]
+    fn spacecore_satellite_load_lowest_everywhere() {
+        let r = run();
+        for cons in ["Starlink", "Kuiper", "OneWeb", "Iridium"] {
+            for cap in CAPACITIES {
+                let sc = cell(&r, cons, "SpaceCore", cap).sat_msgs_per_s;
+                for sol in ["5G NTN", "SkyCore", "DPCM", "Baoyun"] {
+                    let o = cell(&r, cons, sol, cap).sat_msgs_per_s;
+                    assert!(o > sc, "{cons}/{sol}/{cap}: {o} vs {sc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spacecore_and_skycore_no_gs_load() {
+        let r = run();
+        for cons in ["Starlink", "Iridium"] {
+            for cap in CAPACITIES {
+                assert_eq!(cell(&r, cons, "SpaceCore", cap).gs_msgs_per_s, 0.0);
+                assert_eq!(cell(&r, cons, "SkyCore", cap).gs_msgs_per_s, 0.0);
+                assert!(cell(&r, cons, "5G NTN", cap).gs_msgs_per_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn starlink_30k_reduction_orders_of_magnitude() {
+        // Table 4's Starlink row comes from this figure: 122.2× vs 5G
+        // NTN, 17.5× vs SkyCore. Require ≥ 10× against 5G NTN and ≥ 5×
+        // against every baseline.
+        let r = run();
+        let sc = cell(&r, "Starlink", "SpaceCore", 30_000).sat_msgs_per_s;
+        let ntn = cell(&r, "Starlink", "5G NTN", 30_000).sat_msgs_per_s;
+        assert!(ntn / sc > 10.0, "{}", ntn / sc);
+        for sol in ["SkyCore", "DPCM", "Baoyun"] {
+            let o = cell(&r, "Starlink", sol, 30_000).sat_msgs_per_s;
+            assert!(o / sc > 5.0, "{sol}: {}", o / sc);
+        }
+    }
+
+    #[test]
+    fn spacecore_state_tx_zero() {
+        let r = run();
+        for cap in CAPACITIES {
+            assert_eq!(cell(&r, "Starlink", "SpaceCore", cap).state_tx_per_s, 0.0);
+            assert!(cell(&r, "Starlink", "Baoyun", cap).state_tx_per_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn render_marks_none_for_spacecore() {
+        let txt = render(&run());
+        assert!(txt.contains("None"));
+    }
+}

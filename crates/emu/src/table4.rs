@@ -1,0 +1,137 @@
+//! Table 4 — SpaceCore's satellite signaling cost reduction, derived
+//! from the Figure 20 engine: baseline-per-satellite ÷
+//! SpaceCore-per-satellite, per constellation, at 30K capacity.
+
+use serde::Serialize;
+use spacecore::solutions::SolutionKind;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4 {
+    pub capacity: u32,
+    pub rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub constellation: String,
+    /// (baseline name, reduction factor ×).
+    pub reductions: Vec<(String, f64)>,
+}
+
+/// Run at the paper's 30K capacity.
+pub fn run() -> Table4 {
+    run_at(30_000)
+}
+
+/// Run at a chosen capacity.
+pub fn run_at(capacity: u32) -> Table4 {
+    let fig20 = crate::fig20::run();
+    let rows = ["Starlink", "Kuiper", "OneWeb", "Iridium"]
+        .iter()
+        .map(|cons| {
+            let sc = crate::fig20::cell(&fig20, cons, "SpaceCore", capacity).sat_msgs_per_s;
+            let reductions = SolutionKind::BASELINES
+                .iter()
+                .map(|k| {
+                    let b = crate::fig20::cell(&fig20, cons, k.name(), capacity).sat_msgs_per_s;
+                    (k.name().to_string(), b / sc)
+                })
+                .collect();
+            Row {
+                constellation: cons.to_string(),
+                reductions,
+            }
+        })
+        .collect();
+    Table4 { capacity, rows }
+}
+
+/// Text rendering.
+pub fn render(r: &Table4) -> String {
+    let mut header = vec!["constellation".to_string()];
+    header.extend(r.rows[0].reductions.iter().map(|(n, _)| n.clone()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = crate::report::TextTable::new(&hdr);
+    for row in &r.rows {
+        let mut cells = vec![row.constellation.clone()];
+        for (_, f) in &row.reductions {
+            cells.push(format!("{:.1}x", f));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Table 4 — SpaceCore satellite signaling reduction (capacity {})\n{}",
+        r.capacity,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reduction(r: &Table4, cons: &str, baseline: &str) -> f64 {
+        r.rows
+            .iter()
+            .find(|x| x.constellation == cons)
+            .unwrap()
+            .reductions
+            .iter()
+            .find(|(n, _)| n == baseline)
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn all_reductions_significant() {
+        // Paper Table 4 ranges from 6.8× to 122.2×; require > 4× for
+        // every (constellation, baseline) pair.
+        let r = run();
+        for row in &r.rows {
+            for (n, f) in &row.reductions {
+                assert!(*f > 4.0, "{} vs {n}: {f}", row.constellation);
+                assert!(*f < 1000.0, "{} vs {n}: {f}", row.constellation);
+            }
+        }
+    }
+
+    #[test]
+    fn starlink_ntn_reduction_largest_in_row() {
+        // Paper: Starlink row is 122.2 / 17.5 / 40.3 / 49.3 — the 5G NTN
+        // factor dominates.
+        let r = run();
+        let ntn = reduction(&r, "Starlink", "5G NTN");
+        for b in ["SkyCore", "DPCM", "Baoyun"] {
+            assert!(ntn > reduction(&r, "Starlink", b), "{b}");
+        }
+    }
+
+    #[test]
+    fn skycore_reduction_smallest_for_starlink() {
+        // SkyCore localizes sessions too, so it is the closest baseline.
+        let r = run();
+        let sky = reduction(&r, "Starlink", "SkyCore");
+        for b in ["5G NTN", "DPCM", "Baoyun"] {
+            assert!(sky < reduction(&r, "Starlink", b), "{b}");
+        }
+    }
+
+    #[test]
+    fn reductions_capacity_invariant() {
+        // Rates scale linearly in capacity, so the ratios are stable.
+        let a = run_at(10_000);
+        let b = run_at(30_000);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            for ((_, fa), (_, fb)) in ra.reductions.iter().zip(&rb.reductions) {
+                assert!((fa - fb).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_x_factors() {
+        let txt = render(&run());
+        assert!(txt.contains('x'));
+        assert!(txt.contains("Starlink"));
+    }
+}

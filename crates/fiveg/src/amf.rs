@@ -1,0 +1,257 @@
+//! The AMF as an explicit state machine: UE registration contexts,
+//! GUTI allocation, tracking-area management, and the inter-AMF context
+//! transfer of C4 (Fig. 9d).
+//!
+//! This is the stateful heart of the paper's problem statement: every
+//! registered UE leaves a context *here*, and when the serving AMF
+//! changes — which, with satellite-bound tracking areas, happens for
+//! every static UE every transit — that context must be migrated
+//! (P16 "UE context transfer") and the old copy deleted.
+
+use crate::ids::{Guti, PlmnId, Supi};
+use crate::state::{SecurityState, SessionState};
+use std::collections::HashMap;
+
+/// Registration state of one UE at an AMF (TS 23.501 RM/CM states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmState {
+    /// Registered and reachable.
+    RegisteredConnected,
+    /// Registered, radio released (paging needed for downlink).
+    RegisteredIdle,
+}
+
+/// A UE context held by an AMF.
+#[derive(Debug, Clone)]
+pub struct UeContext {
+    pub supi: Supi,
+    pub guti: Guti,
+    pub rm_state: RmState,
+    /// Current tracking area the UE registered in.
+    pub tracking_area: u32,
+    /// The security context (S5) — what leaks when this AMF's node is
+    /// compromised.
+    pub security: SecurityState,
+}
+
+/// Errors from AMF operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmfError {
+    /// No context for this UE.
+    UnknownUe,
+    /// Context transfer requested for a UE this AMF does not hold.
+    TransferUnknownUe,
+}
+
+impl std::fmt::Display for AmfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmfError::UnknownUe => f.write_str("unknown UE"),
+            AmfError::TransferUnknownUe => f.write_str("context transfer for unknown UE"),
+        }
+    }
+}
+
+impl std::error::Error for AmfError {}
+
+/// An Access and Mobility Management Function instance.
+#[derive(Debug, Clone)]
+pub struct Amf {
+    /// This AMF's identifier (baked into allocated GUTIs).
+    pub amf_id: u32,
+    plmn: PlmnId,
+    contexts: HashMap<Supi, UeContext>,
+    next_tmsi: u32,
+}
+
+impl Amf {
+    pub fn new(amf_id: u32, plmn: PlmnId) -> Self {
+        Self {
+            amf_id,
+            plmn,
+            contexts: HashMap::new(),
+            next_tmsi: 1,
+        }
+    }
+
+    /// Number of held UE contexts (the hijack-exposure surface).
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// C1 — register a UE: create the context, allocate a fresh GUTI
+    /// ("update S1 (5G-GUTI)" in Fig. 9a P5).
+    pub fn register(&mut self, session: &SessionState, tracking_area: u32) -> Guti {
+        let guti = self.allocate_guti();
+        self.contexts.insert(
+            session.id.supi,
+            UeContext {
+                supi: session.id.supi,
+                guti,
+                rm_state: RmState::RegisteredConnected,
+                tracking_area,
+                security: session.security.clone(),
+            },
+        );
+        guti
+    }
+
+    fn allocate_guti(&mut self) -> Guti {
+        let tmsi = self.next_tmsi;
+        self.next_tmsi = self.next_tmsi.wrapping_add(1);
+        Guti::new(self.plmn, self.amf_id, tmsi)
+    }
+
+    /// Connection release (RRC inactivity): RM stays registered, CM
+    /// goes idle.
+    pub fn release(&mut self, supi: Supi) -> Result<(), AmfError> {
+        let ctx = self.contexts.get_mut(&supi).ok_or(AmfError::UnknownUe)?;
+        ctx.rm_state = RmState::RegisteredIdle;
+        Ok(())
+    }
+
+    /// Service request: idle → connected.
+    pub fn service_request(&mut self, supi: Supi) -> Result<(), AmfError> {
+        let ctx = self.contexts.get_mut(&supi).ok_or(AmfError::UnknownUe)?;
+        ctx.rm_state = RmState::RegisteredConnected;
+        Ok(())
+    }
+
+    /// Does this UE need paging for downlink data?
+    pub fn needs_paging(&self, supi: Supi) -> Result<bool, AmfError> {
+        Ok(self
+            .contexts
+            .get(&supi)
+            .ok_or(AmfError::UnknownUe)?
+            .rm_state
+            == RmState::RegisteredIdle)
+    }
+
+    /// P16 — outgoing side of the inter-AMF context transfer: hand the
+    /// context to the new AMF and delete the local copy ("after which
+    /// the old AMF deletes the states", §3.2).
+    pub fn transfer_out(&mut self, supi: Supi) -> Result<UeContext, AmfError> {
+        self.contexts.remove(&supi).ok_or(AmfError::TransferUnknownUe)
+    }
+
+    /// P16 — incoming side: adopt the context, re-allocate the GUTI
+    /// under this AMF's identity, update the tracking area.
+    pub fn transfer_in(&mut self, mut ctx: UeContext, new_tracking_area: u32) -> Guti {
+        let guti = self.allocate_guti();
+        ctx.guti = guti;
+        ctx.tracking_area = new_tracking_area;
+        self.contexts.insert(ctx.supi, ctx);
+        guti
+    }
+
+    /// Look up a context.
+    pub fn context(&self, supi: Supi) -> Option<&UeContext> {
+        self.contexts.get(&supi)
+    }
+
+    /// All security contexts a hijacker of this AMF's node can read.
+    pub fn security_exposure(&self) -> Vec<(Supi, &SecurityState)> {
+        self.contexts
+            .iter()
+            .map(|(s, c)| (*s, &c.security))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amf(id: u32) -> Amf {
+        Amf::new(id, PlmnId::new(460, 1))
+    }
+
+    fn register_one(a: &mut Amf, msin: u64, ta: u32) -> SessionState {
+        let s = SessionState::sample(msin);
+        a.register(&s, ta);
+        s
+    }
+
+    #[test]
+    fn registration_creates_context_with_fresh_guti() {
+        let mut a = amf(1);
+        let s = register_one(&mut a, 5, 10);
+        let ctx = a.context(s.id.supi).unwrap().clone();
+        assert_eq!(ctx.rm_state, RmState::RegisteredConnected);
+        assert_eq!(ctx.tracking_area, 10);
+        assert_eq!(ctx.guti.amf_id, 1);
+        // Distinct GUTIs per registration.
+        let s2 = register_one(&mut a, 6, 10);
+        assert_ne!(a.context(s2.id.supi).unwrap().guti, ctx.guti);
+    }
+
+    #[test]
+    fn idle_connected_cycle_and_paging() {
+        let mut a = amf(1);
+        let s = register_one(&mut a, 7, 3);
+        assert!(!a.needs_paging(s.id.supi).unwrap());
+        a.release(s.id.supi).unwrap();
+        assert!(a.needs_paging(s.id.supi).unwrap());
+        a.service_request(s.id.supi).unwrap();
+        assert!(!a.needs_paging(s.id.supi).unwrap());
+    }
+
+    #[test]
+    fn context_transfer_moves_and_deletes() {
+        let mut old = amf(1);
+        let mut new = amf(2);
+        let s = register_one(&mut old, 8, 3);
+        let old_guti = old.context(s.id.supi).unwrap().guti;
+
+        let ctx = old.transfer_out(s.id.supi).unwrap();
+        assert_eq!(old.context_count(), 0, "old AMF deleted the state");
+        let new_guti = new.transfer_in(ctx, 42);
+        assert_ne!(new_guti, old_guti, "GUTI re-allocated by new AMF");
+        let ctx2 = new.context(s.id.supi).unwrap();
+        assert_eq!(ctx2.tracking_area, 42);
+        // Security context followed the UE (this is the S5 migration the
+        // paper worries about).
+        assert_eq!(ctx2.security, s.security);
+    }
+
+    #[test]
+    fn satellite_sweep_storm_in_miniature() {
+        // 100 static UEs, a sweep every "transit": every context moves
+        // AMF→AMF each time. Count the migrations a stateful design pays.
+        let mut amfs: Vec<Amf> = (0..4).map(amf).collect();
+        let mut supis = Vec::new();
+        for i in 0..100 {
+            let s = register_one(&mut amfs[0], i, 0);
+            supis.push(s.id.supi);
+        }
+        let mut migrations = 0;
+        for sweep in 1..4usize {
+            for supi in &supis {
+                let ctx = amfs[sweep - 1].transfer_out(*supi).unwrap();
+                amfs[sweep].transfer_in(ctx, sweep as u32);
+                migrations += 1;
+            }
+        }
+        assert_eq!(migrations, 300);
+        assert_eq!(amfs[3].context_count(), 100);
+        assert_eq!(amfs[0].context_count() + amfs[1].context_count() + amfs[2].context_count(), 0);
+    }
+
+    #[test]
+    fn exposure_equals_held_contexts() {
+        let mut a = amf(1);
+        for i in 0..10 {
+            register_one(&mut a, 100 + i, 0);
+        }
+        assert_eq!(a.security_exposure().len(), 10);
+    }
+
+    #[test]
+    fn unknown_ue_errors() {
+        let mut a = amf(1);
+        let ghost = Supi::new(PlmnId::new(460, 1), 999);
+        assert_eq!(a.release(ghost).unwrap_err(), AmfError::UnknownUe);
+        assert_eq!(a.transfer_out(ghost).unwrap_err(), AmfError::TransferUnknownUe);
+        assert!(a.context(ghost).is_none());
+    }
+}

@@ -1,0 +1,243 @@
+//! Satellite hardware profiles and the per-NF CPU cost model (Fig. 7/8).
+//!
+//! The paper prototypes on two hardware platforms used by real 5G LEO
+//! satellites:
+//!
+//! * **Hardware 1** — Raspberry Pi 4, as flown on the Baoyun satellite,
+//! * **Hardware 2** — a Xeon E5-2630 workstation, comparable to the
+//!   Hewlett Packard Enterprise EL8000 flown by OrbitsEdge.
+//!
+//! Substitution (DESIGN.md §3): we model each network function's
+//! per-message service time and derive CPU% and queueing latency from
+//! offered load. Service times are calibrated so the curve *shapes* match
+//! Figure 7 (Pi saturates near ~250 registrations/s with AUSF/DB/AMF
+//! dominating) and Figure 8 (latency knee, then near-linear growth).
+
+use crate::messages::Procedure;
+use crate::nf::{FunctionSplit, NetworkFunction, Placement};
+use sc_netsim::queueing::MM1Model;
+
+/// A satellite compute platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HardwareProfile {
+    /// Raspberry Pi 4 (Baoyun-class).
+    RaspberryPi4,
+    /// Xeon E5-2630 workstation (OrbitsEdge-class).
+    XeonWorkstation,
+}
+
+impl HardwareProfile {
+    pub fn name(self) -> &'static str {
+        match self {
+            HardwareProfile::RaspberryPi4 => "Hardware 1 (Raspberry Pi 4)",
+            HardwareProfile::XeonWorkstation => "Hardware 2 (Xeon E5-2630)",
+        }
+    }
+
+    /// Relative speed multiplier versus the Pi.
+    pub fn speedup(self) -> f64 {
+        match self {
+            HardwareProfile::RaspberryPi4 => 1.0,
+            HardwareProfile::XeonWorkstation => 3.2,
+        }
+    }
+
+    /// Both profiles, in the paper's order.
+    pub const ALL: [HardwareProfile; 2] = [
+        HardwareProfile::RaspberryPi4,
+        HardwareProfile::XeonWorkstation,
+    ];
+}
+
+/// Per-NF, per-message service times (milliseconds on the Pi).
+#[derive(Debug, Clone, Copy)]
+pub struct NfCostTable {
+    hardware: HardwareProfile,
+}
+
+impl NfCostTable {
+    pub fn new(hardware: HardwareProfile) -> Self {
+        Self { hardware }
+    }
+
+    pub fn hardware(self) -> HardwareProfile {
+        self.hardware
+    }
+
+    /// Service time for one message at network function `f`,
+    /// milliseconds.
+    ///
+    /// Pi-baseline values: signing/crypto-heavy functions (AUSF) and the
+    /// state store (DB) dominate, matching the Fig. 7 stacking where
+    /// AUSF/DB/AMF are the tallest bands.
+    pub fn service_ms(self, f: NetworkFunction) -> f64 {
+        let base = match f {
+            NetworkFunction::Ran => 0.25,
+            NetworkFunction::Amf => 0.70,
+            NetworkFunction::Smf => 0.55,
+            NetworkFunction::Upf => 0.30,
+            NetworkFunction::Ausf => 1.10, // AKA crypto
+            NetworkFunction::Udm => 0.60,
+            NetworkFunction::Pcf => 0.45,
+            NetworkFunction::Db => 0.90, // UDSF lookups (paper notes it is slow)
+        };
+        base / self.hardware.speedup()
+    }
+
+    /// Total satellite-side service time for one run of `proc` under
+    /// `split` (ms): the sum over messages processed by NFs placed on the
+    /// satellite. Every procedure also pays the RAN cost for UE-facing
+    /// messages when the RAN is in space.
+    pub fn satellite_ms_per_procedure(self, proc: &Procedure, split: &FunctionSplit) -> f64 {
+        proc.steps
+            .iter()
+            .filter_map(|s| s.to.nf())
+            .filter(|f| split.placement(*f) == Placement::Satellite)
+            .map(|f| self.service_ms(f))
+            .sum()
+    }
+
+    /// Per-NF satellite CPU percentages at `rate` procedures/second
+    /// (the stacked bands of Figure 7). Returns `(nf, cpu_percent)`
+    /// pairs for satellite-resident functions, uncapped sum may exceed
+    /// 100 (overload).
+    pub fn cpu_breakdown(
+        self,
+        proc: &Procedure,
+        split: &FunctionSplit,
+        rate_per_s: f64,
+    ) -> Vec<(NetworkFunction, f64)> {
+        let mut acc: Vec<(NetworkFunction, f64)> = Vec::new();
+        for s in &proc.steps {
+            let Some(f) = s.to.nf() else { continue };
+            if split.placement(f) != Placement::Satellite {
+                continue;
+            }
+            let ms = self.service_ms(f);
+            let pct = rate_per_s * ms / 1000.0 * 100.0;
+            match acc.iter_mut().find(|(g, _)| *g == f) {
+                Some((_, p)) => *p += pct,
+                None => acc.push((f, pct)),
+            }
+        }
+        acc.sort_by_key(|(f, _)| NetworkFunction::ALL.iter().position(|x| x == f));
+        acc
+    }
+
+    /// Total satellite CPU% at `rate` procedures/s (capped at 100).
+    pub fn cpu_total(self, proc: &Procedure, split: &FunctionSplit, rate_per_s: f64) -> f64 {
+        let raw: f64 = self
+            .cpu_breakdown(proc, split, rate_per_s)
+            .iter()
+            .map(|(_, p)| p)
+            .sum();
+        raw.min(100.0)
+    }
+
+    /// An M/M/1 latency model for the satellite stage of `proc` under
+    /// `split` (used for the Fig. 8/17 latency-vs-load curves).
+    pub fn latency_model(self, proc: &Procedure, split: &FunctionSplit) -> Option<MM1Model> {
+        let ms = self.satellite_ms_per_procedure(proc, split);
+        if ms <= 0.0 {
+            return None; // nothing runs on the satellite
+        }
+        Some(MM1Model::from_service_time(ms / 1000.0, 10.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::ProcedureKind;
+    use crate::nf::SplitOption;
+
+    #[test]
+    fn xeon_faster_than_pi() {
+        let pi = NfCostTable::new(HardwareProfile::RaspberryPi4);
+        let xeon = NfCostTable::new(HardwareProfile::XeonWorkstation);
+        for f in NetworkFunction::ALL {
+            assert!(xeon.service_ms(f) < pi.service_ms(f), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn option4_saturates_pi_at_figure7_scale() {
+        // Fig. 7a: with all functions in space, the Pi approaches 100%
+        // CPU in the low hundreds of registrations/s.
+        let pi = NfCostTable::new(HardwareProfile::RaspberryPi4);
+        let c1 = Procedure::build(ProcedureKind::InitialRegistration);
+        let split = SplitOption::AllFunctions.split();
+        let at_50 = pi.cpu_total(&c1, &split, 50.0);
+        let at_250 = pi.cpu_total(&c1, &split, 250.0);
+        assert!(at_50 > 20.0 && at_50 < 80.0, "{at_50}");
+        assert!(at_250 >= 99.9, "{at_250}");
+    }
+
+    #[test]
+    fn radio_only_satellite_cpu_negligible() {
+        let pi = NfCostTable::new(HardwareProfile::RaspberryPi4);
+        let c1 = Procedure::build(ProcedureKind::InitialRegistration);
+        let split = SplitOption::RadioOnly.split();
+        // RAN-only processing stays cheap even at high rates.
+        assert!(pi.cpu_total(&c1, &split, 250.0) < 40.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_below_cap() {
+        let pi = NfCostTable::new(HardwareProfile::RaspberryPi4);
+        let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
+        let split = SplitOption::SessionMobility.split();
+        let parts: f64 = pi
+            .cpu_breakdown(&c2, &split, 40.0)
+            .iter()
+            .map(|(_, p)| p)
+            .sum();
+        let total = pi.cpu_total(&c2, &split, 40.0);
+        assert!((parts - total).abs() < 1e-9, "{parts} vs {total}");
+    }
+
+    #[test]
+    fn ausf_dominates_option4_breakdown() {
+        // Fig. 7 stacking: AUSF (AKA crypto) is among the largest bands
+        // for initial registrations.
+        let pi = NfCostTable::new(HardwareProfile::RaspberryPi4);
+        let c1 = Procedure::build(ProcedureKind::InitialRegistration);
+        let split = SplitOption::AllFunctions.split();
+        let breakdown = pi.cpu_breakdown(&c1, &split, 100.0);
+        let ausf = breakdown
+            .iter()
+            .find(|(f, _)| *f == NetworkFunction::Ausf)
+            .map(|(_, p)| *p)
+            .unwrap();
+        let upf = breakdown
+            .iter()
+            .find(|(f, _)| *f == NetworkFunction::Upf)
+            .map(|(_, p)| *p)
+            .unwrap();
+        assert!(ausf > upf, "ausf {ausf} upf {upf}");
+    }
+
+    #[test]
+    fn latency_model_none_when_nothing_in_space() {
+        let pi = NfCostTable::new(HardwareProfile::RaspberryPi4);
+        let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
+        let all_ground = FunctionSplit::all_ground();
+        assert!(pi.latency_model(&c2, &all_ground).is_none());
+        let sat = SplitOption::SessionMobility.split();
+        let m = pi.latency_model(&c2, &sat).unwrap();
+        assert!(m.service_rate > 0.0);
+    }
+
+    #[test]
+    fn latency_knee_matches_figure8_shape() {
+        // Fig. 8a: hardware 1 latency grows by orders of magnitude from
+        // 10/s to 500/s.
+        let pi = NfCostTable::new(HardwareProfile::RaspberryPi4);
+        let c1 = Procedure::build(ProcedureKind::InitialRegistration);
+        let split = SplitOption::AllFunctions.split();
+        let m = pi.latency_model(&c1, &split).unwrap();
+        let low = m.sojourn_s(10.0);
+        let high = m.sojourn_s(500.0);
+        assert!(high / low > 50.0, "low {low} high {high}");
+    }
+}

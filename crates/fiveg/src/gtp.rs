@@ -1,0 +1,265 @@
+//! GTP-U-style user-plane tunnel header with the `FutureExtensionField`
+//! piggyback (§5).
+//!
+//! SpaceCore "piggybacks UE states in the FutureExtensionField (FEF) in
+//! the 5G GTP-U tunnel header for packets to the next-hop UPFs in the
+//! same session". This module provides a compact binary encoding of the
+//! GTPv1-U header (version, message type, TEID, length) plus an optional
+//! extension carrying opaque piggybacked state bytes, with strict
+//! decode-side validation.
+
+use crate::ids::TunnelId;
+
+/// GTP-U message types we model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GtpMessageType {
+    /// G-PDU: encapsulated user data (type 255 in GTPv1-U).
+    GPdu,
+    /// Echo request (keepalive).
+    EchoRequest,
+    /// Echo response.
+    EchoResponse,
+    /// End marker (path switch in handover).
+    EndMarker,
+}
+
+impl GtpMessageType {
+    fn to_byte(self) -> u8 {
+        match self {
+            GtpMessageType::EchoRequest => 1,
+            GtpMessageType::EchoResponse => 2,
+            GtpMessageType::EndMarker => 254,
+            GtpMessageType::GPdu => 255,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => GtpMessageType::EchoRequest,
+            2 => GtpMessageType::EchoResponse,
+            254 => GtpMessageType::EndMarker,
+            255 => GtpMessageType::GPdu,
+            _ => return None,
+        })
+    }
+}
+
+/// A GTP-U header with optional piggybacked state extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GtpUHeader {
+    pub msg_type: GtpMessageType,
+    /// Tunnel endpoint identifier of the receiving endpoint.
+    pub teid: TunnelId,
+    /// Payload length (bytes of user data following the header).
+    pub payload_len: u16,
+    /// SpaceCore's FutureExtensionField: opaque encrypted UE state bytes.
+    pub fef: Option<Vec<u8>>,
+}
+
+/// Decode failure reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GtpDecodeError {
+    Truncated,
+    BadVersion,
+    BadMessageType,
+    BadExtensionLength,
+}
+
+impl std::fmt::Display for GtpDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GtpDecodeError::Truncated => "truncated header",
+            GtpDecodeError::BadVersion => "unsupported GTP version",
+            GtpDecodeError::BadMessageType => "unknown message type",
+            GtpDecodeError::BadExtensionLength => "extension length mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for GtpDecodeError {}
+
+const VERSION_FLAGS: u8 = 0b0011_0000; // version 1, protocol type GTP
+const FLAG_EXT: u8 = 0b0000_0100;
+
+impl GtpUHeader {
+    /// Create a plain G-PDU header.
+    pub fn gpdu(teid: TunnelId, payload_len: u16) -> Self {
+        Self {
+            msg_type: GtpMessageType::GPdu,
+            teid,
+            payload_len,
+            fef: None,
+        }
+    }
+
+    /// Attach a FutureExtensionField carrying encrypted UE state.
+    pub fn with_fef(mut self, state_bytes: Vec<u8>) -> Self {
+        assert!(
+            state_bytes.len() <= u16::MAX as usize,
+            "FEF too large for the 16-bit length field"
+        );
+        self.fef = Some(state_bytes);
+        self
+    }
+
+    /// Serialized header size in bytes (excludes user payload).
+    pub fn header_len(&self) -> usize {
+        8 + self.fef.as_ref().map_or(0, |f| 3 + f.len())
+    }
+
+    /// Encode to bytes.
+    ///
+    /// Layout: `flags(1) type(1) length(2) teid(4) [ext: marker(1)
+    /// ext_len(2) bytes…]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(self.header_len());
+        let flags = VERSION_FLAGS | if self.fef.is_some() { FLAG_EXT } else { 0 };
+        b.push(flags);
+        b.push(self.msg_type.to_byte());
+        b.extend_from_slice(&self.payload_len.to_be_bytes());
+        b.extend_from_slice(&self.teid.0.to_be_bytes());
+        if let Some(fef) = &self.fef {
+            b.push(0xFE); // FutureExtensionField marker
+            b.extend_from_slice(&(fef.len() as u16).to_be_bytes());
+            b.extend_from_slice(fef);
+        }
+        b
+    }
+
+    /// Decode from bytes; returns the header and the number of bytes it
+    /// consumed (the user payload follows).
+    pub fn decode(b: &[u8]) -> Result<(Self, usize), GtpDecodeError> {
+        if b.len() < 8 {
+            return Err(GtpDecodeError::Truncated);
+        }
+        let flags = b[0];
+        if flags & 0b1111_0000 != VERSION_FLAGS {
+            return Err(GtpDecodeError::BadVersion);
+        }
+        let msg_type =
+            GtpMessageType::from_byte(b[1]).ok_or(GtpDecodeError::BadMessageType)?;
+        let payload_len = u16::from_be_bytes([b[2], b[3]]);
+        let teid = TunnelId(u32::from_be_bytes([b[4], b[5], b[6], b[7]]));
+        let mut consumed = 8;
+        let fef = if flags & FLAG_EXT != 0 {
+            if b.len() < consumed + 3 {
+                return Err(GtpDecodeError::Truncated);
+            }
+            if b[consumed] != 0xFE {
+                return Err(GtpDecodeError::BadExtensionLength);
+            }
+            let len = u16::from_be_bytes([b[consumed + 1], b[consumed + 2]]) as usize;
+            consumed += 3;
+            if b.len() < consumed + len {
+                return Err(GtpDecodeError::Truncated);
+            }
+            let fef = b[consumed..consumed + len].to_vec();
+            consumed += len;
+            Some(fef)
+        } else {
+            None
+        };
+        Ok((
+            Self {
+                msg_type,
+                teid,
+                payload_len,
+                fef,
+            },
+            consumed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_plain() {
+        let h = GtpUHeader::gpdu(TunnelId(0xDEADBEEF), 1400);
+        let b = h.encode();
+        let (h2, n) = GtpUHeader::decode(&b).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(n, b.len());
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn roundtrip_with_fef() {
+        let state = vec![1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        let h = GtpUHeader::gpdu(TunnelId(7), 500).with_fef(state.clone());
+        let b = h.encode();
+        let (h2, n) = GtpUHeader::decode(&b).unwrap();
+        assert_eq!(h2.fef.as_deref(), Some(state.as_slice()));
+        assert_eq!(n, 8 + 3 + 9);
+        assert_eq!(h2.header_len(), n);
+    }
+
+    #[test]
+    fn payload_follows_header() {
+        let h = GtpUHeader::gpdu(TunnelId(1), 4).with_fef(vec![0xAA; 4]);
+        let mut wire = h.encode();
+        wire.extend_from_slice(b"data");
+        let (h2, n) = GtpUHeader::decode(&wire).unwrap();
+        assert_eq!(&wire[n..], b"data");
+        assert_eq!(h2.payload_len, 4);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let h = GtpUHeader::gpdu(TunnelId(9), 0).with_fef(vec![1, 2, 3]);
+        let b = h.encode();
+        for cut in [0, 4, 8, 9, 10, b.len() - 1] {
+            assert_eq!(
+                GtpUHeader::decode(&b[..cut]).unwrap_err(),
+                GtpDecodeError::Truncated,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = GtpUHeader::gpdu(TunnelId(1), 0).encode();
+        b[0] = 0b0101_0000; // GTP version 2
+        assert_eq!(GtpUHeader::decode(&b).unwrap_err(), GtpDecodeError::BadVersion);
+    }
+
+    #[test]
+    fn bad_message_type_rejected() {
+        let mut b = GtpUHeader::gpdu(TunnelId(1), 0).encode();
+        b[1] = 42;
+        assert_eq!(
+            GtpUHeader::decode(&b).unwrap_err(),
+            GtpDecodeError::BadMessageType
+        );
+    }
+
+    #[test]
+    fn all_message_types_roundtrip() {
+        for t in [
+            GtpMessageType::GPdu,
+            GtpMessageType::EchoRequest,
+            GtpMessageType::EchoResponse,
+            GtpMessageType::EndMarker,
+        ] {
+            let h = GtpUHeader {
+                msg_type: t,
+                teid: TunnelId(3),
+                payload_len: 0,
+                fef: None,
+            };
+            let (h2, _) = GtpUHeader::decode(&h.encode()).unwrap();
+            assert_eq!(h2.msg_type, t);
+        }
+    }
+
+    #[test]
+    fn empty_fef_allowed() {
+        let h = GtpUHeader::gpdu(TunnelId(1), 0).with_fef(vec![]);
+        let (h2, _) = GtpUHeader::decode(&h.encode()).unwrap();
+        assert_eq!(h2.fef, Some(vec![]));
+    }
+}

@@ -1,0 +1,136 @@
+//! Subscriber and session identifiers (the S1 state inputs of §3.1).
+
+/// Public Land Mobile Network identifier: MCC (3 digits) + MNC (2-3
+/// digits), packed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlmnId {
+    /// Mobile country code, e.g. 460 (China), 310 (US).
+    pub mcc: u16,
+    /// Mobile network code.
+    pub mnc: u16,
+}
+
+impl PlmnId {
+    pub fn new(mcc: u16, mnc: u16) -> Self {
+        assert!(mcc < 1000 && mnc < 1000, "PLMN digits out of range");
+        Self { mcc, mnc }
+    }
+
+    /// Pack into 32 bits for the geospatial address prefix (Fig. 15c).
+    pub fn pack(&self) -> u32 {
+        (self.mcc as u32) << 10 | self.mnc as u32
+    }
+
+    pub fn unpack(v: u32) -> Self {
+        Self {
+            mcc: (v >> 10) as u16,
+            mnc: (v & 0x3FF) as u16,
+        }
+    }
+}
+
+impl std::fmt::Display for PlmnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:03}-{:02}", self.mcc, self.mnc)
+    }
+}
+
+/// Subscription Permanent Identifier (the IMSI successor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Supi(pub u64);
+
+impl Supi {
+    /// Build from PLMN + MSIN.
+    pub fn new(plmn: PlmnId, msin: u64) -> Self {
+        Supi((plmn.pack() as u64) << 40 | (msin & 0xFF_FFFF_FFFF))
+    }
+
+    /// The home PLMN encoded in the SUPI.
+    pub fn plmn(&self) -> PlmnId {
+        PlmnId::unpack((self.0 >> 40) as u32)
+    }
+
+    /// The per-operator subscriber number.
+    pub fn msin(&self) -> u64 {
+        self.0 & 0xFF_FFFF_FFFF
+    }
+}
+
+impl std::fmt::Display for Supi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "supi-{}-{:010}", self.plmn(), self.msin())
+    }
+}
+
+/// 5G-GUTI / 5G-TMSI: the temporary identifier re-assigned by the AMF at
+/// every (mobility) registration — one of the state updates C1/C4 perform
+/// ("update S1(5G-GUTI)" in Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guti {
+    /// Serving PLMN.
+    pub plmn: PlmnId,
+    /// AMF identifier that allocated this GUTI.
+    pub amf_id: u32,
+    /// The temporary subscriber number (5G-TMSI).
+    pub tmsi: u32,
+}
+
+impl Guti {
+    pub fn new(plmn: PlmnId, amf_id: u32, tmsi: u32) -> Self {
+        Self { plmn, amf_id, tmsi }
+    }
+}
+
+/// PDU session identifier (per-UE, small integer in real 5G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u32);
+
+/// GTP-U tunnel endpoint identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TunnelId(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plmn_pack_roundtrip() {
+        for (mcc, mnc) in [(460u16, 1u16), (310, 260), (1, 999), (999, 0)] {
+            let p = PlmnId::new(mcc, mnc);
+            assert_eq!(PlmnId::unpack(p.pack()), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plmn_rejects_large() {
+        PlmnId::new(1000, 0);
+    }
+
+    #[test]
+    fn supi_fields() {
+        let plmn = PlmnId::new(460, 1);
+        let s = Supi::new(plmn, 123_456_789);
+        assert_eq!(s.plmn(), plmn);
+        assert_eq!(s.msin(), 123_456_789);
+        assert_eq!(s.to_string(), "supi-460-01-0123456789");
+    }
+
+    #[test]
+    fn supi_distinct_per_subscriber() {
+        let plmn = PlmnId::new(460, 1);
+        assert_ne!(Supi::new(plmn, 1), Supi::new(plmn, 2));
+        assert_ne!(
+            Supi::new(PlmnId::new(460, 1), 7),
+            Supi::new(PlmnId::new(460, 2), 7)
+        );
+    }
+
+    #[test]
+    fn guti_reassignment_changes_identity() {
+        let plmn = PlmnId::new(460, 1);
+        let g1 = Guti::new(plmn, 10, 0xAAAA);
+        let g2 = Guti::new(plmn, 11, 0xBBBB);
+        assert_ne!(g1, g2);
+    }
+}

@@ -1,0 +1,603 @@
+//! Signaling procedures transcribed from Figure 9.
+//!
+//! Each of the paper's four core procedures — **C1** initial
+//! registration, **C2** session establishment, **C3** handover, **C4**
+//! mobility registration update — is encoded as an ordered list of
+//! [`SignalingStep`]s: one network message each, annotated with the
+//! sending and receiving entity and the session-state operations the
+//! standards attach to that step (the `copy S1…`, `create S5…`
+//! annotations in Figure 9).
+//!
+//! Given a [`FunctionSplit`], a step can be
+//! classified: does it stay inside the satellite, cross the
+//! space-ground boundary (loading a ground station), or stay on the
+//! ground? That classification is the engine behind Figures 10/12/20.
+
+use crate::nf::{FunctionSplit, NetworkFunction, Placement};
+use crate::state::StateCategory;
+
+/// A protocol entity participating in a procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Entity {
+    /// The user equipment.
+    Ue,
+    /// The serving base station (source gNB in handovers).
+    Ran,
+    /// The target base station in handovers.
+    RanTarget,
+    /// The serving AMF (the *new* AMF in C4).
+    Amf,
+    /// The old AMF in mobility registration updates.
+    AmfOld,
+    Smf,
+    Upf,
+    Ausf,
+    Udm,
+    Pcf,
+}
+
+impl Entity {
+    /// The network function this entity instantiates (`None` for the UE).
+    pub fn nf(self) -> Option<NetworkFunction> {
+        match self {
+            Entity::Ue => None,
+            Entity::Ran | Entity::RanTarget => Some(NetworkFunction::Ran),
+            Entity::Amf | Entity::AmfOld => Some(NetworkFunction::Amf),
+            Entity::Smf => Some(NetworkFunction::Smf),
+            Entity::Upf => Some(NetworkFunction::Upf),
+            Entity::Ausf => Some(NetworkFunction::Ausf),
+            Entity::Udm => Some(NetworkFunction::Udm),
+            Entity::Pcf => Some(NetworkFunction::Pcf),
+        }
+    }
+
+    /// Where this entity lives under a function split. The UE is its own
+    /// location.
+    pub fn location(self, split: &FunctionSplit) -> EntityLocation {
+        match self.nf() {
+            None => EntityLocation::Ue,
+            Some(f) => match split.placement(f) {
+                Placement::Satellite => EntityLocation::Satellite,
+                Placement::Ground => EntityLocation::Ground,
+            },
+        }
+    }
+}
+
+/// Physical location of an entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityLocation {
+    Ue,
+    Satellite,
+    Ground,
+}
+
+/// A state operation attached to a signaling step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateOp {
+    pub kind: StateOpKind,
+    pub category: StateCategory,
+}
+
+/// What the step does to the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateOpKind {
+    /// Replicate state to the receiver.
+    Copy,
+    Create,
+    Update,
+    Delete,
+}
+
+/// One signaling message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalingStep {
+    /// Figure 9 label, e.g. "P2: registration request".
+    pub label: &'static str,
+    pub from: Entity,
+    pub to: Entity,
+    /// State operations the step performs at the receiver.
+    pub ops: Vec<StateOp>,
+    /// Approximate wire size, bytes (NAS/NGAP messages are small).
+    pub bytes: u32,
+}
+
+impl SignalingStep {
+    /// Does this message traverse the space-ground boundary under the
+    /// given split? (Every such traversal transits a ground station —
+    /// the load counted on the GS bars of Figures 10/20.)
+    pub fn crosses_space_ground(&self, split: &FunctionSplit) -> bool {
+        use EntityLocation::*;
+        let a = self.from.location(split);
+        let b = self.to.location(split);
+        matches!(
+            (a, b),
+            (Satellite, Ground) | (Ground, Satellite) | (Ue, Ground) | (Ground, Ue)
+        )
+    }
+
+    /// Is the satellite involved in this message (as sender, receiver,
+    /// or the radio relay for UE↔ground messages)?
+    pub fn touches_satellite(&self, split: &FunctionSplit) -> bool {
+        use EntityLocation::*;
+        let a = self.from.location(split);
+        let b = self.to.location(split);
+        // Any UE message transits the serving satellite's radio; any
+        // satellite endpoint obviously counts.
+        a == Satellite || b == Satellite || a == Ue || b == Ue
+    }
+
+    /// Number of state operations that cross the space-ground boundary
+    /// with this message (the "state tx" series of Fig. 12).
+    pub fn state_tx_crossing(&self, split: &FunctionSplit) -> usize {
+        if self.crosses_space_ground(split) {
+            self.ops.len()
+        } else {
+            0
+        }
+    }
+}
+
+/// The procedure kinds of Figure 9 (plus network-triggered paging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcedureKind {
+    /// C1: initial registration (Fig. 9a).
+    InitialRegistration,
+    /// C2: (uplink) session establishment / service request (Fig. 9b).
+    SessionEstablishment,
+    /// C3: handover (Fig. 9c).
+    Handover,
+    /// C4: mobility registration update (Fig. 9d).
+    MobilityRegistration,
+    /// Network-triggered paging preceding a downlink C2.
+    Paging,
+}
+
+impl ProcedureKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcedureKind::InitialRegistration => "C1 initial registration",
+            ProcedureKind::SessionEstablishment => "C2 session establishment",
+            ProcedureKind::Handover => "C3 handover",
+            ProcedureKind::MobilityRegistration => "C4 mobility registration",
+            ProcedureKind::Paging => "paging",
+        }
+    }
+}
+
+/// A full signaling procedure: ordered steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    pub kind: ProcedureKind,
+    pub steps: Vec<SignalingStep>,
+}
+
+/// Step-construction helper.
+fn step(
+    label: &'static str,
+    from: Entity,
+    to: Entity,
+    ops: &[(StateOpKind, StateCategory)],
+    bytes: u32,
+) -> SignalingStep {
+    SignalingStep {
+        label,
+        from,
+        to,
+        ops: ops
+            .iter()
+            .map(|&(kind, category)| StateOp { kind, category })
+            .collect(),
+        bytes,
+    }
+}
+
+use StateCategory::*;
+use StateOpKind::*;
+
+impl Procedure {
+    /// Build the step list for a procedure kind.
+    pub fn build(kind: ProcedureKind) -> Procedure {
+        let steps = match kind {
+            ProcedureKind::InitialRegistration => c1_initial_registration(),
+            ProcedureKind::SessionEstablishment => c2_session_establishment(),
+            ProcedureKind::Handover => c3_handover(),
+            ProcedureKind::MobilityRegistration => c4_mobility_registration(),
+            ProcedureKind::Paging => paging(),
+        };
+        Procedure { kind, steps }
+    }
+
+    /// Total message count.
+    pub fn message_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total state operations.
+    pub fn state_op_count(&self) -> usize {
+        self.steps.iter().map(|s| s.ops.len()).sum()
+    }
+
+    /// Messages that load the serving satellite under `split`.
+    pub fn satellite_messages(&self, split: &FunctionSplit) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.touches_satellite(split))
+            .count()
+    }
+
+    /// Messages that transit a ground station under `split`.
+    pub fn ground_messages(&self, split: &FunctionSplit) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.crosses_space_ground(split))
+            .count()
+    }
+
+    /// State operations shipped across the space-ground boundary.
+    pub fn state_tx_crossing(&self, split: &FunctionSplit) -> usize {
+        self.steps
+            .iter()
+            .map(|s| s.state_tx_crossing(split))
+            .sum()
+    }
+
+    /// Per-NF processing workload: how many messages each network
+    /// function receives (the unit of the Fig. 7 CPU breakdown).
+    pub fn nf_workload(&self) -> Vec<(NetworkFunction, usize)> {
+        let mut counts = std::collections::HashMap::new();
+        for s in &self.steps {
+            if let Some(f) = s.to.nf() {
+                *counts.entry(f).or_insert(0usize) += 1;
+            }
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by_key(|(f, _)| NetworkFunction::ALL.iter().position(|x| x == f));
+        v
+    }
+}
+
+/// Fig. 9a — C1 initial registration.
+fn c1_initial_registration() -> Vec<SignalingStep> {
+    use Entity::*;
+    vec![
+        step("P0: rrc connection request", Ue, Ran, &[], 56),
+        step("P0: rrc connection setup", Ran, Ue, &[], 88),
+        step("P1: rrc setup complete", Ue, Ran, &[], 96),
+        step(
+            "P2: registration request",
+            Ran,
+            Amf,
+            &[(Copy, S1Identifiers), (Copy, S2Location)],
+            180,
+        ),
+        // P3: authentication and security (AKA + NAS security mode).
+        step("P3: ue authentication request", Amf, Ausf, &[(Copy, S1Identifiers)], 120),
+        step(
+            "P3: av generation request",
+            Ausf,
+            Udm,
+            &[(Create, S5Security)], // create S5 (5G HE AV)
+            120,
+        ),
+        step("P3: av generation response", Udm, Ausf, &[(Copy, S5Security)], 160),
+        step(
+            "P3: ue authentication response",
+            Ausf,
+            Amf,
+            &[(Create, S5Security)], // create S5 (5G SE AV)
+            160,
+        ),
+        step("P3: authentication challenge", Amf, Ue, &[(Copy, S5Security)], 140),
+        step("P3: authentication result", Ue, Amf, &[(Update, S5Security)], 120),
+        step("P3: security mode command", Amf, Ue, &[(Update, S5Security)], 100),
+        step("P3: security mode complete", Ue, Amf, &[], 90),
+        // P4: policy establishment.
+        step("P4: policy establishment", Amf, Pcf, &[(Copy, S1Identifiers)], 140),
+        step("P4: policy response", Pcf, Amf, &[(Create, S3Qos), (Create, S4Billing)], 200),
+        // P5: registration accept.
+        step("P5: registration accept", Amf, Ue, &[(Update, S1Identifiers)], 160), // update S1 (5G-GUTI)
+        step("P5: registration complete", Ue, Amf, &[], 80),
+        // P6-P9: first PDU session.
+        step(
+            "P6: session request",
+            Amf,
+            Smf,
+            &[(Copy, S1Identifiers), (Copy, S3Qos), (Copy, S4Billing)],
+            220,
+        ),
+        step("P7: session context create", Smf, Udm, &[(Copy, S1Identifiers)], 140),
+        step("P7: session context response", Udm, Smf, &[], 120),
+        step(
+            "P8: forwarding rule establishment",
+            Smf,
+            Upf,
+            &[(Create, S2Location), (Create, S3Qos), (Create, S4Billing)],
+            240,
+        ),
+        step("P8: forwarding rule ack", Upf, Smf, &[(Update, S2Location)], 120),
+        step(
+            "P9: session accept (to AMF)",
+            Smf,
+            Amf,
+            &[(Copy, S1Identifiers), (Copy, S2Location)],
+            200,
+        ),
+        step("P9: session accept (to RAN)", Amf, Ran, &[(Copy, S3Qos)], 180),
+        step("P9: session accept (to UE)", Ran, Ue, &[(Copy, S2Location)], 160),
+    ]
+}
+
+/// Fig. 9b — C2 session establishment (uplink service request).
+fn c2_session_establishment() -> Vec<SignalingStep> {
+    use Entity::*;
+    vec![
+        step("P0: rrc connection request", Ue, Ran, &[], 56),
+        step("P0: rrc connection setup", Ran, Ue, &[], 88),
+        step("P1: rrc setup complete (service request)", Ue, Ran, &[], 96),
+        step(
+            "P6: service request",
+            Ran,
+            Amf,
+            &[(Copy, S1Identifiers)], // copy S1 (Tunnel ID)
+            140,
+        ),
+        step(
+            "P7: session context create",
+            Amf,
+            Smf,
+            &[(Copy, S1Identifiers)], // copy S1 (SUPI, Tunnel ID)
+            160,
+        ),
+        step("P4: policy modification", Smf, Pcf, &[(Copy, S1Identifiers)], 130),
+        step("P4: policy response", Pcf, Smf, &[(Update, S3Qos)], 150),
+        step(
+            "P8: forwarding rule modification",
+            Smf,
+            Upf,
+            &[(Update, S2Location), (Update, S3Qos), (Update, S4Billing)],
+            220,
+        ),
+        step("P8: forwarding rule ack", Upf, Smf, &[], 110),
+        step(
+            "P9: session accept (to AMF)",
+            Smf,
+            Amf,
+            &[(Copy, S1Identifiers), (Copy, S2Location)],
+            190,
+        ),
+        step("P9: session accept (to UE)", Amf, Ue, &[(Copy, S1Identifiers)], 160),
+        step(
+            "P10: session context update request",
+            Amf,
+            Smf,
+            &[(Update, S1Identifiers)], // update S1 (Tunnel ID)
+            130,
+        ),
+        step("P11: session context update response", Smf, Amf, &[], 110),
+    ]
+}
+
+/// Fig. 9c — C3 handover (source BS → target BS via AMF/direct tunnel).
+fn c3_handover() -> Vec<SignalingStep> {
+    use Entity::*;
+    vec![
+        step(
+            "P12: handover request",
+            Ran,
+            RanTarget,
+            &[(Copy, S2Location), (Copy, S4Billing), (Copy, S5Security)],
+            260,
+        ),
+        step("P12: handover ack", RanTarget, Ran, &[], 120),
+        step("P12: rrc reconfiguration (ho command)", Ran, Ue, &[], 140),
+        step("P12: ho confirm (sync to target)", Ue, RanTarget, &[], 100),
+        step(
+            "P13: path switch request",
+            RanTarget,
+            Amf,
+            &[(Copy, S2Location), (Copy, S5Security)],
+            200,
+        ),
+        step(
+            "P10: session context update",
+            Amf,
+            Smf,
+            &[(Copy, S2Location), (Copy, S3Qos)],
+            170,
+        ),
+        step("P10: forwarding path update", Smf, Upf, &[(Update, S2Location)], 150),
+        step("P10: forwarding path ack", Upf, Smf, &[], 100),
+        step("P10: session context ack", Smf, Amf, &[], 100),
+        step("P14: path switch response", Amf, RanTarget, &[(Update, S2Location)], 130),
+        step("P15: session release (source)", RanTarget, Ran, &[(Delete, S2Location)], 90),
+    ]
+}
+
+/// Fig. 9d — C4 mobility registration update (tracking-area change).
+fn c4_mobility_registration() -> Vec<SignalingStep> {
+    use Entity::*;
+    vec![
+        step("P12': rrc + registration request", Ue, RanTarget, &[], 120),
+        step(
+            "P12': registration request",
+            RanTarget,
+            Amf,
+            &[(Copy, S1Identifiers), (Copy, S2Location)], // S1 (5G-S-TMSI), S2 (PLMN ID)
+            180,
+        ),
+        step(
+            "P16: ue context transfer request",
+            Amf,
+            AmfOld,
+            &[(Copy, S1Identifiers)],
+            150,
+        ),
+        step(
+            "P16: ue context transfer",
+            AmfOld,
+            Amf,
+            &[
+                (Copy, S1Identifiers),
+                (Copy, S2Location),
+                (Copy, S3Qos),
+                (Copy, S5Security),
+            ],
+            320,
+        ),
+        step("P1-7: re-register to UDM", Amf, Udm, &[(Copy, S1Identifiers)], 140),
+        step("P1-7: subscription data", Udm, Amf, &[(Copy, S3Qos), (Copy, S4Billing)], 220),
+        step("P1-7: deregistration notify", Udm, AmfOld, &[(Delete, S1Identifiers)], 100),
+        step(
+            "P10: session context update",
+            Amf,
+            Smf,
+            &[(Copy, S1Identifiers)], // copy S1 (SUPI, Tunnel ID)
+            150,
+        ),
+        step("P10: session context ack", Smf, Amf, &[], 110),
+        step("P5: registration accept", Amf, Ue, &[(Update, S1Identifiers)], 160),
+        step("P5: registration complete", Ue, Amf, &[], 80),
+        step("P15: old context release", AmfOld, Ran, &[(Delete, S2Location)], 90),
+    ]
+}
+
+/// Network-triggered paging before a downlink session establishment:
+/// the anchor UPF notifies SMF/AMF of data arrival; the RAN pages the UE.
+fn paging() -> Vec<SignalingStep> {
+    use Entity::*;
+    vec![
+        step("downlink data notification", Upf, Smf, &[], 100),
+        step("data notification forward", Smf, Amf, &[(Copy, S1Identifiers)], 110),
+        step("paging request", Amf, Ran, &[(Copy, S1Identifiers)], 100),
+        step("paging broadcast", Ran, Ue, &[], 60),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nf::SplitOption;
+
+    #[test]
+    fn procedure_sizes_match_figure9_scale() {
+        // Full 5G registration involves ~20+ messages; service request
+        // ~a dozen; handover and mobility registration ~10.
+        assert_eq!(
+            Procedure::build(ProcedureKind::InitialRegistration).message_count(),
+            24
+        );
+        assert_eq!(
+            Procedure::build(ProcedureKind::SessionEstablishment).message_count(),
+            13
+        );
+        assert_eq!(Procedure::build(ProcedureKind::Handover).message_count(), 11);
+        assert_eq!(
+            Procedure::build(ProcedureKind::MobilityRegistration).message_count(),
+            12
+        );
+        assert_eq!(Procedure::build(ProcedureKind::Paging).message_count(), 4);
+    }
+
+    #[test]
+    fn c1_touches_all_control_functions() {
+        let p = Procedure::build(ProcedureKind::InitialRegistration);
+        let nfs: Vec<_> = p.nf_workload().into_iter().map(|(f, _)| f).collect();
+        for f in [
+            NetworkFunction::Amf,
+            NetworkFunction::Smf,
+            NetworkFunction::Upf,
+            NetworkFunction::Ausf,
+            NetworkFunction::Udm,
+            NetworkFunction::Pcf,
+        ] {
+            assert!(nfs.contains(&f), "{f:?} missing from C1 workload");
+        }
+    }
+
+    #[test]
+    fn ground_crossings_by_option() {
+        // Options 1-2 fetch session states from the ground (P6/P9 in
+        // Fig. 9b) and so load ground stations; option 3 localizes all
+        // but the PCF round-trip; option 4 is fully local.
+        let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
+        let radio = c2.ground_messages(&SplitOption::RadioOnly.split());
+        let data = c2.ground_messages(&SplitOption::DataSession.split());
+        let mob = c2.ground_messages(&SplitOption::SessionMobility.split());
+        let all = c2.ground_messages(&SplitOption::AllFunctions.split());
+        assert!(radio >= 2, "radio {radio}");
+        assert!(data >= radio, "data {data} radio {radio}");
+        assert!(mob < data, "mob {mob} data {data}");
+        assert_eq!(all, 0, "option 4 fully local");
+    }
+
+    #[test]
+    fn option3_localizes_session_establishment() {
+        // With AMF+SMF+UPF on the satellite, C2's only remaining ground
+        // crossings are the PCF policy round-trip.
+        let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
+        let mob = SplitOption::SessionMobility.split();
+        assert_eq!(c2.ground_messages(&mob), 2);
+    }
+
+    #[test]
+    fn c4_ships_security_states_on_context_transfer() {
+        let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
+        let transfers_s5 = c4.steps.iter().any(|s| {
+            s.label.contains("context transfer")
+                && s.ops.iter().any(|o| o.category == StateCategory::S5Security)
+        });
+        assert!(transfers_s5, "C4 must migrate S5 between AMFs (Fig. 9d)");
+    }
+
+    #[test]
+    fn state_tx_counts_only_crossings() {
+        let c1 = Procedure::build(ProcedureKind::InitialRegistration);
+        let all_space = SplitOption::AllFunctions.split();
+        // With everything in space, no state crosses the boundary.
+        assert_eq!(c1.state_tx_crossing(&all_space), 0);
+        let radio = SplitOption::RadioOnly.split();
+        assert!(c1.state_tx_crossing(&radio) >= 5, "{}", c1.state_tx_crossing(&radio));
+    }
+
+    #[test]
+    fn every_step_has_positive_size() {
+        for kind in [
+            ProcedureKind::InitialRegistration,
+            ProcedureKind::SessionEstablishment,
+            ProcedureKind::Handover,
+            ProcedureKind::MobilityRegistration,
+            ProcedureKind::Paging,
+        ] {
+            for s in &Procedure::build(kind).steps {
+                assert!(s.bytes > 0, "{}: {}", kind.name(), s.label);
+                assert_ne!(s.from, s.to, "{}: {}", kind.name(), s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn satellite_touch_classification() {
+        let radio = SplitOption::RadioOnly.split();
+        let s = step(
+            "x",
+            Entity::Smf,
+            Entity::Upf,
+            &[],
+            100,
+        );
+        // Both on ground under radio-only: satellite not involved.
+        assert!(!s.touches_satellite(&radio));
+        assert!(!s.crosses_space_ground(&radio));
+        let s2 = step("y", Entity::Ue, Entity::Ran, &[], 100);
+        assert!(s2.touches_satellite(&radio));
+    }
+
+    #[test]
+    fn paging_reaches_ue_via_ran() {
+        let p = Procedure::build(ProcedureKind::Paging);
+        let last = p.steps.last().unwrap();
+        assert_eq!(last.from, Entity::Ran);
+        assert_eq!(last.to, Entity::Ue);
+    }
+}

@@ -1,0 +1,255 @@
+//! Network functions and the Figure 6 function-split taxonomy.
+//!
+//! The paper's what-if analysis (§3) progressively adds radio, session,
+//! mobility, and security functions to satellites:
+//!
+//! * **Option 1** — radio access only (5G NTN regeneration mode, Fig. 6a),
+//! * **Option 2** — + data session (UPF) in space (Fig. 6b),
+//! * **Option 3** — + mobility (AMF, SMF) in space — the Baoyun split
+//!   (Fig. 6c),
+//! * **Option 4** — everything in space, including AUSF/UDM/PCF
+//!   (Fig. 6d).
+//!
+//! A [`FunctionSplit`] assigns each function a [`Placement`]; procedures
+//! use it to decide which signaling hops stay local to the satellite and
+//! which must traverse the space-ground boundary — the quantity behind
+//! every signaling-storm figure (Figs. 10, 20).
+
+/// A 5G core/radio network function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkFunction {
+    /// Radio base station (gNB).
+    Ran,
+    /// Access and Mobility Management Function.
+    Amf,
+    /// Session Management Function.
+    Smf,
+    /// User Plane Function (and anchor gateway).
+    Upf,
+    /// Authentication Server Function.
+    Ausf,
+    /// Unified Data Management.
+    Udm,
+    /// Policy and Charging Function.
+    Pcf,
+    /// State repository (UDSF) / subscriber database.
+    Db,
+}
+
+impl NetworkFunction {
+    /// All functions, in the display order used by Figure 7's legend.
+    pub const ALL: [NetworkFunction; 8] = [
+        NetworkFunction::Upf,
+        NetworkFunction::Amf,
+        NetworkFunction::Smf,
+        NetworkFunction::Pcf,
+        NetworkFunction::Udm,
+        NetworkFunction::Ausf,
+        NetworkFunction::Db,
+        NetworkFunction::Ran,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkFunction::Ran => "RAN",
+            NetworkFunction::Amf => "AMF",
+            NetworkFunction::Smf => "SMF",
+            NetworkFunction::Upf => "UPF",
+            NetworkFunction::Ausf => "AUSF",
+            NetworkFunction::Udm => "UDM",
+            NetworkFunction::Pcf => "PCF",
+            NetworkFunction::Db => "DB",
+        }
+    }
+}
+
+/// Where a function instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// On the serving LEO satellite.
+    Satellite,
+    /// At the remote terrestrial home / ground station.
+    Ground,
+}
+
+/// The Figure 6 options plus SpaceCore's split, as named presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitOption {
+    /// Option 1: radio access only in space (5G NTN regeneration mode).
+    RadioOnly,
+    /// Option 2: radio + data session (UPF) in space.
+    DataSession,
+    /// Option 3: radio + session + mobility (UPF, SMF, AMF) — Baoyun.
+    SessionMobility,
+    /// Option 4: all functions in space, including security state.
+    AllFunctions,
+    /// SpaceCore: stateless radio + UPF + proxy in space; control
+    /// functions remain at the home, states live on UEs.
+    SpaceCore,
+}
+
+impl SplitOption {
+    /// The four stateful options analyzed in §3 (Figure 6 / Figure 10).
+    pub const STATEFUL: [SplitOption; 4] = [
+        SplitOption::RadioOnly,
+        SplitOption::DataSession,
+        SplitOption::SessionMobility,
+        SplitOption::AllFunctions,
+    ];
+
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitOption::RadioOnly => "Radio only",
+            SplitOption::DataSession => "Data session",
+            SplitOption::SessionMobility => "Session & mobility",
+            SplitOption::AllFunctions => "All functions",
+            SplitOption::SpaceCore => "SpaceCore",
+        }
+    }
+
+    /// The function split this option induces.
+    pub fn split(self) -> FunctionSplit {
+        use NetworkFunction as N;
+        use Placement::*;
+        let mut s = FunctionSplit::all_ground();
+        match self {
+            SplitOption::RadioOnly => {
+                s.set(N::Ran, Satellite);
+            }
+            SplitOption::DataSession => {
+                s.set(N::Ran, Satellite);
+                s.set(N::Upf, Satellite);
+            }
+            SplitOption::SessionMobility => {
+                s.set(N::Ran, Satellite);
+                s.set(N::Upf, Satellite);
+                s.set(N::Smf, Satellite);
+                s.set(N::Amf, Satellite);
+            }
+            SplitOption::AllFunctions => {
+                for f in N::ALL {
+                    s.set(f, Satellite);
+                }
+            }
+            SplitOption::SpaceCore => {
+                // Stateless data-plane functions at the edge; control
+                // functions stay home (states live on UEs).
+                s.set(N::Ran, Satellite);
+                s.set(N::Upf, Satellite);
+            }
+        }
+        s
+    }
+
+    /// Does this option keep per-UE session state on the satellite?
+    /// (SpaceCore is the only space-resident option that does not.)
+    pub fn satellite_is_stateful(self) -> bool {
+        !matches!(self, SplitOption::SpaceCore | SplitOption::RadioOnly)
+    }
+}
+
+/// Maps every network function to its placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionSplit {
+    placements: [Placement; 8],
+}
+
+impl FunctionSplit {
+    /// Everything at the ground (the classic transparent-pipe layout).
+    pub fn all_ground() -> Self {
+        Self {
+            placements: [Placement::Ground; 8],
+        }
+    }
+
+    fn idx(f: NetworkFunction) -> usize {
+        NetworkFunction::ALL
+            .iter()
+            .position(|x| *x == f)
+            .expect("function in ALL")
+    }
+
+    /// Set one function's placement.
+    pub fn set(&mut self, f: NetworkFunction, p: Placement) {
+        self.placements[Self::idx(f)] = p;
+    }
+
+    /// Where does `f` run?
+    pub fn placement(&self, f: NetworkFunction) -> Placement {
+        self.placements[Self::idx(f)]
+    }
+
+    /// Functions running on the satellite.
+    pub fn satellite_functions(&self) -> Vec<NetworkFunction> {
+        NetworkFunction::ALL
+            .into_iter()
+            .filter(|f| self.placement(*f) == Placement::Satellite)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use NetworkFunction as N;
+
+    #[test]
+    fn option1_radio_only() {
+        let s = SplitOption::RadioOnly.split();
+        assert_eq!(s.placement(N::Ran), Placement::Satellite);
+        assert_eq!(s.placement(N::Upf), Placement::Ground);
+        assert_eq!(s.placement(N::Amf), Placement::Ground);
+        assert_eq!(s.satellite_functions(), vec![N::Ran]);
+    }
+
+    #[test]
+    fn option3_matches_baoyun() {
+        // "This satellite consolidates 5G mobility (AMF), session
+        // management (SMF), and user plane (UPF) functions."
+        let s = SplitOption::SessionMobility.split();
+        for f in [N::Ran, N::Upf, N::Amf, N::Smf] {
+            assert_eq!(s.placement(f), Placement::Satellite, "{f:?}");
+        }
+        for f in [N::Ausf, N::Udm, N::Pcf, N::Db] {
+            assert_eq!(s.placement(f), Placement::Ground, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn option4_everything_in_space() {
+        let s = SplitOption::AllFunctions.split();
+        assert_eq!(s.satellite_functions().len(), 8);
+    }
+
+    #[test]
+    fn spacecore_split_is_stateless_edge() {
+        let s = SplitOption::SpaceCore.split();
+        assert_eq!(s.placement(N::Ran), Placement::Satellite);
+        assert_eq!(s.placement(N::Upf), Placement::Satellite);
+        // Control and state functions stay home.
+        for f in [N::Amf, N::Smf, N::Ausf, N::Udm, N::Pcf, N::Db] {
+            assert_eq!(s.placement(f), Placement::Ground, "{f:?}");
+        }
+        assert!(!SplitOption::SpaceCore.satellite_is_stateful());
+    }
+
+    #[test]
+    fn statefulness_classification() {
+        assert!(!SplitOption::RadioOnly.satellite_is_stateful());
+        assert!(SplitOption::DataSession.satellite_is_stateful());
+        assert!(SplitOption::SessionMobility.satellite_is_stateful());
+        assert!(SplitOption::AllFunctions.satellite_is_stateful());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = SplitOption::STATEFUL.iter().map(|o| o.name()).collect();
+        names.push(SplitOption::SpaceCore.name());
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,233 @@
+//! NGAP-style codec: the N2 messages between RAN and AMF.
+//!
+//! Where [`crate::nas`] encodes the UE↔core messages, this module
+//! encodes the RAN↔AMF control messages the handover and path-switch
+//! procedures exchange (Fig. 9c P13/P14): a procedure code, criticality,
+//! and length-prefixed IEs keyed by integer ids — the shape of
+//! ASN.1-PER NGAP, flattened to a deterministic binary layout.
+
+/// NGAP procedure codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NgapProcedure {
+    InitialUeMessage,
+    DownlinkNasTransport,
+    UplinkNasTransport,
+    InitialContextSetup,
+    PathSwitchRequest,
+    PathSwitchRequestAck,
+    HandoverRequired,
+    HandoverRequest,
+    UeContextRelease,
+    Paging,
+}
+
+impl NgapProcedure {
+    fn to_byte(self) -> u8 {
+        match self {
+            NgapProcedure::InitialUeMessage => 15,
+            NgapProcedure::DownlinkNasTransport => 4,
+            NgapProcedure::UplinkNasTransport => 46,
+            NgapProcedure::InitialContextSetup => 14,
+            NgapProcedure::PathSwitchRequest => 57,
+            NgapProcedure::PathSwitchRequestAck => 58,
+            NgapProcedure::HandoverRequired => 12,
+            NgapProcedure::HandoverRequest => 13,
+            NgapProcedure::UeContextRelease => 41,
+            NgapProcedure::Paging => 24,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            15 => NgapProcedure::InitialUeMessage,
+            4 => NgapProcedure::DownlinkNasTransport,
+            46 => NgapProcedure::UplinkNasTransport,
+            14 => NgapProcedure::InitialContextSetup,
+            57 => NgapProcedure::PathSwitchRequest,
+            58 => NgapProcedure::PathSwitchRequestAck,
+            12 => NgapProcedure::HandoverRequired,
+            13 => NgapProcedure::HandoverRequest,
+            41 => NgapProcedure::UeContextRelease,
+            24 => NgapProcedure::Paging,
+            _ => return None,
+        })
+    }
+}
+
+/// IE ids (subset).
+pub mod ie {
+    /// AMF-assigned UE id on N2.
+    pub const AMF_UE_NGAP_ID: u16 = 10;
+    /// RAN-assigned UE id on N2.
+    pub const RAN_UE_NGAP_ID: u16 = 85;
+    /// Encapsulated NAS PDU.
+    pub const NAS_PDU: u16 = 38;
+    /// PDU session resource list.
+    pub const PDU_SESSION_LIST: u16 = 75;
+    /// Target cell / user location.
+    pub const USER_LOCATION: u16 = 121;
+    /// Security context (the S5 payload of path switches).
+    pub const SECURITY_CONTEXT: u16 = 93;
+}
+
+/// An NGAP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NgapMessage {
+    pub procedure: NgapProcedure,
+    /// (IE id, bytes), ordered.
+    pub ies: Vec<(u16, Vec<u8>)>,
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NgapDecodeError {
+    Truncated,
+    BadProcedure,
+}
+
+impl NgapMessage {
+    pub fn new(procedure: NgapProcedure) -> Self {
+        Self {
+            procedure,
+            ies: Vec::new(),
+        }
+    }
+
+    pub fn with_ie(mut self, id: u16, value: Vec<u8>) -> Self {
+        assert!(value.len() <= u16::MAX as usize);
+        self.ies.push((id, value));
+        self
+    }
+
+    /// First IE with the given id.
+    pub fn ie(&self, id: u16) -> Option<&[u8]> {
+        self.ies
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Encode: `proc(1) n_ies(1) [id(2BE) len(2BE) value…]*`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![self.procedure.to_byte(), self.ies.len() as u8];
+        for (id, v) in &self.ies {
+            b.extend_from_slice(&id.to_be_bytes());
+            b.extend_from_slice(&(v.len() as u16).to_be_bytes());
+            b.extend_from_slice(v);
+        }
+        b
+    }
+
+    /// Decode with strict length validation.
+    pub fn decode(b: &[u8]) -> Result<Self, NgapDecodeError> {
+        if b.len() < 2 {
+            return Err(NgapDecodeError::Truncated);
+        }
+        let procedure =
+            NgapProcedure::from_byte(b[0]).ok_or(NgapDecodeError::BadProcedure)?;
+        let n = b[1] as usize;
+        let mut ies = Vec::with_capacity(n);
+        let mut i = 2;
+        for _ in 0..n {
+            if i + 4 > b.len() {
+                return Err(NgapDecodeError::Truncated);
+            }
+            let id = u16::from_be_bytes([b[i], b[i + 1]]);
+            let len = u16::from_be_bytes([b[i + 2], b[i + 3]]) as usize;
+            i += 4;
+            if i + len > b.len() {
+                return Err(NgapDecodeError::Truncated);
+            }
+            ies.push((id, b[i..i + len].to_vec()));
+            i += len;
+        }
+        if i != b.len() {
+            return Err(NgapDecodeError::Truncated); // trailing bytes
+        }
+        Ok(Self { procedure, ies })
+    }
+}
+
+/// Build the P13 path-switch request of Fig. 9c: the target RAN reports
+/// the UE's new location and relays the security context.
+pub fn path_switch_request(
+    ran_ue_id: u64,
+    user_location: &[u8],
+    security_ctx: &[u8],
+) -> NgapMessage {
+    NgapMessage::new(NgapProcedure::PathSwitchRequest)
+        .with_ie(ie::RAN_UE_NGAP_ID, ran_ue_id.to_be_bytes().to_vec())
+        .with_ie(ie::USER_LOCATION, user_location.to_vec())
+        .with_ie(ie::SECURITY_CONTEXT, security_ctx.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = NgapMessage::new(NgapProcedure::InitialUeMessage)
+            .with_ie(ie::RAN_UE_NGAP_ID, vec![0, 0, 0, 7])
+            .with_ie(ie::NAS_PDU, vec![0x7E, 0x41, 1, 2, 3]);
+        assert_eq!(NgapMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn all_procedures_roundtrip() {
+        for p in [
+            NgapProcedure::InitialUeMessage,
+            NgapProcedure::DownlinkNasTransport,
+            NgapProcedure::UplinkNasTransport,
+            NgapProcedure::InitialContextSetup,
+            NgapProcedure::PathSwitchRequest,
+            NgapProcedure::PathSwitchRequestAck,
+            NgapProcedure::HandoverRequired,
+            NgapProcedure::HandoverRequest,
+            NgapProcedure::UeContextRelease,
+            NgapProcedure::Paging,
+        ] {
+            let m = NgapMessage::new(p);
+            assert_eq!(NgapMessage::decode(&m.encode()).unwrap().procedure, p);
+        }
+    }
+
+    #[test]
+    fn nas_pdu_nesting() {
+        // An NGAP transport carrying a NAS message: both layers decode.
+        let nas = crate::nas::NasMessage::new(crate::nas::NasMessageType::ServiceRequest)
+            .with_ie(crate::nas::IeTag::MobileIdentity, vec![1, 2, 3]);
+        let ngap = NgapMessage::new(NgapProcedure::UplinkNasTransport)
+            .with_ie(ie::NAS_PDU, nas.encode());
+        let d = NgapMessage::decode(&ngap.encode()).unwrap();
+        let inner = crate::nas::NasMessage::decode(d.ie(ie::NAS_PDU).unwrap()).unwrap();
+        assert_eq!(inner, nas);
+    }
+
+    #[test]
+    fn path_switch_carries_security_context() {
+        let m = path_switch_request(99, b"cell-12-7", b"s5-context-bytes");
+        let d = NgapMessage::decode(&m.encode()).unwrap();
+        assert_eq!(d.procedure, NgapProcedure::PathSwitchRequest);
+        assert_eq!(d.ie(ie::SECURITY_CONTEXT).unwrap(), b"s5-context-bytes");
+        assert_eq!(d.ie(ie::USER_LOCATION).unwrap(), b"cell-12-7");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let m = NgapMessage::new(NgapProcedure::Paging).with_ie(ie::NAS_PDU, vec![1; 10]);
+        let b = m.encode();
+        for cut in [0, 1, 3, 5, b.len() - 1] {
+            assert!(NgapMessage::decode(&b[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = b.clone();
+        trailing.push(0);
+        assert!(NgapMessage::decode(&trailing).is_err());
+        let mut bad_proc = b;
+        bad_proc[0] = 0xFF;
+        assert_eq!(
+            NgapMessage::decode(&bad_proc).unwrap_err(),
+            NgapDecodeError::BadProcedure
+        );
+    }
+}

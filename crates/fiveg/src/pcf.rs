@@ -1,0 +1,130 @@
+//! The PCF: policy and charging control.
+//!
+//! Maps subscription tiers to QoS/billing policies at session
+//! establishment (Fig. 9 P4 "policy establishment/modification") and
+//! issues dynamic policy updates — the "unlimited data speed for the
+//! first 15 GB, and throttled to 128 kbps afterward" control the paper
+//! uses to motivate home-controlled state updates (§4.4).
+
+use crate::state::{BillingState, QosState};
+use crate::udm::SubscriptionTier;
+
+/// A policy decision: the QoS + billing states to install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyDecision {
+    pub qos: QosState,
+    pub billing: BillingState,
+}
+
+/// The Policy and Charging Function.
+#[derive(Debug, Clone, Default)]
+pub struct Pcf {
+    /// Network-wide congestion multiplier applied to AMBRs (1.0 = none).
+    congestion_factor_percent: u32,
+}
+
+impl Pcf {
+    pub fn new() -> Self {
+        Self {
+            congestion_factor_percent: 100,
+        }
+    }
+
+    /// Apply a network-wide congestion policy: scale all AMBRs to
+    /// `percent` of nominal (dynamic policy modification).
+    pub fn set_congestion_percent(&mut self, percent: u32) {
+        assert!(percent > 0 && percent <= 100);
+        self.congestion_factor_percent = percent;
+    }
+
+    /// P4 — the policy decision for a subscription tier.
+    pub fn decide(&self, tier: SubscriptionTier) -> PolicyDecision {
+        let (qi, priority, ambr_kbps, gbr_down, quota_gb, post_quota_kbps) = match tier {
+            SubscriptionTier::Iot => (82, 12, 64, 0, 1, 8),
+            SubscriptionTier::Consumer => (9, 8, 100_000, 0, 15, 128),
+            SubscriptionTier::Enterprise => (3, 2, 500_000, 50_000, 1000, 10_000),
+        };
+        let ambr = ambr_kbps * self.congestion_factor_percent / 100;
+        PolicyDecision {
+            qos: QosState {
+                qi,
+                priority,
+                gbr_down_kbps: gbr_down,
+                gbr_up_kbps: gbr_down / 2,
+                ambr_kbps: ambr.max(1),
+                forwarding_rules: 2,
+            },
+            billing: BillingState {
+                report_threshold_bytes: 1 << 30,
+                used_bytes: 0,
+                post_quota_kbps,
+                quota_bytes: quota_gb << 30,
+            },
+        }
+    }
+
+    /// The throttled post-quota policy for a session that exceeded its
+    /// quota: AMBR drops to the throttle rate.
+    pub fn post_quota(&self, decision: &PolicyDecision) -> PolicyDecision {
+        let mut d = *decision;
+        d.qos.ambr_kbps = d.billing.post_quota_kbps;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_ordered_by_capability() {
+        let pcf = Pcf::new();
+        let iot = pcf.decide(SubscriptionTier::Iot);
+        let consumer = pcf.decide(SubscriptionTier::Consumer);
+        let ent = pcf.decide(SubscriptionTier::Enterprise);
+        assert!(iot.qos.ambr_kbps < consumer.qos.ambr_kbps);
+        assert!(consumer.qos.ambr_kbps < ent.qos.ambr_kbps);
+        // Priority: smaller = higher.
+        assert!(ent.qos.priority < consumer.qos.priority);
+        // Only enterprise gets GBR.
+        assert_eq!(iot.qos.gbr_down_kbps, 0);
+        assert_eq!(consumer.qos.gbr_down_kbps, 0);
+        assert!(ent.qos.gbr_down_kbps > 0);
+    }
+
+    #[test]
+    fn consumer_policy_matches_paper_example() {
+        // "unlimited data speed for the first 15GB data, and throttled
+        // to 128Kbps afterward".
+        let pcf = Pcf::new();
+        let d = pcf.decide(SubscriptionTier::Consumer);
+        assert_eq!(d.billing.quota_bytes, 15 << 30);
+        assert_eq!(d.billing.post_quota_kbps, 128);
+        let throttled = pcf.post_quota(&d);
+        assert_eq!(throttled.qos.ambr_kbps, 128);
+    }
+
+    #[test]
+    fn congestion_scales_ambr() {
+        let mut pcf = Pcf::new();
+        let nominal = pcf.decide(SubscriptionTier::Consumer).qos.ambr_kbps;
+        pcf.set_congestion_percent(50);
+        let congested = pcf.decide(SubscriptionTier::Consumer).qos.ambr_kbps;
+        assert_eq!(congested, nominal / 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_congestion_invalid() {
+        Pcf::new().set_congestion_percent(0);
+    }
+
+    #[test]
+    fn decisions_deterministic() {
+        let pcf = Pcf::new();
+        assert_eq!(
+            pcf.decide(SubscriptionTier::Iot),
+            pcf.decide(SubscriptionTier::Iot)
+        );
+    }
+}

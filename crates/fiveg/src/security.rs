@@ -1,0 +1,182 @@
+//! The 5G key hierarchy and AKA flow (the S5 machinery of §3.1).
+//!
+//! Legacy 5G security "relies on symmetric key-based shared secret
+//! states" (§4.4): the permanent key K in the SIM and UDM derives, step
+//! by step, every key the serving network uses. This module implements
+//! that derivation chain —
+//!
+//! ```text
+//! K ──► CK‖IK ──► K_AUSF ──► K_SEAF ──► K_AMF ──► K_NAS  (NAS ciphering)
+//!                                        └──────► K_gNB  (radio keys)
+//! ```
+//!
+//! — plus authentication-vector generation and verification (the 5G-AKA
+//! challenge/response of Fig. 9a P3). The derivation functions are the
+//! workspace keyed hash (simulation boundary: not 3GPP KDFs, but the
+//! *structure* — who can derive what from what — is exactly the
+//! standard's, which is what the leakage analysis consumes: leaking
+//! K_gNB exposes one radio session; leaking K exposes everything).
+
+use sc_crypto::field::keyed_hash;
+
+/// Derivation-context labels (stand-ins for the 3GPP FC values).
+mod label {
+    pub const CK_IK: &[u8] = b"5g-ck-ik";
+    pub const K_AUSF: &[u8] = b"5g-k-ausf";
+    pub const K_SEAF: &[u8] = b"5g-k-seaf";
+    pub const K_AMF: &[u8] = b"5g-k-amf";
+    pub const K_NAS: &[u8] = b"5g-k-nas";
+    pub const K_GNB: &[u8] = b"5g-k-gnb";
+    pub const RES: &[u8] = b"5g-res";
+    pub const AUTN: &[u8] = b"5g-autn";
+}
+
+fn kdf(key: u64, label: &[u8], ctx: u64) -> u64 {
+    let mut buf = Vec::with_capacity(label.len() + 8);
+    buf.extend_from_slice(label);
+    buf.extend_from_slice(&ctx.to_le_bytes());
+    keyed_hash(key, &buf)
+}
+
+/// The derived key set for one registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyHierarchy {
+    pub k_ausf: u64,
+    pub k_seaf: u64,
+    pub k_amf: u64,
+    pub k_nas: u64,
+    pub k_gnb: u64,
+}
+
+impl KeyHierarchy {
+    /// Derive the full chain from the permanent key `k`, the random
+    /// challenge `rand`, and the serving-network identifier `snid`.
+    pub fn derive(k: u64, rand: u64, snid: u64) -> Self {
+        let ck_ik = kdf(k, label::CK_IK, rand);
+        let k_ausf = kdf(ck_ik, label::K_AUSF, snid);
+        let k_seaf = kdf(k_ausf, label::K_SEAF, snid);
+        let k_amf = kdf(k_seaf, label::K_AMF, 0);
+        Self {
+            k_ausf,
+            k_seaf,
+            k_amf,
+            k_nas: kdf(k_amf, label::K_NAS, 0),
+            k_gnb: kdf(k_amf, label::K_GNB, 0),
+        }
+    }
+}
+
+/// A 5G authentication vector, as produced by the UDM/AUSF (Fig. 9a:
+/// "create S5 (5G HE AV)" / "create S5 (5G SE AV)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthVector {
+    /// Random challenge.
+    pub rand: u64,
+    /// Network authentication token (proves the challenge came from a
+    /// network that knows K).
+    pub autn: u64,
+    /// Expected UE response.
+    pub xres: u64,
+}
+
+/// Home-side generation of an authentication vector.
+pub fn generate_av(k: u64, rand: u64, sqn: u64) -> AuthVector {
+    AuthVector {
+        rand,
+        autn: kdf(k, label::AUTN, rand ^ sqn),
+        xres: kdf(k, label::RES, rand),
+    }
+}
+
+/// UE-side of 5G-AKA: verify the network token, compute the response.
+/// Returns `None` when AUTN fails (a fake base station that does not
+/// know K cannot produce a valid token).
+pub fn ue_respond(k: u64, rand: u64, autn: u64, sqn: u64) -> Option<u64> {
+    if kdf(k, label::AUTN, rand ^ sqn) != autn {
+        return None;
+    }
+    Some(kdf(k, label::RES, rand))
+}
+
+/// Serving-network-side check of the UE response.
+pub fn verify_response(av: &AuthVector, res: u64) -> bool {
+    av.xres == res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: u64 = 0x5EC2E7_5EC2E7;
+    const SNID: u64 = 460_01;
+
+    #[test]
+    fn full_aka_roundtrip() {
+        let av = generate_av(K, 0xABCD, 7);
+        let res = ue_respond(K, av.rand, av.autn, 7).expect("genuine network");
+        assert!(verify_response(&av, res));
+    }
+
+    #[test]
+    fn fake_network_rejected_by_ue() {
+        // Attacker without K guesses an AUTN.
+        assert!(ue_respond(K, 0xABCD, 0xDEAD_BEEF, 7).is_none());
+    }
+
+    #[test]
+    fn wrong_ue_key_fails_verification() {
+        let av = generate_av(K, 0xABCD, 7);
+        // A UE with a different SIM produces a different response…
+        let res = kdf(K ^ 1, label::RES, av.rand);
+        assert!(!verify_response(&av, res));
+    }
+
+    #[test]
+    fn sqn_mismatch_detected() {
+        // Replaying an old AV with a stale sequence number fails.
+        let av = generate_av(K, 0xABCD, 7);
+        assert!(ue_respond(K, av.rand, av.autn, 8).is_none());
+    }
+
+    #[test]
+    fn hierarchy_deterministic_and_chain_structured() {
+        let h1 = KeyHierarchy::derive(K, 0x1111, SNID);
+        let h2 = KeyHierarchy::derive(K, 0x1111, SNID);
+        assert_eq!(h1, h2);
+        // Distinct keys at every level.
+        let keys = [h1.k_ausf, h1.k_seaf, h1.k_amf, h1.k_nas, h1.k_gnb];
+        let mut dedup = keys.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn fresh_rand_fresh_session_keys() {
+        let a = KeyHierarchy::derive(K, 1, SNID);
+        let b = KeyHierarchy::derive(K, 2, SNID);
+        assert_ne!(a.k_gnb, b.k_gnb);
+        assert_ne!(a.k_nas, b.k_nas);
+    }
+
+    #[test]
+    fn serving_network_binding() {
+        // The same UE registering via a different serving network gets
+        // different keys (roaming separation).
+        let a = KeyHierarchy::derive(K, 1, 460_01);
+        let b = KeyHierarchy::derive(K, 1, 310_260);
+        assert_ne!(a.k_seaf, b.k_seaf);
+    }
+
+    #[test]
+    fn downstream_leak_does_not_expose_upstream() {
+        // Structural property: K_gNB is a one-way derivation from K_AMF;
+        // equal gNB keys would require equal AMF keys. We check that
+        // deriving "upward" is not possible through the public API —
+        // i.e. nothing in `KeyHierarchy` exposes K or CK/IK.
+        let h = KeyHierarchy::derive(K, 3, SNID);
+        // Best an attacker can do with k_gnb is derive *from* it:
+        let forged = kdf(h.k_gnb, label::K_AMF, 0);
+        assert_ne!(forged, h.k_amf);
+    }
+}

@@ -1,0 +1,394 @@
+//! The five session-state categories of §3.1.
+//!
+//! > "Each session has five categories of states according to standards:
+//! > (1) **S1**: identifiers, including the UE and session identity;
+//! > (2) **S2**: UE locations, including the UE's service area IDs (cell
+//! > ID and tracking area ID) and IP address; (3) **S3**: QoS, including
+//! > the QoS class, priority, and forwarding rules; (4) **S4**: billing,
+//! > including the network usage report rules; and (5) **S5**: security,
+//! > including keys, authentication vectors, and access policies."
+//!
+//! [`SessionState`] is the unit SpaceCore delegates to UEs: it has a
+//! deterministic byte codec (`encode`/`decode`) so it can be wrapped by
+//! the ABE layer and piggybacked in signaling/GTP-U extension fields.
+
+use crate::ids::{Guti, PlmnId, SessionId, Supi, TunnelId};
+use sc_geo::addr::GeoAddress;
+use sc_geo::cells::CellId;
+
+/// S1 — identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdState {
+    pub supi: Supi,
+    pub guti: Guti,
+    pub session: SessionId,
+    /// Uplink tunnel endpoint at the anchor gateway.
+    pub uplink_tunnel: TunnelId,
+    /// Downlink tunnel endpoint at the RAN.
+    pub downlink_tunnel: TunnelId,
+}
+
+/// S2 — location: service-area ids and the IP address.
+///
+/// In legacy 5G these are three separate states (cell, tracking area,
+/// IP); SpaceCore's geospatial address subsumes all of them, which is why
+/// [`LocationState::geo`] is an `Option` — `None` for legacy deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocationState {
+    /// Serving cell (legacy logical id, or geospatial cell).
+    pub cell: CellId,
+    /// Tracking area (legacy: AMF-scoped group of cells).
+    pub tracking_area: u32,
+    /// The UE's IP address, as a raw 128-bit value.
+    pub ip: u128,
+    /// SpaceCore's geospatial address (§4.1 Step 2), when in use.
+    pub geo: Option<GeoAddress>,
+}
+
+/// S3 — QoS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosState {
+    /// 5G QoS identifier (5QI) class.
+    pub qi: u8,
+    /// Allocation/retention priority (1 = highest).
+    pub priority: u8,
+    /// Guaranteed downlink bit rate, kbit/s (0 = non-GBR).
+    pub gbr_down_kbps: u32,
+    /// Guaranteed uplink bit rate, kbit/s.
+    pub gbr_up_kbps: u32,
+    /// Aggregate maximum bit rate, kbit/s.
+    pub ambr_kbps: u32,
+    /// Number of packet forwarding rules installed at the UPF.
+    pub forwarding_rules: u8,
+}
+
+/// S4 — billing / charging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BillingState {
+    /// Usage-report threshold, bytes (report to PCF when exceeded).
+    pub report_threshold_bytes: u64,
+    /// Bytes consumed so far in this charging period.
+    pub used_bytes: u64,
+    /// Throttle rate applied after the quota, kbit/s (the paper's
+    /// "unlimited for the first 15 GB, throttled to 128 kbps" example).
+    pub post_quota_kbps: u32,
+    /// Quota in bytes.
+    pub quota_bytes: u64,
+}
+
+impl BillingState {
+    /// Is the UE past its quota (throttling applies)?
+    pub fn over_quota(&self) -> bool {
+        self.used_bytes >= self.quota_bytes
+    }
+}
+
+/// S5 — security.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityState {
+    /// The anchor key (K_AMF analogue).
+    pub anchor_key: u64,
+    /// Home-environment authentication vector (5G HE AV).
+    pub he_av: u64,
+    /// Serving-environment authentication vector (5G SE AV).
+    pub se_av: u64,
+    /// NAS uplink count (replay protection).
+    pub nas_count: u32,
+    /// Access-policy token (in SpaceCore: hash of the ABE access tree).
+    pub access_policy: u64,
+}
+
+/// The full per-session state bundle (S1–S5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionState {
+    pub id: IdState,
+    pub location: LocationState,
+    pub qos: QosState,
+    pub billing: BillingState,
+    pub security: SecurityState,
+}
+
+/// Which state category an operation touches — used for signaling-cost
+/// and leakage accounting (each category weighs differently in Fig. 19:
+/// leaking S5 is what the paper calls "sensitive").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateCategory {
+    S1Identifiers,
+    S2Location,
+    S3Qos,
+    S4Billing,
+    S5Security,
+}
+
+impl StateCategory {
+    /// Is a leak of this category "sensitive" in the paper's sense?
+    pub fn sensitive(self) -> bool {
+        matches!(self, StateCategory::S5Security)
+    }
+
+    pub const ALL: [StateCategory; 5] = [
+        StateCategory::S1Identifiers,
+        StateCategory::S2Location,
+        StateCategory::S3Qos,
+        StateCategory::S4Billing,
+        StateCategory::S5Security,
+    ];
+}
+
+impl SessionState {
+    /// A deterministic sample state for subscriber `msin` — used by
+    /// tests, examples, and workload generators.
+    pub fn sample(msin: u64) -> Self {
+        let plmn = PlmnId::new(460, 1);
+        let supi = Supi::new(plmn, msin);
+        SessionState {
+            id: IdState {
+                supi,
+                guti: Guti::new(plmn, 1, (msin as u32).wrapping_mul(2654435761)),
+                session: SessionId(1),
+                uplink_tunnel: TunnelId(msin as u32 ^ 0xAAAA),
+                downlink_tunnel: TunnelId(msin as u32 ^ 0x5555),
+            },
+            location: LocationState {
+                cell: CellId::new((msin % 72) as u16, (msin % 22) as u16),
+                tracking_area: (msin % 100) as u32,
+                ip: 0xFD00 << 112 | msin as u128,
+                geo: None,
+            },
+            qos: QosState {
+                qi: 9,
+                priority: 8,
+                gbr_down_kbps: 0,
+                gbr_up_kbps: 0,
+                ambr_kbps: 100_000,
+                forwarding_rules: 2,
+            },
+            billing: BillingState {
+                report_threshold_bytes: 1 << 30,
+                used_bytes: 0,
+                post_quota_kbps: 128,
+                quota_bytes: 15 << 30,
+            },
+            security: SecurityState {
+                anchor_key: msin.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                he_av: msin.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                se_av: msin.wrapping_mul(0x94D0_49BB_1331_11EB),
+                nas_count: 0,
+                access_policy: 0,
+            },
+        }
+    }
+
+    /// Encode to bytes (deterministic, versioned, length-checked codec).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(128);
+        b.push(1u8); // codec version
+        put_u64(&mut b, self.id.supi.0);
+        put_u32(&mut b, self.id.guti.plmn.pack());
+        put_u32(&mut b, self.id.guti.amf_id);
+        put_u32(&mut b, self.id.guti.tmsi);
+        put_u32(&mut b, self.id.session.0);
+        put_u32(&mut b, self.id.uplink_tunnel.0);
+        put_u32(&mut b, self.id.downlink_tunnel.0);
+        put_u32(&mut b, self.location.cell.pack());
+        put_u32(&mut b, self.location.tracking_area);
+        b.extend_from_slice(&self.location.ip.to_le_bytes());
+        match self.location.geo {
+            Some(g) => {
+                b.push(1);
+                b.extend_from_slice(&g.encode().to_le_bytes());
+            }
+            None => b.push(0),
+        }
+        b.push(self.qos.qi);
+        b.push(self.qos.priority);
+        put_u32(&mut b, self.qos.gbr_down_kbps);
+        put_u32(&mut b, self.qos.gbr_up_kbps);
+        put_u32(&mut b, self.qos.ambr_kbps);
+        b.push(self.qos.forwarding_rules);
+        put_u64(&mut b, self.billing.report_threshold_bytes);
+        put_u64(&mut b, self.billing.used_bytes);
+        put_u32(&mut b, self.billing.post_quota_kbps);
+        put_u64(&mut b, self.billing.quota_bytes);
+        put_u64(&mut b, self.security.anchor_key);
+        put_u64(&mut b, self.security.he_av);
+        put_u64(&mut b, self.security.se_av);
+        put_u32(&mut b, self.security.nas_count);
+        put_u64(&mut b, self.security.access_policy);
+        b
+    }
+
+    /// Decode from bytes. Returns `None` on truncation or unknown codec
+    /// version (a tampered or foreign payload).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut c = Cursor { b: bytes, pos: 0 };
+        if c.u8()? != 1 {
+            return None;
+        }
+        let supi = Supi(c.u64()?);
+        let guti = Guti {
+            plmn: PlmnId::unpack(c.u32()?),
+            amf_id: c.u32()?,
+            tmsi: c.u32()?,
+        };
+        let session = SessionId(c.u32()?);
+        let uplink_tunnel = TunnelId(c.u32()?);
+        let downlink_tunnel = TunnelId(c.u32()?);
+        let cell = CellId::unpack(c.u32()?);
+        let tracking_area = c.u32()?;
+        let ip = c.u128()?;
+        let geo = match c.u8()? {
+            1 => Some(GeoAddress::decode(c.u128()?)),
+            0 => None,
+            _ => return None,
+        };
+        let qos = QosState {
+            qi: c.u8()?,
+            priority: c.u8()?,
+            gbr_down_kbps: c.u32()?,
+            gbr_up_kbps: c.u32()?,
+            ambr_kbps: c.u32()?,
+            forwarding_rules: c.u8()?,
+        };
+        let billing = BillingState {
+            report_threshold_bytes: c.u64()?,
+            used_bytes: c.u64()?,
+            post_quota_kbps: c.u32()?,
+            quota_bytes: c.u64()?,
+        };
+        let security = SecurityState {
+            anchor_key: c.u64()?,
+            he_av: c.u64()?,
+            se_av: c.u64()?,
+            nas_count: c.u32()?,
+            access_policy: c.u64()?,
+        };
+        if c.pos != bytes.len() {
+            return None; // trailing garbage
+        }
+        Some(SessionState {
+            id: IdState {
+                supi,
+                guti,
+                session,
+                uplink_tunnel,
+                downlink_tunnel,
+            },
+            location: LocationState {
+                cell,
+                tracking_area,
+                ip,
+                geo,
+            },
+            qos,
+            billing,
+            security,
+        })
+    }
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.b.len() {
+            return None;
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("len 4")))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("len 8")))
+    }
+    fn u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .map(|s| u128::from_le_bytes(s.try_into().expect("len 16")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_roundtrip_plain() {
+        let s = SessionState::sample(42);
+        assert_eq!(SessionState::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn codec_roundtrip_with_geo_address() {
+        let mut s = SessionState::sample(7);
+        s.location.geo = Some(GeoAddress::new(
+            PlmnId::new(460, 1).pack(),
+            CellId::new(3, 4),
+            CellId::new(5, 6),
+            99,
+        ));
+        assert_eq!(SessionState::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let b = SessionState::sample(1).encode();
+        for cut in [0, 1, 10, b.len() - 1] {
+            assert!(SessionState::decode(&b[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = SessionState::sample(1).encode();
+        b.push(0);
+        assert!(SessionState::decode(&b).is_none());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut b = SessionState::sample(1).encode();
+        b[0] = 99;
+        assert!(SessionState::decode(&b).is_none());
+    }
+
+    #[test]
+    fn samples_differ_by_subscriber() {
+        assert_ne!(SessionState::sample(1), SessionState::sample(2));
+        // …but are deterministic.
+        assert_eq!(SessionState::sample(5), SessionState::sample(5));
+    }
+
+    #[test]
+    fn billing_quota_logic() {
+        let mut s = SessionState::sample(3);
+        assert!(!s.billing.over_quota());
+        s.billing.used_bytes = s.billing.quota_bytes;
+        assert!(s.billing.over_quota());
+    }
+
+    #[test]
+    fn only_s5_is_sensitive() {
+        let sensitive: Vec<_> = StateCategory::ALL
+            .iter()
+            .filter(|c| c.sensitive())
+            .collect();
+        assert_eq!(sensitive, vec![&StateCategory::S5Security]);
+    }
+}

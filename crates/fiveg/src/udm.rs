@@ -1,0 +1,189 @@
+//! The UDM: subscriber database, authentication-vector generation, and
+//! SQN tracking (the home's root of trust).
+//!
+//! "Stateful functions in these satellites should maintain sensitive
+//! states (… permanent keys in UDM in Option 4)" (§3.3) — this is the
+//! component whose placement decides whether permanent keys ever leave
+//! the homeland. It owns the permanent key K per subscriber, generates
+//! the 5G HE AV on request (Fig. 9a P3 "create S5 (5G HE AV)"), and
+//! tracks sequence numbers for replay protection.
+
+use crate::ids::{PlmnId, Supi};
+use crate::security::{generate_av, AuthVector};
+use std::collections::HashMap;
+
+/// A subscription profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    pub supi: Supi,
+    /// Permanent key K (SIM + UDM only).
+    k: u64,
+    /// Subscription tier (indexes PCF policy).
+    pub tier: SubscriptionTier,
+    /// Authentication sequence number.
+    sqn: u64,
+}
+
+/// Commercial subscription tiers (drive PCF policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubscriptionTier {
+    /// Delay-tolerant IoT: narrow, non-GBR.
+    Iot,
+    /// Consumer broadband with a soft quota.
+    Consumer,
+    /// Enterprise: GBR, priority.
+    Enterprise,
+}
+
+/// Errors from UDM operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdmError {
+    UnknownSubscriber,
+    /// Registration from a PLMN this subscriber may not roam into.
+    RoamingNotAllowed,
+}
+
+impl std::fmt::Display for UdmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UdmError::UnknownSubscriber => f.write_str("unknown subscriber"),
+            UdmError::RoamingNotAllowed => f.write_str("roaming not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for UdmError {}
+
+/// The Unified Data Management function.
+#[derive(Debug, Clone, Default)]
+pub struct Udm {
+    subs: HashMap<Supi, Subscription>,
+    /// PLMNs subscribers may register from (own PLMN always allowed).
+    roaming_partners: Vec<PlmnId>,
+}
+
+impl Udm {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provision a subscriber (SIM issuance).
+    pub fn provision(&mut self, supi: Supi, k: u64, tier: SubscriptionTier) {
+        self.subs.insert(
+            supi,
+            Subscription {
+                supi,
+                k,
+                tier,
+                sqn: 0,
+            },
+        );
+    }
+
+    /// Allow roaming from a partner PLMN.
+    pub fn add_roaming_partner(&mut self, plmn: PlmnId) {
+        self.roaming_partners.push(plmn);
+    }
+
+    /// Number of provisioned subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Subscription lookup (no key material exposed).
+    pub fn subscription(&self, supi: Supi) -> Option<(Supi, SubscriptionTier)> {
+        self.subs.get(&supi).map(|s| (s.supi, s.tier))
+    }
+
+    /// P3 — generate a home-environment authentication vector for a
+    /// registration arriving via `serving_plmn`. Advances the SQN.
+    pub fn generate_he_av(
+        &mut self,
+        supi: Supi,
+        serving_plmn: PlmnId,
+        rand: u64,
+    ) -> Result<(AuthVector, u64), UdmError> {
+        let allowed = {
+            let sub = self.subs.get(&supi).ok_or(UdmError::UnknownSubscriber)?;
+            sub.supi.plmn() == serving_plmn || self.roaming_partners.contains(&serving_plmn)
+        };
+        if !allowed {
+            return Err(UdmError::RoamingNotAllowed);
+        }
+        let sub = self.subs.get_mut(&supi).expect("checked above");
+        sub.sqn += 1;
+        let av = generate_av(sub.k, rand, sub.sqn);
+        Ok((av, sub.sqn))
+    }
+
+    /// The UE-side key for test fixtures (in reality this lives only in
+    /// the SIM; exposed here for building UE simulators).
+    pub fn sim_key_for_tests(&self, supi: Supi) -> Option<u64> {
+        self.subs.get(&supi).map(|s| s.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::{ue_respond, verify_response};
+
+    fn plmn() -> PlmnId {
+        PlmnId::new(460, 1)
+    }
+
+    fn udm_with_sub(msin: u64) -> (Udm, Supi) {
+        let mut u = Udm::new();
+        let supi = Supi::new(plmn(), msin);
+        u.provision(supi, 0x6B65_79AA ^ msin, SubscriptionTier::Consumer);
+        (u, supi)
+    }
+
+    #[test]
+    fn av_generation_and_full_aka() {
+        let (mut u, supi) = udm_with_sub(1);
+        let k = u.sim_key_for_tests(supi).unwrap();
+        let (av, sqn) = u.generate_he_av(supi, plmn(), 0xAA).unwrap();
+        let res = ue_respond(k, av.rand, av.autn, sqn).expect("genuine");
+        assert!(verify_response(&av, res));
+    }
+
+    #[test]
+    fn sqn_advances_per_av() {
+        let (mut u, supi) = udm_with_sub(2);
+        let (_, s1) = u.generate_he_av(supi, plmn(), 1).unwrap();
+        let (_, s2) = u.generate_he_av(supi, plmn(), 2).unwrap();
+        assert_eq!(s2, s1 + 1);
+    }
+
+    #[test]
+    fn unknown_subscriber_rejected() {
+        let (mut u, _) = udm_with_sub(3);
+        let ghost = Supi::new(plmn(), 999_999);
+        assert_eq!(
+            u.generate_he_av(ghost, plmn(), 1).unwrap_err(),
+            UdmError::UnknownSubscriber
+        );
+    }
+
+    #[test]
+    fn roaming_control() {
+        let (mut u, supi) = udm_with_sub(4);
+        let foreign = PlmnId::new(310, 260);
+        assert_eq!(
+            u.generate_he_av(supi, foreign, 1).unwrap_err(),
+            UdmError::RoamingNotAllowed
+        );
+        u.add_roaming_partner(foreign);
+        assert!(u.generate_he_av(supi, foreign, 1).is_ok());
+    }
+
+    #[test]
+    fn subscription_lookup_hides_key() {
+        let (u, supi) = udm_with_sub(5);
+        let (s, tier) = u.subscription(supi).unwrap();
+        assert_eq!(s, supi);
+        assert_eq!(tier, SubscriptionTier::Consumer);
+        assert_eq!(u.subscriber_count(), 1);
+    }
+}

@@ -1,0 +1,366 @@
+//! UPF data plane: forwarding rules, QoS enforcement, usage reporting.
+//!
+//! The paper's home keeps "full control of each UE's data forwarding,
+//! QoS, billing" (§4.2) by installing S2/S3/S4 state at whichever UPF
+//! serves the session (P8 "packet forwarding rule establishment" in
+//! Fig. 9). This module is that UPF: a forwarding table keyed by tunnel
+//! endpoint, per-session token-bucket rate enforcement of the AMBR, and
+//! byte counters that trigger usage reports at the S4 threshold — the
+//! mechanism behind the home-controlled throttling example ("unlimited
+//! for the first 15 GB, then 128 kbps").
+
+use crate::ids::TunnelId;
+use crate::state::{BillingState, QosState};
+use std::collections::HashMap;
+
+/// What to do with a matched packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardAction {
+    /// Deliver toward the UE over the radio (downlink leg).
+    ToRadio,
+    /// Forward into the network/next-hop UPF (uplink leg).
+    ToNetwork { next_teid: TunnelId },
+    /// Drop (no session / expired rule).
+    Drop,
+}
+
+/// Per-packet verdict from the data plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Forwarded.
+    Forward(ForwardAction),
+    /// Dropped by rate policing (AMBR exceeded).
+    RateLimited,
+    /// No matching rule.
+    NoRule,
+}
+
+/// A token bucket enforcing a sustained rate with a burst allowance.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bytes_per_s: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill: f64,
+}
+
+impl TokenBucket {
+    /// Build from a kbit/s rate (the unit QoS states carry).
+    pub fn from_kbps(kbps: u32, burst_ms: f64) -> Self {
+        let rate = kbps as f64 * 1000.0 / 8.0;
+        let burst = (rate * burst_ms / 1000.0).max(1500.0);
+        Self {
+            rate_bytes_per_s: rate,
+            burst_bytes: burst,
+            tokens: burst,
+            last_refill: 0.0,
+        }
+    }
+
+    /// Attempt to consume `bytes` at time `now` (seconds). Returns
+    /// whether the packet conforms.
+    pub fn admit(&mut self, now: f64, bytes: u64) -> bool {
+        debug_assert!(now >= self.last_refill, "time went backwards");
+        self.tokens = (self.tokens + (now - self.last_refill) * self.rate_bytes_per_s)
+            .min(self.burst_bytes);
+        self.last_refill = now;
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current sustained rate, bytes/s.
+    pub fn rate_bytes_per_s(&self) -> f64 {
+        self.rate_bytes_per_s
+    }
+}
+
+/// One installed session at the UPF.
+#[derive(Debug, Clone)]
+struct SessionRule {
+    action: ForwardAction,
+    bucket: TokenBucket,
+    billing: BillingState,
+    /// Bytes since the last usage report.
+    unreported_bytes: u64,
+}
+
+/// A usage report emitted toward the SMF/PCF (and, in SpaceCore, the
+/// home — §4.4 "receives the dynamic data usage reports from the remote
+/// satellites").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsageReport {
+    pub teid: TunnelId,
+    pub bytes: u64,
+    /// Cumulative bytes for the session.
+    pub total_bytes: u64,
+}
+
+/// The user-plane function.
+#[derive(Debug, Clone, Default)]
+pub struct Upf {
+    rules: HashMap<TunnelId, SessionRule>,
+}
+
+impl Upf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// P8 — install forwarding + QoS + billing state for a session.
+    pub fn install(
+        &mut self,
+        teid: TunnelId,
+        action: ForwardAction,
+        qos: &QosState,
+        billing: &BillingState,
+    ) {
+        let kbps = effective_rate_kbps(qos, billing);
+        self.rules.insert(
+            teid,
+            SessionRule {
+                action,
+                bucket: TokenBucket::from_kbps(kbps, 100.0),
+                billing: *billing,
+                unreported_bytes: 0,
+            },
+        );
+    }
+
+    /// Update a session's QoS/billing (home-controlled state update,
+    /// e.g. post-quota throttling). Counters are preserved.
+    pub fn update(&mut self, teid: TunnelId, qos: &QosState, billing: &BillingState) -> bool {
+        match self.rules.get_mut(&teid) {
+            None => false,
+            Some(rule) => {
+                let used = rule.billing.used_bytes.max(billing.used_bytes);
+                rule.billing = *billing;
+                rule.billing.used_bytes = used;
+                rule.bucket = TokenBucket::from_kbps(effective_rate_kbps(qos, billing), 100.0);
+                true
+            }
+        }
+    }
+
+    /// P15 — remove a session (release / path switch away).
+    pub fn remove(&mut self, teid: TunnelId) -> bool {
+        self.rules.remove(&teid).is_some()
+    }
+
+    /// Number of installed sessions.
+    pub fn installed(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Process one packet of `bytes` at `now` on tunnel `teid`.
+    /// Returns the verdict plus an optional usage report (emitted when
+    /// the unreported volume crosses the S4 threshold).
+    pub fn process(
+        &mut self,
+        teid: TunnelId,
+        bytes: u64,
+        now: f64,
+    ) -> (Verdict, Option<UsageReport>) {
+        let Some(rule) = self.rules.get_mut(&teid) else {
+            return (Verdict::NoRule, None);
+        };
+        if !rule.bucket.admit(now, bytes) {
+            return (Verdict::RateLimited, None);
+        }
+        rule.billing.used_bytes += bytes;
+        rule.unreported_bytes += bytes;
+        let report = if rule.unreported_bytes >= rule.billing.report_threshold_bytes {
+            let r = UsageReport {
+                teid,
+                bytes: rule.unreported_bytes,
+                total_bytes: rule.billing.used_bytes,
+            };
+            rule.unreported_bytes = 0;
+            Some(r)
+        } else {
+            None
+        };
+        (Verdict::Forward(rule.action), report)
+    }
+
+    /// Session byte counter (None if not installed).
+    pub fn used_bytes(&self, teid: TunnelId) -> Option<u64> {
+        self.rules.get(&teid).map(|r| r.billing.used_bytes)
+    }
+}
+
+/// The enforced sustained rate: AMBR normally, the post-quota throttle
+/// once the quota is consumed.
+fn effective_rate_kbps(qos: &QosState, billing: &BillingState) -> u32 {
+    if billing.over_quota() {
+        billing.post_quota_kbps
+    } else {
+        qos.ambr_kbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SessionState;
+
+    fn teid() -> TunnelId {
+        TunnelId(0x1234)
+    }
+
+    fn fresh_upf() -> (Upf, SessionState) {
+        let s = SessionState::sample(1);
+        let mut upf = Upf::new();
+        upf.install(teid(), ForwardAction::ToRadio, &s.qos, &s.billing);
+        (upf, s)
+    }
+
+    #[test]
+    fn install_forward_remove() {
+        let (mut upf, _) = fresh_upf();
+        assert_eq!(upf.installed(), 1);
+        let (v, _) = upf.process(teid(), 1200, 0.001);
+        assert_eq!(v, Verdict::Forward(ForwardAction::ToRadio));
+        assert!(upf.remove(teid()));
+        let (v2, _) = upf.process(teid(), 1200, 0.002);
+        assert_eq!(v2, Verdict::NoRule);
+    }
+
+    #[test]
+    fn token_bucket_enforces_ambr() {
+        // 1 Mbit/s = 125 kB/s; burst 100 ms = 12.5 kB.
+        let mut tb = TokenBucket::from_kbps(1000, 100.0);
+        // Burst passes…
+        assert!(tb.admit(0.0, 12_000));
+        // …but the next full-size packet exceeds the depleted bucket.
+        assert!(!tb.admit(0.0, 1500));
+        // After 100 ms, 12.5 kB of tokens returned.
+        assert!(tb.admit(0.1, 12_000));
+    }
+
+    #[test]
+    fn rate_limited_verdict() {
+        let (mut upf, _) = fresh_upf();
+        // Exhaust the burst at t=0 with oversized writes.
+        let mut limited = false;
+        for _ in 0..10_000 {
+            let (v, _) = upf.process(teid(), 1500, 0.0);
+            if v == Verdict::RateLimited {
+                limited = true;
+                break;
+            }
+        }
+        assert!(limited, "AMBR never enforced");
+    }
+
+    #[test]
+    fn sustained_throughput_tracks_rate() {
+        let (mut upf, s) = fresh_upf();
+        // Send 1500-byte packets spread over 10 s; count admitted bytes.
+        let mut admitted = 0u64;
+        let n = 200_000;
+        for i in 0..n {
+            let now = i as f64 * 10.0 / n as f64;
+            if let (Verdict::Forward(_), _) = upf.process(teid(), 1500, now) {
+                admitted += 1500;
+            }
+        }
+        let rate = admitted as f64 / 10.0; // bytes/s
+        let expect = s.qos.ambr_kbps as f64 * 125.0; // kbps → B/s
+        assert!(
+            (rate - expect).abs() < 0.15 * expect,
+            "rate {rate} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn usage_report_on_threshold() {
+        let s = SessionState::sample(2);
+        let mut billing = s.billing;
+        billing.report_threshold_bytes = 10_000;
+        let mut upf = Upf::new();
+        upf.install(teid(), ForwardAction::ToRadio, &s.qos, &billing);
+        let mut reports = Vec::new();
+        for i in 0..20 {
+            let (_, r) = upf.process(teid(), 1500, i as f64 * 0.1);
+            if let Some(r) = r {
+                reports.push(r);
+            }
+        }
+        // 20 × 1500 = 30 kB → reports at 10.5 kB and 21 kB (the third
+        // would need 31.5 kB of traffic).
+        assert_eq!(reports.len(), 2, "{reports:?}");
+        assert_eq!(reports[0].bytes, 10_500);
+        assert_eq!(reports.last().unwrap().total_bytes, 21_000);
+    }
+
+    #[test]
+    fn throttle_applies_after_quota_update() {
+        let s = SessionState::sample(3);
+        let mut upf = Upf::new();
+        upf.install(teid(), ForwardAction::ToRadio, &s.qos, &s.billing);
+        let full_rate = s.qos.ambr_kbps;
+        // Home pushes the post-quota state.
+        let mut over = s.billing;
+        over.used_bytes = over.quota_bytes;
+        assert!(upf.update(teid(), &s.qos, &over));
+        // Now the effective rate is the 128 kbps throttle: sending at
+        // the old AMBR gets policed hard.
+        let mut admitted = 0u64;
+        for i in 0..10_000 {
+            let now = 1.0 + i as f64 * 1.0 / 10_000.0;
+            if let (Verdict::Forward(_), _) = upf.process(teid(), 1500, now) {
+                admitted += 1500;
+            }
+        }
+        let rate_kbps = admitted as f64 * 8.0 / 1000.0; // over ~1 s
+        assert!(
+            rate_kbps < full_rate as f64 / 10.0,
+            "throttled rate {rate_kbps} vs AMBR {full_rate}"
+        );
+    }
+
+    #[test]
+    fn update_preserves_counters() {
+        let s = SessionState::sample(4);
+        let mut upf = Upf::new();
+        upf.install(teid(), ForwardAction::ToRadio, &s.qos, &s.billing);
+        upf.process(teid(), 5000, 0.001);
+        assert_eq!(upf.used_bytes(teid()), Some(5000));
+        assert!(upf.update(teid(), &s.qos, &s.billing));
+        assert_eq!(upf.used_bytes(teid()), Some(5000), "counter survives update");
+    }
+
+    #[test]
+    fn uplink_action_carries_next_teid() {
+        let s = SessionState::sample(5);
+        let mut upf = Upf::new();
+        upf.install(
+            TunnelId(1),
+            ForwardAction::ToNetwork {
+                next_teid: TunnelId(2),
+            },
+            &s.qos,
+            &s.billing,
+        );
+        let (v, _) = upf.process(TunnelId(1), 100, 0.01);
+        assert_eq!(
+            v,
+            Verdict::Forward(ForwardAction::ToNetwork {
+                next_teid: TunnelId(2)
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_update_and_remove_fail() {
+        let s = SessionState::sample(6);
+        let mut upf = Upf::new();
+        assert!(!upf.update(TunnelId(9), &s.qos, &s.billing));
+        assert!(!upf.remove(TunnelId(9)));
+        assert_eq!(upf.used_bytes(TunnelId(9)), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Geospatial UE addressing (Figure 15c).
+//!
+//! SpaceCore collapses the legacy location state (S2: cell ID, tracking
+//! area ID, IP address) into a single 128-bit address that unifies the
+//! UE's logical and physical location:
+//!
+//! ```text
+//!  bits 127..96      95..64           63..32        31..0
+//! ┌───────────────┬───────────────┬───────────────┬───────────────┐
+//! │ 5G-PLMN-ID    │ home cell     │ UE cell       │ 5G-TMSI       │
+//! │ operator      │ (colₕ‖rowₕ)   │ (colᵤ‖rowᵤ)   │ per-cell UE id│
+//! └───────────────┴───────────────┴───────────────┴───────────────┘
+//! ```
+//!
+//! The address doubles as the routable destination for Algorithm 1: any
+//! satellite can extract the UE-cell field and forward toward that
+//! geospatial cell with no per-UE forwarding state. It changes only when
+//! the UE crosses a geospatial cell — rare, given Table 3 cell sizes.
+
+use crate::cells::CellId;
+use std::net::Ipv6Addr;
+
+/// A 128-bit geospatial address (Figure 15c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GeoAddress {
+    /// Operator identifier (the 5G PLMN ID, padded to 32 bits).
+    pub plmn: u32,
+    /// The cell hosting the UE's terrestrial home network.
+    pub home_cell: CellId,
+    /// The cell the UE currently resides in.
+    pub ue_cell: CellId,
+    /// Per-cell unique UE identifier (the 5G-TMSI analogue).
+    pub suffix: u32,
+}
+
+impl GeoAddress {
+    pub fn new(plmn: u32, home_cell: CellId, ue_cell: CellId, suffix: u32) -> Self {
+        Self {
+            plmn,
+            home_cell,
+            ue_cell,
+            suffix,
+        }
+    }
+
+    /// Encode to a raw 128-bit value, field order per Figure 15c.
+    pub fn encode(&self) -> u128 {
+        ((self.plmn as u128) << 96)
+            | ((self.home_cell.pack() as u128) << 64)
+            | ((self.ue_cell.pack() as u128) << 32)
+            | self.suffix as u128
+    }
+
+    /// Decode from a raw 128-bit value.
+    pub fn decode(v: u128) -> Self {
+        Self {
+            plmn: (v >> 96) as u32,
+            home_cell: CellId::unpack((v >> 64) as u32),
+            ue_cell: CellId::unpack((v >> 32) as u32),
+            suffix: v as u32,
+        }
+    }
+
+    /// View as an IPv6 address (the deployment encoding noted in §4.1:
+    /// prefix for external networking, geographic IDs, UE suffix).
+    pub fn to_ipv6(&self) -> Ipv6Addr {
+        Ipv6Addr::from(self.encode())
+    }
+
+    /// Parse from an IPv6 address.
+    pub fn from_ipv6(a: Ipv6Addr) -> Self {
+        Self::decode(u128::from(a))
+    }
+
+    /// A copy of this address re-homed to a new UE cell, as issued by the
+    /// home network on a (rare) UE cell crossing (§4.3). The suffix is
+    /// re-allocated by the home; callers pass the new one.
+    pub fn with_ue_cell(&self, ue_cell: CellId, suffix: u32) -> Self {
+        Self {
+            ue_cell,
+            suffix,
+            ..*self
+        }
+    }
+
+    /// Do two addresses belong to the same operator?
+    pub fn same_plmn(&self, other: &GeoAddress) -> bool {
+        self.plmn == other.plmn
+    }
+
+    /// Are two UEs currently in the same geospatial cell?
+    pub fn same_cell(&self, other: &GeoAddress) -> bool {
+        self.ue_cell == other.ue_cell
+    }
+}
+
+impl std::fmt::Display for GeoAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "geo://{:06x}/{}:{}/{}:{}/{:08x}",
+            self.plmn,
+            self.home_cell.col,
+            self.home_cell.row,
+            self.ue_cell.col,
+            self.ue_cell.row,
+            self.suffix
+        )
+    }
+}
+
+/// Allocates per-cell-unique suffixes, as the home network does after a
+/// successful initial registration (§4.2).
+///
+/// Deterministic: suffixes are handed out sequentially per cell, so a
+/// replayed workload produces identical addresses.
+#[derive(Debug, Default, Clone)]
+pub struct SuffixAllocator {
+    next: std::collections::HashMap<CellId, u32>,
+}
+
+impl SuffixAllocator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the next free suffix in `cell`.
+    pub fn allocate(&mut self, cell: CellId) -> u32 {
+        let n = self.next.entry(cell).or_insert(0);
+        let v = *n;
+        *n = n.wrapping_add(1);
+        v
+    }
+
+    /// Number of suffixes handed out in `cell` so far.
+    pub fn allocated_in(&self, cell: CellId) -> u32 {
+        self.next.get(&cell).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GeoAddress {
+        GeoAddress::new(
+            0x00F110, // PLMN 460-01 style
+            CellId::new(12, 7),
+            CellId::new(40, 3),
+            0xDEADBEEF,
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let a = sample();
+        assert_eq!(GeoAddress::decode(a.encode()), a);
+    }
+
+    #[test]
+    fn ipv6_roundtrip() {
+        let a = sample();
+        assert_eq!(GeoAddress::from_ipv6(a.to_ipv6()), a);
+    }
+
+    #[test]
+    fn field_layout_matches_figure_15c() {
+        let a = sample();
+        let v = a.encode();
+        assert_eq!((v >> 96) as u32, 0x00F110);
+        assert_eq!(((v >> 64) & 0xFFFF_FFFF) as u32, CellId::new(12, 7).pack());
+        assert_eq!(((v >> 32) & 0xFFFF_FFFF) as u32, CellId::new(40, 3).pack());
+        assert_eq!(v as u32, 0xDEADBEEF);
+    }
+
+    #[test]
+    fn rehoming_changes_only_cell_and_suffix() {
+        let a = sample();
+        let b = a.with_ue_cell(CellId::new(41, 3), 7);
+        assert_eq!(b.plmn, a.plmn);
+        assert_eq!(b.home_cell, a.home_cell);
+        assert_eq!(b.ue_cell, CellId::new(41, 3));
+        assert_eq!(b.suffix, 7);
+        assert!(!a.same_cell(&b));
+        assert!(a.same_plmn(&b));
+    }
+
+    #[test]
+    fn suffix_allocator_per_cell() {
+        let mut alloc = SuffixAllocator::new();
+        let c1 = CellId::new(0, 0);
+        let c2 = CellId::new(0, 1);
+        assert_eq!(alloc.allocate(c1), 0);
+        assert_eq!(alloc.allocate(c1), 1);
+        assert_eq!(alloc.allocate(c2), 0);
+        assert_eq!(alloc.allocated_in(c1), 2);
+        assert_eq!(alloc.allocated_in(c2), 1);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = sample().to_string();
+        assert!(s.starts_with("geo://00f110/12:7/40:3/deadbeef"), "{s}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Angle utilities: degree/radian newtypes and normalization helpers.
+//!
+//! All internal math in this workspace is done in radians (`f64`); the
+//! [`Degrees`] / [`Radians`] newtypes exist so public constructors (orbit
+//! inclinations, ground-station coordinates, …) cannot silently mix units.
+
+use std::f64::consts::{PI, TAU};
+
+/// An angle expressed in degrees.
+///
+/// Use [`Degrees::to_radians`] to enter the math layer; no computation is
+/// performed on `Degrees` directly.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Degrees(pub f64);
+
+/// An angle expressed in radians.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Radians(pub f64);
+
+impl Degrees {
+    /// Convert to radians.
+    pub fn to_radians(self) -> Radians {
+        Radians(self.0.to_radians())
+    }
+}
+
+impl Radians {
+    /// Convert to degrees.
+    pub fn to_degrees(self) -> Degrees {
+        Degrees(self.0.to_degrees())
+    }
+
+    /// Raw value in radians.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<Degrees> for Radians {
+    fn from(d: Degrees) -> Self {
+        d.to_radians()
+    }
+}
+
+impl From<Radians> for Degrees {
+    fn from(r: Radians) -> Self {
+        r.to_degrees()
+    }
+}
+
+/// Wrap an angle into `[0, 2π)`.
+///
+/// Handles arbitrarily large positive or negative inputs; the result is
+/// always in the half-open interval (subject to floating-point rounding,
+/// which may return a value equal to `2π` for inputs infinitesimally below
+/// a multiple of `2π`; callers that index grids should use
+/// `CellGrid::cell_of_point` style clamping).
+pub fn wrap_2pi(a: f64) -> f64 {
+    let r = a.rem_euclid(TAU);
+    if r == TAU {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// Wrap an angle into `(-π, π]`, the conventional longitude range.
+pub fn normalize_lon(a: f64) -> f64 {
+    let r = wrap_2pi(a);
+    if r > PI {
+        r - TAU
+    } else {
+        r
+    }
+}
+
+/// Smallest absolute angular difference between two angles, in `[0, π]`.
+pub fn angular_distance(a: f64, b: f64) -> f64 {
+    normalize_lon(a - b).abs()
+}
+
+/// Signed shortest rotation taking angle `from` to angle `to`, in `(-π, π]`.
+pub fn signed_delta(from: f64, to: f64) -> f64 {
+    normalize_lon(to - from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn wrap_basic() {
+        assert!((wrap_2pi(0.0) - 0.0).abs() < EPS);
+        assert!((wrap_2pi(TAU) - 0.0).abs() < EPS);
+        assert!((wrap_2pi(-0.1) - (TAU - 0.1)).abs() < EPS);
+        assert!((wrap_2pi(TAU + 0.5) - 0.5).abs() < EPS);
+        assert!((wrap_2pi(-5.0 * TAU + 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_lon_range() {
+        assert!((normalize_lon(PI + 0.1) - (-PI + 0.1)).abs() < EPS);
+        assert!((normalize_lon(-PI - 0.1) - (PI - 0.1)).abs() < EPS);
+        assert!((normalize_lon(PI) - PI).abs() < EPS);
+    }
+
+    #[test]
+    fn angular_distance_symmetric() {
+        assert!((angular_distance(0.1, TAU - 0.1) - 0.2).abs() < 1e-9);
+        assert!((angular_distance(TAU - 0.1, 0.1) - 0.2).abs() < 1e-9);
+        assert!((angular_distance(1.0, 1.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn signed_delta_direction() {
+        assert!(signed_delta(0.1, 0.3) > 0.0);
+        assert!(signed_delta(0.3, 0.1) < 0.0);
+        // Crossing the wrap point takes the short way.
+        assert!((signed_delta(TAU - 0.1, 0.1) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_radian_roundtrip() {
+        let d = Degrees(53.0);
+        let back = d.to_radians().to_degrees();
+        assert!((back.0 - 53.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! Geodesy substrate for the SpaceCore reproduction.
+//!
+//! This crate implements the geometric foundations the paper's stateless
+//! core is built on (§4.1 of the paper):
+//!
+//! * spherical-earth geodesy (great-circle math, ECEF vectors, visibility),
+//! * the **(α, γ) affine inclined spherical coordinate system** of
+//!   Figure 15a, which identifies every terrestrial location by the
+//!   longitude of an ascending-node crossing (α) and the angular distance
+//!   along a great circle of the constellation's inclination (γ),
+//! * the **geospatial cell grid** of Figure 15b / Table 3 that decouples
+//!   service areas from fast-moving satellites, and
+//! * the **128-bit geospatial UE address** of Figure 15c that folds the
+//!   UE's logical and physical location into a single identifier.
+//!
+//! Everything here is pure math with no I/O; the `orbit`, `netsim` and
+//! `spacecore` crates build on it.
+
+pub mod addr;
+pub mod angle;
+pub mod cells;
+pub mod inclined;
+pub mod sphere;
+pub mod subcell;
+
+pub use addr::GeoAddress;
+pub use angle::{normalize_lon, wrap_2pi, Degrees, Radians};
+pub use cells::{CellGrid, CellId, CellStats};
+pub use inclined::{InclinedCoord, InclinedFrame};
+pub use subcell::{SubCellExt, SubCellId};
+pub use sphere::{GeoPoint, Vec3, EARTH_RADIUS_KM};

@@ -1,0 +1,275 @@
+//! Spherical-earth geodesy: geographic points, ECEF vectors, great-circle
+//! distances, and space-ground visibility.
+//!
+//! The paper's emulation (and ours) treats the earth as a sphere; the J2/J4
+//! perturbation effects that matter to the evaluation act on the *orbits*
+//! (handled in `sc-orbit`), not on the geoid shape.
+
+use crate::angle::normalize_lon;
+
+/// Mean earth radius in kilometres (spherical model).
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Speed of light in vacuum, km/s. Used for propagation delays.
+pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.458;
+
+/// A geographic point on the (spherical) earth surface.
+///
+/// `lat` ∈ [-π/2, π/2], `lon` ∈ (-π, π], both radians.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Geographic latitude in radians.
+    pub lat: f64,
+    /// Geographic longitude in radians.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Build a point from radians, normalizing the longitude.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!(
+            (-std::f64::consts::FRAC_PI_2..=std::f64::consts::FRAC_PI_2).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        Self {
+            lat,
+            lon: normalize_lon(lon),
+        }
+    }
+
+    /// Build a point from degrees.
+    pub fn from_degrees(lat_deg: f64, lon_deg: f64) -> Self {
+        Self::new(lat_deg.to_radians(), lon_deg.to_radians())
+    }
+
+    /// Unit direction vector (ECEF, earth-fixed, km-normalized to 1).
+    pub fn unit_vector(&self) -> Vec3 {
+        let (slat, clat) = self.lat.sin_cos();
+        let (slon, clon) = self.lon.sin_cos();
+        Vec3 {
+            x: clat * clon,
+            y: clat * slon,
+            z: slat,
+        }
+    }
+
+    /// Position vector on the surface, in km.
+    pub fn surface_vector(&self) -> Vec3 {
+        self.unit_vector().scale(EARTH_RADIUS_KM)
+    }
+
+    /// Central angle (radians) between two surface points.
+    pub fn central_angle(&self, other: &GeoPoint) -> f64 {
+        // Numerically stable formulation via the chord.
+        let d = self.unit_vector().dot(&other.unit_vector()).clamp(-1.0, 1.0);
+        d.acos()
+    }
+
+    /// Great-circle surface distance in km.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        self.central_angle(other) * EARTH_RADIUS_KM
+    }
+}
+
+/// A 3-D vector in km (ECEF unless stated otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    pub fn dot(&self, o: &Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    pub fn cross(&self, o: &Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    pub fn scale(&self, k: f64) -> Vec3 {
+        Vec3 {
+            x: self.x * k,
+            y: self.y * k,
+            z: self.z * k,
+        }
+    }
+
+    pub fn add(&self, o: &Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x + o.x,
+            y: self.y + o.y,
+            z: self.z + o.z,
+        }
+    }
+
+    pub fn sub(&self, o: &Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x - o.x,
+            y: self.y - o.y,
+            z: self.z - o.z,
+        }
+    }
+
+    /// Normalize to unit length. Returns `None` for the zero vector.
+    pub fn normalized(&self) -> Option<Vec3> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(self.scale(1.0 / n))
+        }
+    }
+
+    /// Convert an ECEF position back to the geographic sub-point
+    /// (latitude/longitude of the radial projection onto the surface).
+    pub fn to_geo(&self) -> GeoPoint {
+        let r = self.norm();
+        let lat = (self.z / r).clamp(-1.0, 1.0).asin();
+        let lon = self.y.atan2(self.x);
+        GeoPoint::new(lat, lon)
+    }
+
+    /// Straight-line (slant) distance to another point, km.
+    pub fn distance_km(&self, o: &Vec3) -> f64 {
+        self.sub(o).norm()
+    }
+}
+
+/// Elevation angle (radians) of a satellite at ECEF position `sat_km` as
+/// seen from ground point `ground` on the surface.
+///
+/// Returns negative values when the satellite is below the horizon.
+pub fn elevation_angle(ground: &GeoPoint, sat_km: &Vec3) -> f64 {
+    let gp = ground.surface_vector();
+    let up = ground.unit_vector();
+    let to_sat = sat_km.sub(&gp);
+    let n = to_sat.norm();
+    if n == 0.0 {
+        return std::f64::consts::FRAC_PI_2;
+    }
+    (to_sat.dot(&up) / n).clamp(-1.0, 1.0).asin()
+}
+
+/// Maximum central angle (radians) between a satellite's sub-point and a
+/// ground point such that the satellite is visible above `min_elev`
+/// (radians), for a satellite at altitude `alt_km`.
+///
+/// Standard spherical visibility geometry:
+/// `λ = acos(Re·cos(ε)/(Re+h)) − ε`.
+pub fn coverage_half_angle(alt_km: f64, min_elev: f64) -> f64 {
+    let re = EARTH_RADIUS_KM;
+    ((re * min_elev.cos()) / (re + alt_km)).acos() - min_elev
+}
+
+/// Propagation delay in milliseconds over a straight-line path of `km`.
+pub fn propagation_delay_ms(km: f64) -> f64 {
+    km / SPEED_OF_LIGHT_KM_S * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn unit_vectors_cardinal() {
+        let equator_prime = GeoPoint::from_degrees(0.0, 0.0).unit_vector();
+        assert!((equator_prime.x - 1.0).abs() < 1e-12);
+        let north = GeoPoint::from_degrees(90.0, 0.0).unit_vector();
+        assert!((north.z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_quarter_circle() {
+        let a = GeoPoint::from_degrees(0.0, 0.0);
+        let b = GeoPoint::from_degrees(0.0, 90.0);
+        assert!((a.central_angle(&b) - FRAC_PI_2).abs() < 1e-12);
+        assert!((a.distance_km(&b) - EARTH_RADIUS_KM * FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beijing_new_york_distance() {
+        // Known great-circle distance ≈ 10,990 km (spherical model).
+        let beijing = GeoPoint::from_degrees(39.9042, 116.4074);
+        let ny = GeoPoint::from_degrees(40.7128, -74.0060);
+        let d = beijing.distance_km(&ny);
+        assert!((10_500.0..11_500.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn geo_vector_roundtrip() {
+        let p = GeoPoint::from_degrees(37.5, -122.3);
+        let q = p.surface_vector().to_geo();
+        assert!((p.lat - q.lat).abs() < 1e-12);
+        assert!((p.lon - q.lon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elevation_zenith() {
+        let g = GeoPoint::from_degrees(10.0, 20.0);
+        let sat = g.unit_vector().scale(EARTH_RADIUS_KM + 550.0);
+        let e = elevation_angle(&g, &sat);
+        assert!((e - FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elevation_below_horizon() {
+        let g = GeoPoint::from_degrees(0.0, 0.0);
+        // Satellite on the opposite side of the earth.
+        let anti = GeoPoint::from_degrees(0.0, 180.0)
+            .unit_vector()
+            .scale(EARTH_RADIUS_KM + 550.0);
+        assert!(elevation_angle(&g, &anti) < 0.0);
+    }
+
+    #[test]
+    fn coverage_half_angle_sane() {
+        // Starlink at 550 km, 25° min elevation → roughly 8-10° half angle.
+        let lam = coverage_half_angle(550.0, 25f64.to_radians());
+        assert!(lam > 5f64.to_radians() && lam < 12f64.to_radians(), "{lam}");
+        // Higher altitude → wider coverage.
+        let lam2 = coverage_half_angle(1200.0, 25f64.to_radians());
+        assert!(lam2 > lam);
+        // Lower min-elevation → wider coverage.
+        let lam3 = coverage_half_angle(550.0, 10f64.to_radians());
+        assert!(lam3 > lam);
+    }
+
+    #[test]
+    fn propagation_delay_examples() {
+        // 550 km straight down ≈ 1.83 ms.
+        let d = propagation_delay_ms(550.0);
+        assert!((d - 1.834).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn vec3_algebra() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        let c = a.cross(&b);
+        assert!((c.z - 1.0).abs() < 1e-12);
+        assert!((a.add(&b).norm() - 2f64.sqrt()).abs() < 1e-12);
+        assert!(Vec3::default().normalized().is_none());
+    }
+
+    #[test]
+    fn antipodal_angle() {
+        let a = GeoPoint::from_degrees(0.0, 0.0);
+        let b = GeoPoint::from_degrees(0.0, 180.0);
+        assert!((a.central_angle(&b) - PI).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,241 @@
+//! Hierarchical sub-cell refinement (§6.2).
+//!
+//! "In Iridium, SpaceCore sometimes incurs > 100 ms longer path delays
+//! … from the detours due to the granularity of the geospatial cells
+//! and can be avoided with finer-grained cells (thus more bits in the
+//! addressing in Figure 15c)."
+//!
+//! A [`SubCellId`] refines a base [`CellId`] by a
+//! quadtree subdivision of its (α, γ) rectangle: each level splits both
+//! axes in half, adding 2 bits per level. Level 0 is the base cell. The
+//! refined id packs into the same 32-bit field as the base id does —
+//! the address format of Figure 15c simply spends spare suffix bits on
+//! the quadrant path.
+
+use crate::cells::{CellGrid, CellId};
+use crate::inclined::InclinedCoord;
+use crate::sphere::GeoPoint;
+
+/// Maximum refinement level representable in the packed form
+/// (2 bits per level in a 16-bit quadrant path + 4-bit level field).
+pub const MAX_LEVEL: u8 = 8;
+
+/// A refined cell: base cell + quadrant path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubCellId {
+    /// The base grid cell.
+    pub base: CellId,
+    /// Refinement level (0 = base cell).
+    pub level: u8,
+    /// Quadrant path, 2 bits per level, level 1 in the least-significant
+    /// bits. Quadrants: bit0 = upper α half, bit1 = upper γ half.
+    pub path: u16,
+}
+
+impl SubCellId {
+    /// The unrefined base cell.
+    pub fn base_only(base: CellId) -> Self {
+        Self {
+            base,
+            level: 0,
+            path: 0,
+        }
+    }
+
+    /// Pack to 64 bits: base(32) | level(4) | path(16) (12 bits spare).
+    pub fn pack(&self) -> u64 {
+        (self.base.pack() as u64) << 32 | (self.level as u64) << 16 | self.path as u64
+    }
+
+    /// Inverse of [`Self::pack`].
+    pub fn unpack(v: u64) -> Self {
+        Self {
+            base: CellId::unpack((v >> 32) as u32),
+            level: ((v >> 16) & 0xF) as u8,
+            path: v as u16,
+        }
+    }
+
+    /// Is `other` this sub-cell or a descendant of it?
+    pub fn contains(&self, other: &SubCellId) -> bool {
+        if self.base != other.base || other.level < self.level {
+            return false;
+        }
+        let mask = if self.level == 0 {
+            0
+        } else {
+            (1u16 << (2 * self.level)) - 1
+        };
+        (other.path & mask) == (self.path & mask)
+    }
+
+    /// Parent sub-cell (None at level 0).
+    pub fn parent(&self) -> Option<SubCellId> {
+        if self.level == 0 {
+            return None;
+        }
+        let level = self.level - 1;
+        let mask = if level == 0 { 0 } else { (1u16 << (2 * level)) - 1 };
+        Some(SubCellId {
+            base: self.base,
+            level,
+            path: self.path & mask,
+        })
+    }
+}
+
+/// Refinement operations over a base grid.
+pub trait SubCellExt {
+    /// The level-`level` sub-cell containing a point.
+    fn subcell_of_point(&self, p: &GeoPoint, level: u8) -> SubCellId;
+    /// The (α, γ) centre of a sub-cell.
+    fn subcell_center(&self, id: SubCellId) -> InclinedCoord;
+    /// Angular half-sizes (α, γ) of a level-`level` sub-cell.
+    fn subcell_half_size(&self, level: u8) -> (f64, f64);
+}
+
+impl SubCellExt for CellGrid {
+    fn subcell_of_point(&self, p: &GeoPoint, level: u8) -> SubCellId {
+        assert!(level <= MAX_LEVEL, "level {level} > {MAX_LEVEL}");
+        let coord = self.frame().from_geo_clamped(p);
+        let base = self.cell_of_coord(coord);
+        let (lo, _) = self.cell_bounds(base);
+        // Fractional position inside the base cell.
+        let fa = ((sc_wrap(coord.alpha) - lo.alpha).rem_euclid(std::f64::consts::TAU))
+            / self.alpha_width();
+        let fg = ((sc_wrap(coord.gamma) - lo.gamma).rem_euclid(std::f64::consts::TAU))
+            / self.gamma_height();
+        let mut path = 0u16;
+        let (mut fa, mut fg) = (fa.clamp(0.0, 0.999_999), fg.clamp(0.0, 0.999_999));
+        for l in 0..level {
+            let qa = if fa >= 0.5 { 1u16 } else { 0 };
+            let qg = if fg >= 0.5 { 1u16 } else { 0 };
+            path |= (qa | (qg << 1)) << (2 * l);
+            fa = (fa - 0.5 * qa as f64) * 2.0;
+            fg = (fg - 0.5 * qg as f64) * 2.0;
+        }
+        SubCellId { base, level, path }
+    }
+
+    fn subcell_center(&self, id: SubCellId) -> InclinedCoord {
+        let (lo, _) = self.cell_bounds(id.base);
+        let (mut a0, mut g0) = (lo.alpha, lo.gamma);
+        let (mut wa, mut wg) = (self.alpha_width(), self.gamma_height());
+        for l in 0..id.level {
+            wa /= 2.0;
+            wg /= 2.0;
+            let q = (id.path >> (2 * l)) & 0b11;
+            if q & 1 != 0 {
+                a0 += wa;
+            }
+            if q & 2 != 0 {
+                g0 += wg;
+            }
+        }
+        InclinedCoord::new(a0 + wa / 2.0, g0 + wg / 2.0)
+    }
+
+    fn subcell_half_size(&self, level: u8) -> (f64, f64) {
+        let f = 2f64.powi(level as i32 + 1);
+        (self.alpha_width() / f, self.gamma_height() / f)
+    }
+}
+
+fn sc_wrap(a: f64) -> f64 {
+    crate::angle::wrap_2pi(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> CellGrid {
+        CellGrid::new(86.4f64.to_radians(), 6, 11) // Iridium: the coarse case
+    }
+
+    #[test]
+    fn level0_matches_base_cell() {
+        let g = grid();
+        let p = GeoPoint::from_degrees(40.0, -100.0);
+        let s = g.subcell_of_point(&p, 0);
+        assert_eq!(s.base, g.cell_of_point(&p));
+        assert_eq!(s.level, 0);
+        assert_eq!(s.path, 0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let g = grid();
+        for lvl in [0u8, 1, 3, 8] {
+            let s = g.subcell_of_point(&GeoPoint::from_degrees(-50.0, 60.0), lvl);
+            assert_eq!(SubCellId::unpack(s.pack()), s);
+        }
+    }
+
+    #[test]
+    fn refinement_is_nested() {
+        let g = grid();
+        let p = GeoPoint::from_degrees(12.0, 34.0);
+        let coarse = g.subcell_of_point(&p, 2);
+        let fine = g.subcell_of_point(&p, 6);
+        assert!(coarse.contains(&fine));
+        assert!(!fine.contains(&coarse));
+        // The parent chain walks back to the coarse cell.
+        let mut cur = fine;
+        while cur.level > 2 {
+            cur = cur.parent().expect("has parent");
+        }
+        assert_eq!(cur, coarse);
+        assert!(g.subcell_of_point(&p, 0).parent().is_none());
+    }
+
+    #[test]
+    fn centers_converge_to_the_point() {
+        let g = grid();
+        let p = GeoPoint::from_degrees(33.0, -7.0);
+        let coord = g.frame().from_geo_clamped(&p);
+        let mut prev_err = f64::INFINITY;
+        for lvl in [0u8, 2, 4, 6, 8] {
+            let c = g.subcell_center(g.subcell_of_point(&p, lvl));
+            let err = sc_geo_err(c, coord);
+            assert!(err <= prev_err + 1e-12, "level {lvl}: {err} > {prev_err}");
+            prev_err = err;
+        }
+        // At level 8, the centre is within the sub-cell half-size.
+        let (ha, hg) = g.subcell_half_size(8);
+        assert!(prev_err <= (ha + hg) * 1.5, "{prev_err}");
+    }
+
+    fn sc_geo_err(a: InclinedCoord, b: InclinedCoord) -> f64 {
+        crate::angle::signed_delta(a.alpha, b.alpha).abs()
+            + crate::angle::signed_delta(a.gamma, b.gamma).abs()
+    }
+
+    #[test]
+    fn half_size_halves_per_level() {
+        let g = grid();
+        let (a0, g0) = g.subcell_half_size(0);
+        let (a1, g1) = g.subcell_half_size(1);
+        assert!((a0 / a1 - 2.0).abs() < 1e-12);
+        assert!((g0 / g1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_points_separate_at_depth() {
+        let g = grid();
+        // Two points ~200 km apart share the (huge) Iridium base cell but
+        // separate under refinement.
+        let p1 = GeoPoint::from_degrees(40.0, -100.0);
+        let p2 = GeoPoint::from_degrees(41.5, -98.0);
+        assert_eq!(g.cell_of_point(&p1), g.cell_of_point(&p2));
+        let s1 = g.subcell_of_point(&p1, 8);
+        let s2 = g.subcell_of_point(&p2, 8);
+        assert_ne!(s1, s2, "refinement must separate distant points");
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn over_deep_level_panics() {
+        grid().subcell_of_point(&GeoPoint::from_degrees(0.0, 0.0), MAX_LEVEL + 1);
+    }
+}

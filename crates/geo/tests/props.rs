@@ -1,0 +1,127 @@
+//! Property-based tests for the geodesy substrate.
+
+use proptest::prelude::*;
+use sc_geo::angle::{normalize_lon, wrap_2pi};
+use sc_geo::cells::{CellGrid, CellId};
+use sc_geo::inclined::{InclinedCoord, InclinedFrame};
+use sc_geo::sphere::GeoPoint;
+use sc_geo::GeoAddress;
+use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+proptest! {
+    #[test]
+    fn wrap_2pi_in_range(a in -1e6f64..1e6) {
+        let w = wrap_2pi(a);
+        prop_assert!((0.0..TAU).contains(&w), "{w}");
+    }
+
+    #[test]
+    fn normalize_lon_in_range(a in -1e6f64..1e6) {
+        let w = normalize_lon(a);
+        prop_assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "{w}");
+    }
+
+    #[test]
+    fn geo_vector_roundtrip(lat in -1.55f64..1.55, lon in -3.1f64..3.1) {
+        let p = GeoPoint::new(lat, lon);
+        let q = p.surface_vector().to_geo();
+        prop_assert!((p.lat - q.lat).abs() < 1e-9);
+        prop_assert!((p.lon - q.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_symmetric_and_triangle(
+        lat1 in -1.5f64..1.5, lon1 in -3.1f64..3.1,
+        lat2 in -1.5f64..1.5, lon2 in -3.1f64..3.1,
+        lat3 in -1.5f64..1.5, lon3 in -3.1f64..3.1,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let c = GeoPoint::new(lat3, lon3);
+        prop_assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-6);
+        prop_assert!(a.distance_km(&c) <= a.distance_km(&b) + b.distance_km(&c) + 1e-6);
+    }
+
+    #[test]
+    fn inclined_roundtrip_ascending(
+        inc in 0.3f64..1.55,
+        alpha in 0.0f64..6.28,
+        gamma in -1.5f64..1.5,
+    ) {
+        let f = InclinedFrame::new(inc);
+        let c = InclinedCoord::new(alpha, gamma);
+        let p = f.to_geo(c);
+        let c2 = f.from_geo(&p).unwrap();
+        prop_assert!((wrap_2pi(c2.alpha) - wrap_2pi(alpha)).abs() < 1e-6
+            || (wrap_2pi(c2.alpha) - wrap_2pi(alpha)).abs() > TAU - 1e-6);
+        prop_assert!((c2.gamma - gamma).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inclined_band_respected(inc in 0.3f64..1.5, lat in -1.55f64..1.55, lon in -3.1f64..3.1) {
+        let f = InclinedFrame::new(inc);
+        let p = GeoPoint::new(lat, lon);
+        let r = f.from_geo(&p);
+        if lat.abs() <= inc - 1e-9 {
+            prop_assert!(r.is_ok());
+        } else if lat.abs() > inc + 1e-9 {
+            prop_assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn cell_assignment_in_grid_bounds(
+        planes in 1u16..100, slots in 1u16..50,
+        lat in -1.5f64..1.5, lon in -3.1f64..3.1,
+    ) {
+        let g = CellGrid::new(1.2, planes, slots);
+        let id = g.cell_of_point(&GeoPoint::new(lat, lon));
+        prop_assert!(id.col < planes && id.row < slots);
+    }
+
+    #[test]
+    fn cell_areas_positive_and_tile_band_twice(planes in 2u16..40, slots in 2u16..30) {
+        let inc = 1.0f64;
+        let g = CellGrid::new(inc, planes, slots);
+        let mut total = 0.0;
+        for id in g.iter_cells() {
+            let a = g.cell_area_km2(id);
+            prop_assert!(a > 0.0);
+            total += a;
+        }
+        let band = 4.0 * PI * sc_geo::EARTH_RADIUS_KM * sc_geo::EARTH_RADIUS_KM * inc.sin();
+        prop_assert!((total / (2.0 * band) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cell_center_maps_back(planes in 1u16..80, slots in 1u16..40, col in 0u16..80, row in 0u16..40) {
+        let g = CellGrid::new(0.9, planes, slots);
+        let id = CellId::new(col % planes, row % slots);
+        prop_assert_eq!(g.cell_of_coord(g.cell_center(id)), id);
+    }
+
+    #[test]
+    fn address_roundtrip(plmn in any::<u32>(), hc in any::<u32>(), uc in any::<u32>(), sfx in any::<u32>()) {
+        let a = GeoAddress::new(plmn, CellId::unpack(hc), CellId::unpack(uc), sfx);
+        prop_assert_eq!(GeoAddress::decode(a.encode()), a);
+        prop_assert_eq!(GeoAddress::from_ipv6(a.to_ipv6()), a);
+    }
+
+    #[test]
+    fn neighbors_are_mutual(planes in 2u16..60, slots in 2u16..30, col in 0u16..60, row in 0u16..30) {
+        let g = CellGrid::new(1.1, planes, slots);
+        let id = CellId::new(col % planes, row % slots);
+        for n in g.neighbors(id) {
+            prop_assert!(g.neighbors(n).contains(&id));
+        }
+    }
+
+    #[test]
+    fn gamma_turning_points_hit_max_lat(inc in 0.3f64..1.5, alpha in 0.0f64..6.28) {
+        let f = InclinedFrame::new(inc);
+        let top = f.to_geo(InclinedCoord::new(alpha, FRAC_PI_2));
+        prop_assert!((top.lat - inc).abs() < 1e-9);
+        let bottom = f.to_geo(InclinedCoord::new(alpha, -FRAC_PI_2));
+        prop_assert!((bottom.lat + inc).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Link-capacity accounting: the data-plane side of the bottleneck
+//! analysis.
+//!
+//! §2.2: "[26] reports that Starlink's ground stations limit the LEO
+//! network's total capacity despite mega-constellations." This module
+//! assigns flows to paths, accumulates per-link utilization, and finds
+//! the saturated links — showing *where* the network runs out of
+//! capacity under anchor-based versus distributed delivery.
+
+use crate::topo::NodeId;
+use std::collections::HashMap;
+
+/// Directed link key.
+type Link = (NodeId, NodeId);
+
+/// A capacity plan: per-link capacity and accumulated load (same units,
+/// e.g. Mbit/s).
+#[derive(Debug, Clone, Default)]
+pub struct CapacityModel {
+    capacity: HashMap<Link, f64>,
+    load: HashMap<Link, f64>,
+}
+
+impl CapacityModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a link's capacity (directed). Overwrites.
+    pub fn set_capacity(&mut self, from: NodeId, to: NodeId, capacity: f64) {
+        assert!(capacity > 0.0 && capacity.is_finite());
+        self.capacity.insert((from, to), capacity);
+    }
+
+    /// Set capacities for both directions.
+    pub fn set_capacity_bidir(&mut self, a: NodeId, b: NodeId, capacity: f64) {
+        self.set_capacity(a, b, capacity);
+        self.set_capacity(b, a, capacity);
+    }
+
+    /// Route a flow of `demand` along `path` (node sequence),
+    /// accumulating load on every hop. Unknown links are rejected.
+    ///
+    /// Returns the worst post-assignment utilization along the path.
+    pub fn assign_flow(&mut self, path: &[NodeId], demand: f64) -> Result<f64, UnknownLink> {
+        assert!(demand >= 0.0 && demand.is_finite());
+        // Validate first (no partial assignment on error).
+        for w in path.windows(2) {
+            if !self.capacity.contains_key(&(w[0], w[1])) {
+                return Err(UnknownLink { from: w[0], to: w[1] });
+            }
+        }
+        let mut worst = 0.0f64;
+        for w in path.windows(2) {
+            let l = self.load.entry((w[0], w[1])).or_insert(0.0);
+            *l += demand;
+            worst = worst.max(*l / self.capacity[&(w[0], w[1])]);
+        }
+        Ok(worst)
+    }
+
+    /// Utilization of one link (load / capacity), or `None` if unknown.
+    pub fn utilization(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        let cap = self.capacity.get(&(from, to))?;
+        Some(self.load.get(&(from, to)).copied().unwrap_or(0.0) / cap)
+    }
+
+    /// All links at or above `threshold` utilization, most-loaded first.
+    pub fn saturated_links(&self, threshold: f64) -> Vec<(Link, f64)> {
+        let mut v: Vec<(Link, f64)> = self
+            .capacity
+            .keys()
+            .filter_map(|l| {
+                let u = self.load.get(l).copied().unwrap_or(0.0) / self.capacity[l];
+                (u >= threshold).then_some((*l, u))
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite utilizations"));
+        v
+    }
+
+    /// The single most-utilized link, if any load exists.
+    pub fn bottleneck(&self) -> Option<(Link, f64)> {
+        self.saturated_links(f64::MIN_POSITIVE).into_iter().next()
+    }
+
+    /// Total carried load (sum over links; multi-hop flows count once
+    /// per hop, i.e. this is link-byte volume, not end-to-end goodput).
+    pub fn total_link_load(&self) -> f64 {
+        self.load.values().sum()
+    }
+
+    /// Clear all assigned load, keeping capacities.
+    pub fn reset_load(&mut self) {
+        self.load.clear();
+    }
+}
+
+/// Error: flow routed over a link that has no configured capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownLink {
+    pub from: NodeId,
+    pub to: NodeId,
+}
+
+impl std::fmt::Display for UnknownLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no capacity configured for link {} → {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for UnknownLink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star around a gateway (node 0), plus a mesh bypass 1-2-3.
+    fn model() -> CapacityModel {
+        let mut m = CapacityModel::new();
+        for n in 1..=3 {
+            m.set_capacity_bidir(0, n, 100.0); // feeder links
+        }
+        m.set_capacity_bidir(1, 2, 1000.0); // ISLs: much fatter
+        m.set_capacity_bidir(2, 3, 1000.0);
+        m
+    }
+
+    #[test]
+    fn assignment_accumulates_and_reports_worst() {
+        let mut m = model();
+        let u = m.assign_flow(&[1, 0, 2], 50.0).unwrap();
+        assert!((u - 0.5).abs() < 1e-12);
+        let u2 = m.assign_flow(&[1, 0, 3], 30.0).unwrap();
+        // Link (1,0) now carries 80 → 0.8 is the worst on this path.
+        assert!((u2 - 0.8).abs() < 1e-12);
+        assert!((m.utilization(1, 0).unwrap() - 0.8).abs() < 1e-12);
+        assert!((m.utilization(0, 2).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gateway_becomes_the_bottleneck() {
+        // Fig. 5a in miniature: anchor everything through node 0 and the
+        // thin feeder saturates while the fat ISLs idle.
+        let mut m = model();
+        for _ in 0..3 {
+            m.assign_flow(&[1, 0, 3], 40.0).unwrap();
+        }
+        let ((from, to), u) = m.bottleneck().unwrap();
+        assert!(from == 1 || to == 1 || from == 0 || to == 0);
+        assert!(u >= 1.2, "{u}");
+        // Distributed delivery over the ISL mesh: no saturation.
+        let mut d = model();
+        for _ in 0..3 {
+            d.assign_flow(&[1, 2, 3], 40.0).unwrap();
+        }
+        let (_, u2) = d.bottleneck().unwrap();
+        assert!(u2 < 0.2, "{u2}");
+    }
+
+    #[test]
+    fn saturated_links_sorted_desc() {
+        let mut m = model();
+        m.assign_flow(&[1, 0], 90.0).unwrap();
+        m.assign_flow(&[2, 0], 120.0).unwrap();
+        let sat = m.saturated_links(0.5);
+        assert_eq!(sat.len(), 2);
+        assert!(sat[0].1 >= sat[1].1);
+        assert_eq!(sat[0].0, (2, 0));
+    }
+
+    #[test]
+    fn unknown_link_rejected_atomically() {
+        let mut m = model();
+        let before = m.total_link_load();
+        let err = m.assign_flow(&[1, 0, 9], 10.0).unwrap_err();
+        assert_eq!(err, UnknownLink { from: 0, to: 9 });
+        // Nothing was assigned to the valid prefix.
+        assert_eq!(m.total_link_load(), before);
+    }
+
+    #[test]
+    fn reset_keeps_capacities() {
+        let mut m = model();
+        m.assign_flow(&[1, 0], 10.0).unwrap();
+        m.reset_load();
+        assert_eq!(m.utilization(1, 0), Some(0.0));
+        assert!(m.bottleneck().is_none());
+    }
+
+    #[test]
+    fn directionality_respected() {
+        let mut m = CapacityModel::new();
+        m.set_capacity(0, 1, 10.0); // one way only
+        assert!(m.assign_flow(&[0, 1], 5.0).is_ok());
+        assert!(m.assign_flow(&[1, 0], 5.0).is_err());
+    }
+}

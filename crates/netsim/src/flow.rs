@@ -1,0 +1,281 @@
+//! A minimal TCP throughput model: AIMD with RTO-based recovery.
+//!
+//! Figure 21 measures *user-level* stalling: ping gaps and TCP
+//! throughput collapse/recovery across satellite handovers. This model
+//! reproduces the transport dynamics that turn a signaling outage into
+//! a longer user-visible stall: congestion-window AIMD growth, an RTO
+//! (with exponential backoff) when the path blacks out, slow-start
+//! recovery afterwards — and full connection loss when the endpoint
+//! address changes.
+
+/// Connection phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpPhase {
+    SlowStart,
+    CongestionAvoidance,
+    /// Waiting out an RTO (path dead).
+    Backoff,
+    /// Connection destroyed (address changed); needs re-establishment.
+    Closed,
+}
+
+/// The TCP flow model, stepped at a fixed tick.
+#[derive(Debug, Clone)]
+pub struct TcpFlow {
+    /// Congestion window, segments.
+    cwnd: f64,
+    /// Slow-start threshold, segments.
+    ssthresh: f64,
+    phase: TcpPhase,
+    /// Current RTO, seconds (doubles per failed probe).
+    rto_s: f64,
+    /// Time of next retransmission probe while in backoff.
+    next_probe: f64,
+    /// Base RTT of the current path, seconds.
+    rtt_s: f64,
+    /// Segment size bytes (for throughput conversion).
+    mss_bytes: f64,
+}
+
+/// RFC 6298 minimum RTO as commonly deployed.
+pub const RTO_MIN_S: f64 = 0.2;
+/// Cap on the backoff.
+pub const RTO_MAX_S: f64 = 60.0;
+
+impl TcpFlow {
+    /// A fresh established connection over a path with `rtt_s`.
+    pub fn new(rtt_s: f64) -> Self {
+        assert!(rtt_s > 0.0);
+        Self {
+            cwnd: 10.0, // IW10
+            ssthresh: 64.0,
+            phase: TcpPhase::SlowStart,
+            rto_s: (2.0 * rtt_s).max(RTO_MIN_S),
+            next_probe: 0.0,
+            rtt_s,
+            mss_bytes: 1460.0,
+        }
+    }
+
+    pub fn phase(&self) -> TcpPhase {
+        self.phase
+    }
+
+    /// Instantaneous throughput estimate, Mbit/s.
+    pub fn throughput_mbps(&self) -> f64 {
+        match self.phase {
+            TcpPhase::Backoff | TcpPhase::Closed => 0.0,
+            _ => self.cwnd * self.mss_bytes * 8.0 / self.rtt_s / 1e6,
+        }
+    }
+
+    /// Advance one RTT of successful transmission.
+    fn on_good_rtt(&mut self) {
+        match self.phase {
+            TcpPhase::SlowStart => {
+                self.cwnd *= 2.0;
+                if self.cwnd >= self.ssthresh {
+                    self.phase = TcpPhase::CongestionAvoidance;
+                }
+            }
+            TcpPhase::CongestionAvoidance => {
+                self.cwnd += 1.0;
+            }
+            _ => {}
+        }
+        self.cwnd = self.cwnd.min(1000.0);
+    }
+
+    /// The path blacked out at time `now` (handover outage began).
+    pub fn on_path_down(&mut self, now: f64) {
+        if self.phase != TcpPhase::Closed {
+            self.phase = TcpPhase::Backoff;
+            self.next_probe = now + self.rto_s;
+        }
+    }
+
+    /// The endpoint address changed: the connection is dead.
+    pub fn on_address_change(&mut self) {
+        self.phase = TcpPhase::Closed;
+        self.cwnd = 0.0;
+    }
+
+    /// Step the model to time `now`, given whether the path currently
+    /// works. Returns the current throughput (Mbit/s).
+    pub fn step(&mut self, now: f64, path_up: bool) -> f64 {
+        match self.phase {
+            TcpPhase::Closed => 0.0,
+            TcpPhase::Backoff => {
+                if now >= self.next_probe {
+                    if path_up {
+                        // Probe succeeds: slow-start restart.
+                        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                        self.cwnd = 1.0;
+                        self.phase = TcpPhase::SlowStart;
+                        self.rto_s = (2.0 * self.rtt_s).max(RTO_MIN_S);
+                    } else {
+                        // Exponential backoff.
+                        self.rto_s = (self.rto_s * 2.0).min(RTO_MAX_S);
+                        self.next_probe = now + self.rto_s;
+                    }
+                }
+                0.0
+            }
+            _ => {
+                if !path_up {
+                    self.on_path_down(now);
+                    0.0
+                } else {
+                    self.on_good_rtt();
+                    self.throughput_mbps()
+                }
+            }
+        }
+    }
+
+    /// Re-establish after an address change: a brand-new connection
+    /// (handshake cost borne by the caller's timeline).
+    pub fn reestablish(&mut self, rtt_s: f64) {
+        *self = TcpFlow::new(rtt_s);
+    }
+}
+
+/// Run a handover scenario: the path is up except during
+/// `[outage_start, outage_end)`; if `address_changes`, the connection
+/// dies at outage start and is re-established `reconnect_delay_s` after
+/// the outage ends. Returns `(time, throughput)` samples at `tick_s`
+/// and the measured stall duration (first zero to next non-zero).
+pub fn handover_scenario(
+    rtt_s: f64,
+    outage_start: f64,
+    outage_end: f64,
+    address_changes: bool,
+    reconnect_delay_s: f64,
+    horizon: f64,
+    tick_s: f64,
+) -> (Vec<(f64, f64)>, f64) {
+    let mut flow = TcpFlow::new(rtt_s);
+    let mut samples = Vec::new();
+    let mut t = 0.0;
+    let mut reestablished = false;
+    while t <= horizon {
+        let path_up = !(outage_start..outage_end).contains(&t);
+        if address_changes && t >= outage_start && flow.phase() != TcpPhase::Closed && !reestablished
+        {
+            flow.on_address_change();
+        }
+        if address_changes
+            && !reestablished
+            && t >= outage_end + reconnect_delay_s
+        {
+            flow.reestablish(rtt_s);
+            reestablished = true;
+        }
+        let thr = flow.step(t, path_up);
+        samples.push((t, thr));
+        t += tick_s;
+    }
+    // Stall: the longest zero-throughput run that contains the outage.
+    let mut stall = 0.0f64;
+    let mut cur_start: Option<f64> = None;
+    for (time, thr) in &samples {
+        if *thr == 0.0 {
+            cur_start.get_or_insert(*time);
+        } else if let Some(s) = cur_start.take() {
+            if *time > outage_start && s <= outage_end {
+                stall = stall.max(time - s);
+            }
+        }
+    }
+    if let Some(s) = cur_start {
+        stall = stall.max(horizon - s);
+    }
+    (samples, stall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_then_linear() {
+        let mut f = TcpFlow::new(0.05);
+        let t0 = f.throughput_mbps();
+        f.step(0.05, true);
+        let t1 = f.throughput_mbps();
+        assert!((t1 / t0 - 2.0).abs() < 1e-9, "{t0} -> {t1}");
+        // Push past ssthresh into congestion avoidance.
+        for i in 0..10 {
+            f.step(0.1 + i as f64 * 0.05, true);
+        }
+        assert_eq!(f.phase(), TcpPhase::CongestionAvoidance);
+    }
+
+    #[test]
+    fn outage_zeroes_throughput_and_recovers() {
+        let (samples, stall) =
+            handover_scenario(0.05, 5.0, 5.5, false, 0.0, 20.0, 0.05);
+        // Zero during the outage.
+        let during: Vec<f64> = samples
+            .iter()
+            .filter(|(t, _)| (5.0..5.5).contains(t))
+            .map(|(_, x)| *x)
+            .collect();
+        assert!(during.iter().all(|x| *x == 0.0));
+        // Recovered by the end.
+        assert!(samples.last().unwrap().1 > 1.0);
+        // Stall ≥ outage (RTO adds recovery lag).
+        assert!(stall >= 0.5, "{stall}");
+        assert!(stall < 5.0, "{stall}");
+    }
+
+    #[test]
+    fn address_change_needs_reestablishment() {
+        let keep = handover_scenario(0.05, 5.0, 5.5, false, 0.0, 30.0, 0.05).1;
+        let change = handover_scenario(0.05, 5.0, 5.5, true, 1.0, 30.0, 0.05).1;
+        assert!(change > keep, "change {change} keep {keep}");
+    }
+
+    #[test]
+    fn rto_backoff_doubles() {
+        let mut f = TcpFlow::new(0.05);
+        f.on_path_down(0.0);
+        let rto0 = f.rto_s;
+        // Path still down at the probe: backoff doubles.
+        f.step(rto0 + 0.01, false);
+        assert!((f.rto_s - 2.0 * rto0).abs() < 1e-9);
+        // Probe again, still down.
+        f.step(rto0 + 2.0 * rto0 + 0.02, false);
+        assert!((f.rto_s - 4.0 * rto0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_restarts_in_slow_start() {
+        let mut f = TcpFlow::new(0.05);
+        for i in 0..20 {
+            f.step(i as f64 * 0.05, true);
+        }
+        let before = f.throughput_mbps();
+        f.on_path_down(1.0);
+        f.step(1.0 + f.rto_s + 0.01, true);
+        assert_eq!(f.phase(), TcpPhase::SlowStart);
+        assert!(f.throughput_mbps() < before / 4.0);
+    }
+
+    #[test]
+    fn closed_flow_stays_closed_until_reestablish() {
+        let mut f = TcpFlow::new(0.05);
+        f.on_address_change();
+        assert_eq!(f.step(10.0, true), 0.0);
+        assert_eq!(f.phase(), TcpPhase::Closed);
+        f.reestablish(0.05);
+        assert!(f.step(11.0, true) > 0.0);
+    }
+
+    #[test]
+    fn longer_rtt_lower_throughput() {
+        let short = TcpFlow::new(0.02).throughput_mbps();
+        let long = TcpFlow::new(0.2).throughput_mbps();
+        assert!(short > long);
+    }
+}

@@ -1,0 +1,38 @@
+//! Network substrate: deterministic discrete-event simulation, satellite
+//! network topology, routing, queueing, and failure/attack injection.
+//!
+//! The paper's what-if emulations (§3 "Methodology") run 5G procedures
+//! over LEO constellations with a grid ISL topology, ground stations, and
+//! realistic failure processes. This crate provides those moving parts:
+//!
+//! * [`des`] — a deterministic discrete-event scheduler (total order on
+//!   time with FIFO tie-breaking, so replays are bit-identical),
+//! * [`topo`] — a weighted graph with Dijkstra shortest paths: the
+//!   baseline routing that SpaceCore's Algorithm 1 is compared against,
+//! * [`isl`] — builders for the +Grid inter-satellite-link topology of
+//!   Table 1 constellations, with physical link delays from actual
+//!   satellite separations at any emulation time,
+//! * [`queueing`] — the M/M/1-style signaling-latency model used to
+//!   reproduce the latency-vs-load knees of Figures 8 and 17,
+//! * [`failure`] — Bernoulli and Gilbert–Elliott (bursty) loss processes
+//!   matching the radio-link failure traces of Figure 13b, satellite
+//!   decay (Fig. 13a), plus hijack and man-in-the-middle attack markers
+//!   for the Figure 19 leakage experiments.
+
+pub mod capacity;
+pub mod des;
+pub mod failure;
+pub mod flow;
+pub mod isl;
+pub mod queueing;
+pub mod sim;
+pub mod topo;
+
+pub use capacity::CapacityModel;
+pub use des::{EventQueue, ScheduledEvent};
+pub use flow::{handover_scenario, TcpFlow, TcpPhase};
+pub use failure::{AttackInjector, GilbertElliott, LossProcess, NodeFailures};
+pub use isl::{IslNetwork, NodeKind};
+pub use queueing::MM1Model;
+pub use sim::{ProcedureSim, SimConfig, SimOutcome, SimStep};
+pub use topo::{Graph, NodeId, PathResult};

@@ -1,0 +1,128 @@
+//! Signaling-latency queueing model.
+//!
+//! Figures 8 and 17 plot signaling delay against offered load on two
+//! satellite hardware profiles: flat at low load, then a sharp knee as
+//! the CPU saturates. An M/M/1 queue with a load-dependent overload ramp
+//! reproduces exactly that shape:
+//!
+//! * below saturation, sojourn time `W = 1/(μ − λ)`,
+//! * at/over saturation the queue is unstable; the emulation caps the
+//!   horizon and reports the backlog-drain delay after `horizon` seconds
+//!   of arrivals, which grows linearly in the overload — matching the
+//!   near-linear post-knee growth the paper measures.
+
+/// An M/M/1-style latency model for one processing stage.
+#[derive(Debug, Clone, Copy)]
+pub struct MM1Model {
+    /// Service rate μ, messages/second.
+    pub service_rate: f64,
+    /// Horizon over which overload backlog accumulates, seconds.
+    pub overload_horizon_s: f64,
+}
+
+impl MM1Model {
+    /// Build from a per-message service time (seconds).
+    pub fn from_service_time(service_time_s: f64, overload_horizon_s: f64) -> Self {
+        assert!(service_time_s > 0.0);
+        Self {
+            service_rate: 1.0 / service_time_s,
+            overload_horizon_s,
+        }
+    }
+
+    /// Utilization ρ = λ/μ at arrival rate `lambda`.
+    pub fn utilization(&self, lambda: f64) -> f64 {
+        lambda / self.service_rate
+    }
+
+    /// Is the stage overloaded at this arrival rate?
+    pub fn saturated(&self, lambda: f64) -> bool {
+        lambda >= self.service_rate
+    }
+
+    /// Mean sojourn time (queueing + service) in seconds at arrival rate
+    /// `lambda` (messages/s).
+    ///
+    /// In overload, returns the mean delay of messages arriving during an
+    /// `overload_horizon_s` window: the backlog grows at `λ − μ`, so the
+    /// average waiting message sees half the final backlog plus service.
+    pub fn sojourn_s(&self, lambda: f64) -> f64 {
+        assert!(lambda >= 0.0 && lambda.is_finite());
+        let mu = self.service_rate;
+        if lambda < mu * 0.999 {
+            1.0 / (mu - lambda)
+        } else {
+            // Unstable: backlog after H seconds is (λ-μ)·H messages; the
+            // mean arrival waits half of that backlog's drain time plus
+            // one service.
+            let backlog = (lambda - mu).max(0.0) * self.overload_horizon_s;
+            0.5 * backlog / mu + 1.0 / mu
+        }
+    }
+
+    /// CPU usage percentage implied by this arrival rate (capped at 100).
+    pub fn cpu_percent(&self, lambda: f64) -> f64 {
+        (self.utilization(lambda) * 100.0).min(100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MM1Model {
+        // 2 ms service time, 10 s overload horizon.
+        MM1Model::from_service_time(0.002, 10.0)
+    }
+
+    #[test]
+    fn idle_latency_is_service_time() {
+        let m = model();
+        assert!((m.sojourn_s(0.0) - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_monotone_in_load() {
+        let m = model();
+        let mut prev = 0.0;
+        for lambda in [0.0, 100.0, 200.0, 300.0, 400.0, 450.0, 490.0, 600.0, 800.0] {
+            let w = m.sojourn_s(lambda);
+            assert!(w >= prev, "λ={lambda}: {w} < {prev}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn knee_at_saturation() {
+        let m = model(); // μ = 500/s
+        let below = m.sojourn_s(400.0);
+        let above = m.sojourn_s(600.0);
+        assert!(below < 0.05, "{below}");
+        assert!(above > 0.5, "{above}"); // backlog-dominated
+        assert!(m.saturated(600.0));
+        assert!(!m.saturated(400.0));
+    }
+
+    #[test]
+    fn overload_grows_linearly() {
+        let m = model();
+        let a = m.sojourn_s(1000.0);
+        let b = m.sojourn_s(1500.0);
+        let c = m.sojourn_s(2000.0);
+        // Equal increments of λ → equal increments of delay.
+        assert!(((b - a) - (c - b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_percent_caps() {
+        let m = model();
+        assert!((m.cpu_percent(250.0) - 50.0).abs() < 1e-9);
+        assert_eq!(m.cpu_percent(10_000.0), 100.0);
+    }
+
+    #[test]
+    fn utilization_linear() {
+        let m = model();
+        assert!((m.utilization(250.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! Weighted graph and Dijkstra shortest paths.
+//!
+//! The shortest-path routing here is the *baseline* satellite routing the
+//! paper's alternatives use (state-dependent, recomputed as the topology
+//! changes); SpaceCore's stateless Algorithm 1 (in the `spacecore` crate)
+//! is evaluated against it for path stretch.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of a node in a [`Graph`].
+pub type NodeId = usize;
+
+/// One directed edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Edge {
+    to: NodeId,
+    /// Edge weight — the emulation uses one-way delay in milliseconds.
+    weight: f64,
+}
+
+/// A directed weighted graph (adjacency lists).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<Edge>>,
+}
+
+/// Result of a shortest-path query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// Node sequence from source to destination (inclusive).
+    pub path: Vec<NodeId>,
+    /// Total weight (delay, ms).
+    pub cost: f64,
+}
+
+impl PathResult {
+    /// Number of hops (edges) on the path.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+impl Graph {
+    /// Create a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add a directed edge.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or non-finite/negative weights.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) {
+        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(weight.is_finite() && weight >= 0.0, "bad weight {weight}");
+        self.adj[from].push(Edge { to, weight });
+    }
+
+    /// Add edges in both directions with the same weight.
+    pub fn add_bidirectional(&mut self, a: NodeId, b: NodeId, weight: f64) {
+        self.add_edge(a, b, weight);
+        self.add_edge(b, a, weight);
+    }
+
+    /// Out-neighbours of a node with weights.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.adj[n].iter().map(|e| (e.to, e.weight))
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum()
+    }
+
+    /// Dijkstra shortest path from `src` to `dst`, skipping nodes for
+    /// which `blocked(node)` is true (used for failure injection: dead
+    /// satellites simply vanish from the graph).
+    ///
+    /// Returns `None` when `dst` is unreachable.
+    pub fn shortest_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        blocked: impl Fn(NodeId) -> bool,
+    ) -> Option<PathResult> {
+        if blocked(src) || blocked(dst) {
+            return None;
+        }
+        #[derive(PartialEq)]
+        struct QItem {
+            dist: f64,
+            node: NodeId,
+        }
+        impl Eq for QItem {}
+        impl Ord for QItem {
+            fn cmp(&self, o: &Self) -> Ordering {
+                o.dist
+                    .partial_cmp(&self.dist)
+                    .expect("finite dist")
+                    .then_with(|| o.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for QItem {
+            fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(QItem { dist: 0.0, node: src });
+
+        while let Some(QItem { dist: d, node }) = heap.pop() {
+            if node == dst {
+                break;
+            }
+            if d > dist[node] {
+                continue;
+            }
+            for e in &self.adj[node] {
+                if blocked(e.to) {
+                    continue;
+                }
+                let nd = d + e.weight;
+                if nd < dist[e.to] {
+                    dist[e.to] = nd;
+                    prev[e.to] = node;
+                    heap.push(QItem { dist: nd, node: e.to });
+                }
+            }
+        }
+
+        if dist[dst].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(PathResult {
+            path,
+            cost: dist[dst],
+        })
+    }
+
+    /// Hop count of the shortest path by *hops* (unit weights), or `None`
+    /// if unreachable. Used for the paper's "multi-hop (up to 48)
+    /// signaling delivery" analysis (§3.2).
+    pub fn hop_distance(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        // BFS.
+        if src == dst {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(n) = queue.pop_front() {
+            for e in &self.adj[n] {
+                if dist[e.to] == usize::MAX {
+                    dist[e.to] = dist[n] + 1;
+                    if e.to == dst {
+                        return Some(dist[e.to]);
+                    }
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small diamond: 0 → 1 → 3 (cost 2), 0 → 2 → 3 (cost 10).
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_bidirectional(0, 1, 1.0);
+        g.add_bidirectional(1, 3, 1.0);
+        g.add_bidirectional(0, 2, 5.0);
+        g.add_bidirectional(2, 3, 5.0);
+        g
+    }
+
+    #[test]
+    fn picks_cheapest_path() {
+        let g = diamond();
+        let r = g.shortest_path(0, 3, |_| false).unwrap();
+        assert_eq!(r.path, vec![0, 1, 3]);
+        assert!((r.cost - 2.0).abs() < 1e-12);
+        assert_eq!(r.hops(), 2);
+    }
+
+    #[test]
+    fn routes_around_blocked_node() {
+        let g = diamond();
+        let r = g.shortest_path(0, 3, |n| n == 1).unwrap();
+        assert_eq!(r.path, vec![0, 2, 3]);
+        assert!((r.cost - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_when_all_cut() {
+        let g = diamond();
+        assert!(g.shortest_path(0, 3, |n| n == 1 || n == 2).is_none());
+    }
+
+    #[test]
+    fn blocked_endpoint_is_unreachable() {
+        let g = diamond();
+        assert!(g.shortest_path(0, 3, |n| n == 3).is_none());
+        assert!(g.shortest_path(0, 3, |n| n == 0).is_none());
+    }
+
+    #[test]
+    fn trivial_self_path() {
+        let g = diamond();
+        let r = g.shortest_path(2, 2, |_| false).unwrap();
+        assert_eq!(r.path, vec![2]);
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn hop_distance_bfs() {
+        let g = diamond();
+        assert_eq!(g.hop_distance(0, 3), Some(2));
+        assert_eq!(g.hop_distance(0, 0), Some(0));
+        let mut g2 = Graph::new(2);
+        assert_eq!(g2.hop_distance(0, 1), None);
+        g2.add_edge(0, 1, 1.0);
+        assert_eq!(g2.hop_distance(0, 1), Some(1));
+        // Directed: reverse still unreachable.
+        assert_eq!(g2.hop_distance(1, 0), None);
+    }
+
+    #[test]
+    fn ring_distances() {
+        // 10-node ring: max hop distance is 5.
+        let mut g = Graph::new(10);
+        for i in 0..10 {
+            g.add_bidirectional(i, (i + 1) % 10, 1.0);
+        }
+        assert_eq!(g.hop_distance(0, 5), Some(5));
+        assert_eq!(g.hop_distance(0, 9), Some(1));
+        let r = g.shortest_path(0, 5, |_| false).unwrap();
+        assert_eq!(r.hops(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn rejects_negative_weight() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Walker-delta constellation model and the Table 1 presets.
+//!
+//! "Most operational LEO constellations (Starlink, Kuiper, and OneWeb)
+//! are uniform: each constellation has m circular orbits (all with
+//! inclined angle f) that are uniformly spanned across the Equator. Each
+//! orbit has n satellites that are uniformly placed on this orbit." (§4.1)
+
+use sc_geo::cells::CellGrid;
+use std::f64::consts::TAU;
+
+/// Standard gravitational parameter of the earth, km³/s².
+pub const MU_EARTH: f64 = 398_600.4418;
+
+/// Earth rotation rate, rad/s (sidereal).
+pub const EARTH_ROTATION_RAD_S: f64 = 7.292_115_9e-5;
+
+/// Identifier of one satellite: orbital plane and in-plane slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatId {
+    /// Orbital plane index in `[0, planes)`.
+    pub plane: u16,
+    /// In-plane slot index in `[0, sats_per_plane)`.
+    pub slot: u16,
+}
+
+impl SatId {
+    pub fn new(plane: u16, slot: u16) -> Self {
+        Self { plane, slot }
+    }
+}
+
+impl std::fmt::Display for SatId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sat({},{})", self.plane, self.slot)
+    }
+}
+
+/// Static parameters of a uniform (Walker-delta) constellation shell —
+/// exactly the columns of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstellationConfig {
+    /// Human-readable name ("Starlink", …).
+    pub name: &'static str,
+    /// Number of orbital planes `m`.
+    pub planes: u16,
+    /// Satellites per orbit `n`.
+    pub sats_per_plane: u16,
+    /// Orbit altitude above the surface, km.
+    pub altitude_km: f64,
+    /// Inclination, radians.
+    pub inclination_rad: f64,
+    /// Walker phasing factor `F ∈ [0, planes)`: slot offset between
+    /// adjacent planes is `F · 2π / (planes · sats_per_plane)`.
+    pub phasing: u16,
+    /// Minimum elevation angle for service, radians.
+    pub min_elevation_rad: f64,
+}
+
+impl ConstellationConfig {
+    /// Starlink shell 1 (Table 1): 72 planes × 22 sats, 550 km, 53°.
+    pub fn starlink() -> Self {
+        Self {
+            name: "Starlink",
+            planes: 72,
+            sats_per_plane: 22,
+            altitude_km: 550.0,
+            inclination_rad: 53f64.to_radians(),
+            phasing: 39,
+            min_elevation_rad: 25f64.to_radians(),
+        }
+    }
+
+    /// OneWeb (Table 1): 18 planes × 40 sats, 1200 km, 87.9°.
+    pub fn oneweb() -> Self {
+        Self {
+            name: "OneWeb",
+            planes: 18,
+            sats_per_plane: 40,
+            altitude_km: 1200.0,
+            inclination_rad: 87.9f64.to_radians(),
+            phasing: 9,
+            min_elevation_rad: 25f64.to_radians(),
+        }
+    }
+
+    /// Kuiper shell 1 (Table 1): 34 planes × 34 sats, 630 km, 51.9°.
+    pub fn kuiper() -> Self {
+        Self {
+            name: "Kuiper",
+            planes: 34,
+            sats_per_plane: 34,
+            altitude_km: 630.0,
+            inclination_rad: 51.9f64.to_radians(),
+            phasing: 17,
+            min_elevation_rad: 25f64.to_radians(),
+        }
+    }
+
+    /// Iridium (Table 1): 6 planes × 11 sats, 780 km, 86.4°.
+    pub fn iridium() -> Self {
+        Self {
+            name: "Iridium",
+            planes: 6,
+            sats_per_plane: 11,
+            altitude_km: 780.0,
+            inclination_rad: 86.4f64.to_radians(),
+            phasing: 2,
+            min_elevation_rad: 8.2f64.to_radians(),
+        }
+    }
+
+    /// All four Table 1 presets, in the paper's column order.
+    pub fn all_presets() -> [Self; 4] {
+        [
+            Self::starlink(),
+            Self::oneweb(),
+            Self::kuiper(),
+            Self::iridium(),
+        ]
+    }
+
+    /// Total number of satellites `m × n`.
+    pub fn total_sats(&self) -> usize {
+        self.planes as usize * self.sats_per_plane as usize
+    }
+
+    /// Orbit radius from the earth centre, km.
+    pub fn orbit_radius_km(&self) -> f64 {
+        sc_geo::EARTH_RADIUS_KM + self.altitude_km
+    }
+
+    /// Mean motion `n = √(μ/a³)`, rad/s.
+    pub fn mean_motion_rad_s(&self) -> f64 {
+        (MU_EARTH / self.orbit_radius_km().powi(3)).sqrt()
+    }
+
+    /// Orbital period, seconds.
+    pub fn period_s(&self) -> f64 {
+        TAU / self.mean_motion_rad_s()
+    }
+
+    /// Orbital (inertial) speed, km/s — the Table 1 "Speed" column.
+    pub fn orbital_speed_km_s(&self) -> f64 {
+        (MU_EARTH / self.orbit_radius_km()).sqrt()
+    }
+
+    /// RAAN of plane `p` at epoch: planes uniformly spanned across the
+    /// full equator (`2π` spread, matching §4.1's description).
+    pub fn raan_at_epoch(&self, plane: u16) -> f64 {
+        plane as f64 * TAU / self.planes as f64
+    }
+
+    /// Argument of latitude of `(plane, slot)` at epoch, including the
+    /// Walker inter-plane phasing.
+    pub fn arg_lat_at_epoch(&self, sat: SatId) -> f64 {
+        let in_plane = sat.slot as f64 * TAU / self.sats_per_plane as f64;
+        let phase =
+            sat.plane as f64 * self.phasing as f64 * TAU / self.total_sats() as f64;
+        (in_plane + phase) % TAU
+    }
+
+    /// The geospatial cell grid anchored to this shell at t = 0 (§4.1).
+    pub fn cell_grid(&self) -> CellGrid {
+        CellGrid::new(self.inclination_rad, self.planes, self.sats_per_plane)
+    }
+}
+
+/// A constellation shell plus satellite enumeration helpers.
+#[derive(Debug, Clone)]
+pub struct Constellation {
+    cfg: ConstellationConfig,
+}
+
+impl Constellation {
+    pub fn new(cfg: ConstellationConfig) -> Self {
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &ConstellationConfig {
+        &self.cfg
+    }
+
+    /// Iterate all satellite ids, plane-major.
+    pub fn sats(&self) -> impl Iterator<Item = SatId> + '_ {
+        let planes = self.cfg.planes;
+        let spp = self.cfg.sats_per_plane;
+        (0..planes).flat_map(move |p| (0..spp).map(move |s| SatId::new(p, s)))
+    }
+
+    /// Linear index of a satellite in `[0, total)`, plane-major.
+    pub fn index_of(&self, sat: SatId) -> usize {
+        sat.plane as usize * self.cfg.sats_per_plane as usize + sat.slot as usize
+    }
+
+    /// Inverse of [`Self::index_of`].
+    pub fn sat_at(&self, index: usize) -> SatId {
+        let spp = self.cfg.sats_per_plane as usize;
+        SatId::new((index / spp) as u16, (index % spp) as u16)
+    }
+
+    /// The four +Grid ISL neighbours of a satellite: previous/next in
+    /// plane, and same slot in the adjacent planes (§3 "standard grid
+    /// satellite network topology").
+    pub fn grid_neighbors(&self, sat: SatId) -> [SatId; 4] {
+        let m = self.cfg.planes;
+        let n = self.cfg.sats_per_plane;
+        [
+            SatId::new(sat.plane, (sat.slot + n - 1) % n),
+            SatId::new(sat.plane, (sat.slot + 1) % n),
+            SatId::new((sat.plane + m - 1) % m, sat.slot),
+            SatId::new((sat.plane + 1) % m, sat.slot),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_speeds() {
+        // Table 1 speed column: Starlink 7.6, OneWeb 7.3, Kuiper 7.5,
+        // Iridium 7.4 km/s.
+        assert!((ConstellationConfig::starlink().orbital_speed_km_s() - 7.6).abs() < 0.1);
+        assert!((ConstellationConfig::oneweb().orbital_speed_km_s() - 7.3).abs() < 0.1);
+        assert!((ConstellationConfig::kuiper().orbital_speed_km_s() - 7.5).abs() < 0.1);
+        assert!((ConstellationConfig::iridium().orbital_speed_km_s() - 7.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn table1_totals() {
+        assert_eq!(ConstellationConfig::starlink().total_sats(), 1584);
+        assert_eq!(ConstellationConfig::oneweb().total_sats(), 720);
+        assert_eq!(ConstellationConfig::kuiper().total_sats(), 1156);
+        assert_eq!(ConstellationConfig::iridium().total_sats(), 66);
+    }
+
+    #[test]
+    fn period_is_about_95_minutes_for_starlink() {
+        let p = ConstellationConfig::starlink().period_s();
+        assert!((5500.0..6100.0).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn raan_spacing_uniform() {
+        let c = ConstellationConfig::starlink();
+        let d = c.raan_at_epoch(1) - c.raan_at_epoch(0);
+        assert!((d - TAU / 72.0).abs() < 1e-12);
+        assert!((c.raan_at_epoch(71) - 71.0 * d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let c = Constellation::new(ConstellationConfig::starlink());
+        for (i, s) in c.sats().enumerate() {
+            assert_eq!(c.index_of(s), i);
+            assert_eq!(c.sat_at(i), s);
+        }
+        assert_eq!(c.sats().count(), 1584);
+    }
+
+    #[test]
+    fn grid_neighbors_wrap_and_are_mutual() {
+        let c = Constellation::new(ConstellationConfig::iridium());
+        for s in c.sats() {
+            for n in c.grid_neighbors(s) {
+                assert_ne!(n, s);
+                assert!(c.grid_neighbors(n).contains(&s), "{s} <-> {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn phasing_offsets_adjacent_planes() {
+        let c = ConstellationConfig::starlink();
+        let a = c.arg_lat_at_epoch(SatId::new(0, 0));
+        let b = c.arg_lat_at_epoch(SatId::new(1, 0));
+        assert!((b - a - 39.0 * TAU / 1584.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_grid_matches_shape() {
+        let g = ConstellationConfig::kuiper().cell_grid();
+        assert_eq!(g.planes(), 34);
+        assert_eq!(g.slots(), 34);
+    }
+}

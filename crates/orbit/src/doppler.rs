@@ -1,0 +1,103 @@
+//! Doppler and range-rate geometry for LEO links.
+//!
+//! At 7.5 km/s, LEO satellites impose Doppler shifts of up to ±~21 ppm
+//! of the carrier on ground links — one of the radio problems 5G NTN
+//! (the paper's Option 1 substrate) standardizes compensation for.
+//! The emulation uses range-rate for two things: handover-imminence
+//! prediction (a satellite with a strongly positive range-rate is
+//! leaving) and link-quality weighting.
+
+use crate::propagator::Propagator;
+use crate::SatId;
+use sc_geo::sphere::{GeoPoint, SPEED_OF_LIGHT_KM_S};
+
+/// Range rate (km/s) of a satellite relative to a ground point at time
+/// `t`: positive = receding. Computed by symmetric finite difference.
+pub fn range_rate_km_s(prop: &dyn Propagator, sat: SatId, ground: &GeoPoint, t: f64) -> f64 {
+    let dt = 0.5;
+    let gp = ground.surface_vector();
+    let r1 = prop.state(sat, t - dt).position.distance_km(&gp);
+    let r2 = prop.state(sat, t + dt).position.distance_km(&gp);
+    (r2 - r1) / (2.0 * dt)
+}
+
+/// Doppler shift in Hz for a carrier of `carrier_hz`, from the range
+/// rate (non-relativistic: Δf = −f·v/c).
+pub fn doppler_hz(range_rate_km_s: f64, carrier_hz: f64) -> f64 {
+    -carrier_hz * range_rate_km_s / SPEED_OF_LIGHT_KM_S
+}
+
+/// Is the satellite leaving (handover imminent)? True when the range
+/// rate exceeds `threshold_km_s` (receding fast).
+pub fn handover_imminent(
+    prop: &dyn Propagator,
+    sat: SatId,
+    ground: &GeoPoint,
+    t: f64,
+    threshold_km_s: f64,
+) -> bool {
+    range_rate_km_s(prop, sat, ground, t) > threshold_km_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::ConstellationConfig;
+    use crate::coverage::CoverageModel;
+    use crate::propagator::IdealPropagator;
+
+    #[test]
+    fn range_rate_bounded_by_orbital_speed() {
+        let prop = IdealPropagator::new(ConstellationConfig::starlink());
+        let g = GeoPoint::from_degrees(40.0, -100.0);
+        for t in [1.0f64, 500.0, 1000.0] {
+            for plane in [0u16, 20, 50] {
+                let rr = range_rate_km_s(&prop, SatId::new(plane, 5), &g, t);
+                assert!(rr.abs() <= 8.0, "{rr}");
+            }
+        }
+    }
+
+    #[test]
+    fn approaching_then_receding_over_a_pass() {
+        // Find a serving satellite and check its range rate flips sign
+        // across the pass (approach → overhead → recede).
+        let prop = IdealPropagator::new(ConstellationConfig::starlink());
+        let cov = CoverageModel::new(&prop);
+        let g = GeoPoint::from_degrees(40.0, -100.0);
+        let view = cov.serving_sat(&g, 300.0).expect("covered");
+        // Scan the satellite's range-rate over ±200 s around now.
+        let before = range_rate_km_s(&prop, view.sat, &g, 150.0);
+        let after = range_rate_km_s(&prop, view.sat, &g, 450.0);
+        // Somewhere in the window the sign changes (not necessarily at
+        // 300 s; allow either orientation).
+        assert!(
+            before.signum() != after.signum() || before.abs() < 1.0 || after.abs() < 1.0,
+            "before {before} after {after}"
+        );
+    }
+
+    #[test]
+    fn doppler_magnitude_at_2ghz() {
+        // ±7.5 km/s at 2 GHz → up to ±50 kHz.
+        let f = doppler_hz(7.5, 2.0e9);
+        assert!((f.abs() - 50_000.0).abs() < 5_000.0, "{f}");
+        // Sign: receding → negative shift.
+        assert!(f < 0.0);
+        assert!(doppler_hz(-7.5, 2.0e9) > 0.0);
+    }
+
+    #[test]
+    fn handover_imminence_flags_leaving_satellites() {
+        let prop = IdealPropagator::new(ConstellationConfig::starlink());
+        let g = GeoPoint::from_degrees(40.0, -100.0);
+        let cov = CoverageModel::new(&prop);
+        if let Some(view) = cov.serving_sat(&g, 100.0) {
+            // Scan forward until it recedes fast; within a transit it
+            // must eventually be flagged.
+            let flagged = (0..40)
+                .any(|k| handover_imminent(&prop, view.sat, &g, 100.0 + k as f64 * 10.0, 3.0));
+            assert!(flagged, "satellite never flagged as leaving");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Ground stations (terrestrial gateways / homes).
+//!
+//! The paper's emulation uses the published Starlink gateway distribution
+//! (\[78\] in the paper). We embed a representative set of 30 gateway
+//! locations with the same geographic character: clustered in North
+//! America and Europe, sparse in Oceania/South America/Africa — the
+//! asymmetry that makes ground stations the bottleneck in §3.1.
+
+use sc_geo::sphere::GeoPoint;
+
+/// One terrestrial gateway / ground station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundStation {
+    /// Short name.
+    pub name: &'static str,
+    /// Location on the surface.
+    pub location: GeoPoint,
+}
+
+impl GroundStation {
+    pub fn new(name: &'static str, lat_deg: f64, lon_deg: f64) -> Self {
+        Self {
+            name,
+            location: GeoPoint::from_degrees(lat_deg, lon_deg),
+        }
+    }
+}
+
+/// A set of ground stations with lookup helpers.
+#[derive(Debug, Clone)]
+pub struct GroundStationSet {
+    stations: Vec<GroundStation>,
+}
+
+impl GroundStationSet {
+    pub fn new(stations: Vec<GroundStation>) -> Self {
+        assert!(!stations.is_empty(), "need at least one ground station");
+        Self { stations }
+    }
+
+    /// The default 30-gateway set modeled on published Starlink gateways.
+    pub fn starlink_like() -> Self {
+        Self::new(vec![
+            // North America (dense, as in the published gateway maps)
+            GroundStation::new("north-bend-wa", 47.5, -121.8),
+            GroundStation::new("merrillan-wi", 44.5, -90.8),
+            GroundStation::new("greenville-pa", 41.4, -80.4),
+            GroundStation::new("hawthorne-ca", 33.9, -118.4),
+            GroundStation::new("boca-chica-tx", 26.0, -97.2),
+            GroundStation::new("kuttawa-ky", 37.1, -88.1),
+            GroundStation::new("conrad-mt", 48.2, -111.9),
+            GroundStation::new("baxley-ga", 31.8, -82.3),
+            GroundStation::new("gaffney-sc", 35.1, -81.6),
+            GroundStation::new("wrangell-ak", 56.5, -132.4),
+            GroundStation::new("st-johns-ca", 47.6, -52.7),
+            GroundStation::new("winnipeg-mb", 49.9, -97.1),
+            // Europe
+            GroundStation::new("fawley-uk", 50.8, -1.3),
+            GroundStation::new("villenave-fr", 44.8, -0.6),
+            GroundStation::new("frankfurt-de", 50.1, 8.7),
+            GroundStation::new("turin-it", 45.1, 7.7),
+            GroundStation::new("madrid-es", 40.4, -3.7),
+            GroundStation::new("gravberget-no", 60.7, 12.0),
+            // Asia-Pacific
+            GroundStation::new("tokyo-jp", 35.7, 139.7),
+            GroundStation::new("beijing-cn", 39.9, 116.4),
+            GroundStation::new("singapore-sg", 1.35, 103.8),
+            GroundStation::new("mumbai-in", 19.1, 72.9),
+            // Oceania (sparse)
+            GroundStation::new("boorowa-au", -34.4, 148.7),
+            GroundStation::new("hinds-nz", -44.0, 171.6),
+            // South & Central America (sparse)
+            GroundStation::new("santiago-cl", -33.4, -70.7),
+            GroundStation::new("sao-paulo-br", -23.5, -46.6),
+            GroundStation::new("bogota-co", 4.7, -74.1),
+            // Africa & Middle East (sparse)
+            GroundStation::new("lagos-ng", 6.5, 3.4),
+            GroundStation::new("nairobi-ke", -1.3, 36.8),
+            GroundStation::new("doha-qa", 25.3, 51.5),
+        ])
+    }
+
+    pub fn stations(&self) -> &[GroundStation] {
+        &self.stations
+    }
+
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+
+    /// The station nearest to a surface point (great-circle distance).
+    pub fn nearest(&self, p: &GeoPoint) -> (&GroundStation, f64) {
+        self.stations
+            .iter()
+            .map(|g| (g, g.location.distance_km(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .expect("set is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_set_size() {
+        let gs = GroundStationSet::starlink_like();
+        assert_eq!(gs.len(), 30);
+        assert!(!gs.is_empty());
+    }
+
+    #[test]
+    fn nearest_picks_local_gateway() {
+        let gs = GroundStationSet::starlink_like();
+        let seattle = GeoPoint::from_degrees(47.6, -122.3);
+        let (g, d) = gs.nearest(&seattle);
+        assert_eq!(g.name, "north-bend-wa");
+        assert!(d < 100.0, "{d}");
+    }
+
+    #[test]
+    fn asymmetry_between_hemispheres() {
+        // More gateways north of the equator than south — the asymmetry
+        // driving the §3.1 bottleneck analysis.
+        let gs = GroundStationSet::starlink_like();
+        let north = gs.stations().iter().filter(|g| g.location.lat > 0.0).count();
+        let south = gs.len() - north;
+        assert!(north > 3 * south, "north {north} south {south}");
+    }
+
+    #[test]
+    fn far_ocean_point_is_far_from_all_gateways() {
+        let gs = GroundStationSet::starlink_like();
+        let south_pacific = GeoPoint::from_degrees(-40.0, -130.0);
+        let (_, d) = gs.nearest(&south_pacific);
+        assert!(d > 3000.0, "{d}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Orbit propagators: ideal circular two-body, and J2/J4 secular.
+//!
+//! The paper evaluates Algorithm 1 "under the ideal satellite orbits and
+//! the realistic J4 orbit propagator" (§6.2, Fig. 18b). Both propagators
+//! here produce earth-fixed (ECEF) positions and — crucially for
+//! Algorithm 1 — the satellite's *runtime inclined coordinate*
+//! `(α_s(t), γ_s(t))`, which the stateless relay uses to self-calibrate
+//! against perturbations.
+//!
+//! The J4 propagator applies the standard secular rates (Vallado §9.6,
+//! circular-orbit simplification, e = 0):
+//!
+//! * nodal regression  Ω̇ = −(3/2)·J₂·n·(Re/a)²·cos i  + J₄ correction,
+//! * in-plane drift    u̇ = n·[1 + (3/2)·J₂·(Re/a)²·(1 − (3/2)sin²i)] + J₄ corr.
+//!
+//! Secular rates are exactly what matters at the paper's time scales
+//! (minutes–hours): short-period oscillations average out, while the
+//! node/phase drifts are what displace satellites from the t = 0 grid.
+
+use crate::constellation::{ConstellationConfig, SatId, EARTH_ROTATION_RAD_S};
+use sc_geo::angle::wrap_2pi;
+use sc_geo::inclined::{InclinedCoord, InclinedFrame};
+use sc_geo::sphere::{GeoPoint, Vec3};
+
+/// Earth J2 zonal harmonic coefficient.
+pub const J2: f64 = 1.082_626_68e-3;
+/// Earth J4 zonal harmonic coefficient.
+pub const J4: f64 = -1.649_7e-6;
+/// Earth equatorial radius used by the zonal model, km.
+pub const RE_KM: f64 = 6378.137;
+
+/// Instantaneous state of one satellite at a given time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatState {
+    /// ECEF position, km.
+    pub position: Vec3,
+    /// Runtime inclined coordinate (α_s(t), γ_s(t)) in the earth-fixed
+    /// frame — what Algorithm 1 consumes.
+    pub coord: InclinedCoord,
+    /// Ground sub-point.
+    pub subpoint: GeoPoint,
+}
+
+/// An orbit propagator for a uniform constellation shell.
+pub trait Propagator: Send + Sync {
+    /// The shell this propagator describes.
+    fn config(&self) -> &ConstellationConfig;
+
+    /// RAAN (inertial) of a plane at time `t` seconds after epoch.
+    fn raan(&self, plane: u16, t: f64) -> f64;
+
+    /// Argument of latitude of a satellite at time `t`.
+    fn arg_lat(&self, sat: SatId, t: f64) -> f64;
+
+    /// Full state of a satellite at time `t` (seconds after epoch).
+    fn state(&self, sat: SatId, t: f64) -> SatState {
+        let cfg = self.config();
+        let raan = self.raan(sat.plane, t);
+        let u = self.arg_lat(sat, t);
+        // Earth-fixed ascending-node longitude: inertial RAAN minus the
+        // rotation of the earth since epoch.
+        let alpha = wrap_2pi(raan - EARTH_ROTATION_RAD_S * t);
+        let gamma = wrap_2pi(u);
+        let frame = InclinedFrame::new(cfg.inclination_rad);
+        let coord = InclinedCoord::new(alpha, gamma);
+        let subpoint = frame.to_geo(coord);
+        let position = subpoint.unit_vector().scale(cfg.orbit_radius_km());
+        SatState {
+            position,
+            coord,
+            subpoint,
+        }
+    }
+
+    /// States of every satellite in the shell at time `t`, plane-major.
+    fn snapshot(&self, t: f64) -> Vec<SatState> {
+        let cfg = self.config();
+        let mut v = Vec::with_capacity(cfg.total_sats());
+        for p in 0..cfg.planes {
+            for s in 0..cfg.sats_per_plane {
+                v.push(self.state(SatId::new(p, s), t));
+            }
+        }
+        v
+    }
+}
+
+/// Ideal circular two-body propagation: fixed planes, uniform motion.
+#[derive(Debug, Clone)]
+pub struct IdealPropagator {
+    cfg: ConstellationConfig,
+    mean_motion: f64,
+}
+
+impl IdealPropagator {
+    pub fn new(cfg: ConstellationConfig) -> Self {
+        let mean_motion = cfg.mean_motion_rad_s();
+        Self { cfg, mean_motion }
+    }
+}
+
+impl Propagator for IdealPropagator {
+    fn config(&self) -> &ConstellationConfig {
+        &self.cfg
+    }
+
+    fn raan(&self, plane: u16, _t: f64) -> f64 {
+        self.cfg.raan_at_epoch(plane)
+    }
+
+    fn arg_lat(&self, sat: SatId, t: f64) -> f64 {
+        wrap_2pi(self.cfg.arg_lat_at_epoch(sat) + self.mean_motion * t)
+    }
+}
+
+/// J2/J4 secular perturbation propagator (circular-orbit simplification).
+#[derive(Debug, Clone)]
+pub struct J4Propagator {
+    cfg: ConstellationConfig,
+    /// Secular nodal-regression rate Ω̇, rad/s.
+    raan_rate: f64,
+    /// Perturbed in-plane angular rate u̇, rad/s.
+    arg_lat_rate: f64,
+}
+
+impl J4Propagator {
+    pub fn new(cfg: ConstellationConfig) -> Self {
+        let n = cfg.mean_motion_rad_s();
+        let a = cfg.orbit_radius_km();
+        let i = cfg.inclination_rad;
+        let (si, ci) = i.sin_cos();
+        let p2 = (RE_KM / a).powi(2);
+        let p4 = p2 * p2;
+
+        // J2 secular rates (e = 0).
+        let raan_j2 = -1.5 * J2 * n * p2 * ci;
+        let m_j2 = n * (1.0 + 1.5 * J2 * p2 * (1.0 - 1.5 * si * si));
+        let argp_j2 = 0.75 * J2 * n * p2 * (5.0 * ci * ci - 1.0);
+
+        // J4 secular contributions (Vallado 9-42, e = 0 truncation).
+        let raan_j4 = n * ci * p4 * (1.5 * J2 * J2 * (1.5 - (5.0 / 3.0) * si * si)
+            + (35.0 / 8.0) * J4 * ((12.0 / 7.0) * si * si - 1.0) * 0.5);
+        let argp_j4 = n * p4
+            * ((9.0 / 4.0) * J2 * J2 * (1.5 - 2.5 * si * si + (13.0 / 8.0) * si.powi(4))
+                - (45.0 / 16.0) * J4 * (1.0 - 4.5 * si * si + 3.9 * si.powi(4)) / 4.0);
+
+        // For circular orbits the in-plane phase drifts at u̇ = Ṁ + ω̇.
+        Self {
+            cfg,
+            raan_rate: raan_j2 + raan_j4,
+            arg_lat_rate: m_j2 + argp_j2 + argp_j4,
+        }
+    }
+
+    /// The modeled nodal-regression rate, rad/s (negative for prograde
+    /// orbits: the node drifts westward).
+    pub fn raan_rate(&self) -> f64 {
+        self.raan_rate
+    }
+
+    /// The modeled in-plane angular rate, rad/s.
+    pub fn arg_lat_rate(&self) -> f64 {
+        self.arg_lat_rate
+    }
+}
+
+impl Propagator for J4Propagator {
+    fn config(&self) -> &ConstellationConfig {
+        &self.cfg
+    }
+
+    fn raan(&self, plane: u16, t: f64) -> f64 {
+        wrap_2pi(self.cfg.raan_at_epoch(plane) + self.raan_rate * t)
+    }
+
+    fn arg_lat(&self, sat: SatId, t: f64) -> f64 {
+        wrap_2pi(self.cfg.arg_lat_at_epoch(sat) + self.arg_lat_rate * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::Constellation;
+
+    fn starlink_ideal() -> IdealPropagator {
+        IdealPropagator::new(ConstellationConfig::starlink())
+    }
+
+    #[test]
+    fn altitude_is_respected() {
+        let p = starlink_ideal();
+        let s = p.state(SatId::new(0, 0), 0.0);
+        assert!((s.position.norm() - (sc_geo::EARTH_RADIUS_KM + 550.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn epoch_positions_match_walker_layout() {
+        let p = starlink_ideal();
+        let s00 = p.state(SatId::new(0, 0), 0.0);
+        // Plane 0, slot 0 starts at the ascending node of plane 0: on the
+        // equator at α = 0.
+        assert!(s00.subpoint.lat.abs() < 1e-9);
+        assert!((s00.coord.alpha).abs() < 1e-9);
+        assert!((s00.coord.gamma).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_period_returns_in_plane_phase() {
+        let p = starlink_ideal();
+        let t = p.config().period_s();
+        let s = p.state(SatId::new(3, 5), t);
+        let s0 = p.state(SatId::new(3, 5), 0.0);
+        // Same γ after a full period…
+        assert!(
+            (s.coord.gamma - s0.coord.gamma).abs() < 1e-6
+                || (s.coord.gamma - s0.coord.gamma).abs() > std::f64::consts::TAU - 1e-6
+        );
+        // …but α shifted west by earth rotation over one period.
+        let expected_shift = EARTH_ROTATION_RAD_S * t;
+        let got = wrap_2pi(s0.coord.alpha - s.coord.alpha);
+        assert!((got - expected_shift).abs() < 1e-6, "{got} vs {expected_shift}");
+    }
+
+    #[test]
+    fn ground_speed_sweeps_coverage_in_minutes() {
+        // The sub-point should move ~7 km/s along track, so in 60 s the
+        // sub-point travels ≈ 400-460 km.
+        let p = starlink_ideal();
+        let a = p.state(SatId::new(0, 0), 0.0).subpoint;
+        let b = p.state(SatId::new(0, 0), 60.0).subpoint;
+        let d = a.distance_km(&b);
+        assert!((350.0..500.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn j4_regresses_node_westward() {
+        let j4 = J4Propagator::new(ConstellationConfig::starlink());
+        // Starlink at 53°: nodal regression ≈ -5°/day.
+        let per_day = j4.raan_rate() * 86_400.0;
+        let deg = per_day.to_degrees();
+        assert!((-6.5..-3.5).contains(&deg), "{deg}°/day");
+    }
+
+    #[test]
+    fn j4_near_polar_regression_is_small() {
+        let j4 = J4Propagator::new(ConstellationConfig::oneweb());
+        let deg = (j4.raan_rate() * 86_400.0).to_degrees();
+        // Near-polar (87.9°): |Ω̇| well under 1°/day.
+        assert!(deg.abs() < 1.0, "{deg}°/day");
+    }
+
+    #[test]
+    fn j4_diverges_from_ideal_over_time() {
+        let cfg = ConstellationConfig::starlink();
+        let ideal = IdealPropagator::new(cfg.clone());
+        let j4 = J4Propagator::new(cfg);
+        let sat = SatId::new(10, 10);
+        let t = 6.0 * 3600.0; // 6 hours
+        let a = ideal.state(sat, t).position;
+        let b = j4.state(sat, t).position;
+        let sep = a.distance_km(&b);
+        assert!(sep > 10.0, "expected visible drift, got {sep} km");
+        // …but bounded: secular drift, not divergence.
+        assert!(sep < 3000.0, "{sep} km");
+    }
+
+    #[test]
+    fn snapshot_covers_all_sats() {
+        let p = starlink_ideal();
+        let snap = p.snapshot(123.0);
+        assert_eq!(snap.len(), 1584);
+        let c = Constellation::new(p.config().clone());
+        let idx = c.index_of(SatId::new(5, 7));
+        let direct = p.state(SatId::new(5, 7), 123.0);
+        assert_eq!(snap[idx], direct);
+    }
+
+    #[test]
+    fn intra_plane_neighbors_stay_equidistant() {
+        // Uniform in-plane motion preserves in-plane spacing, ideal and J4.
+        for prop in [
+            Box::new(IdealPropagator::new(ConstellationConfig::starlink())) as Box<dyn Propagator>,
+            Box::new(J4Propagator::new(ConstellationConfig::starlink())),
+        ] {
+            let t = 1234.5;
+            let a = prop.state(SatId::new(4, 0), t).position;
+            let b = prop.state(SatId::new(4, 1), t).position;
+            let c = prop.state(SatId::new(4, 2), t).position;
+            assert!((a.distance_km(&b) - b.distance_km(&c)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the orbital substrate.
+
+use proptest::prelude::*;
+use sc_orbit::{ConstellationConfig, Constellation, IdealPropagator, J4Propagator, Propagator, SatId};
+
+fn any_config() -> impl Strategy<Value = ConstellationConfig> {
+    (0usize..4).prop_map(|i| ConstellationConfig::all_presets()[i].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Orbit radius is preserved exactly by both propagators.
+    #[test]
+    fn radius_invariant(cfg in any_config(), plane in 0u16..72, slot in 0u16..40, t in 0.0f64..100_000.0) {
+        let plane = plane % cfg.planes;
+        let slot = slot % cfg.sats_per_plane;
+        for state in [
+            IdealPropagator::new(cfg.clone()).state(SatId::new(plane, slot), t),
+            J4Propagator::new(cfg.clone()).state(SatId::new(plane, slot), t),
+        ] {
+            prop_assert!((state.position.norm() - cfg.orbit_radius_km()).abs() < 1e-6);
+        }
+    }
+
+    /// Sub-point latitude never exceeds the inclination.
+    #[test]
+    fn latitude_bounded(cfg in any_config(), plane in 0u16..72, slot in 0u16..40, t in 0.0f64..100_000.0) {
+        let plane = plane % cfg.planes;
+        let slot = slot % cfg.sats_per_plane;
+        let st = IdealPropagator::new(cfg.clone()).state(SatId::new(plane, slot), t);
+        prop_assert!(st.subpoint.lat.abs() <= cfg.inclination_rad + 1e-9);
+    }
+
+    /// In-plane neighbour separation is time-invariant (rigid rotation).
+    #[test]
+    fn in_plane_spacing_rigid(cfg in any_config(), plane in 0u16..72, t in 0.0f64..20_000.0) {
+        let plane = plane % cfg.planes;
+        let p = IdealPropagator::new(cfg.clone());
+        let d0 = p.state(SatId::new(plane, 0), 0.0)
+            .position
+            .distance_km(&p.state(SatId::new(plane, 1), 0.0).position);
+        let dt = p.state(SatId::new(plane, 0), t)
+            .position
+            .distance_km(&p.state(SatId::new(plane, 1), t).position);
+        prop_assert!((d0 - dt).abs() < 1e-6, "{d0} vs {dt}");
+    }
+
+    /// The satellite's stored inclined coordinate always maps back to
+    /// its sub-point (the Algorithm 1 calibration invariant).
+    #[test]
+    fn coord_subpoint_consistent(cfg in any_config(), plane in 0u16..72, slot in 0u16..40, t in 0.0f64..50_000.0) {
+        let plane = plane % cfg.planes;
+        let slot = slot % cfg.sats_per_plane;
+        let st = J4Propagator::new(cfg.clone()).state(SatId::new(plane, slot), t);
+        let frame = sc_geo::inclined::InclinedFrame::new(cfg.inclination_rad);
+        let back = frame.to_geo(st.coord);
+        prop_assert!((back.lat - st.subpoint.lat).abs() < 1e-9);
+        prop_assert!(sc_geo::angle::signed_delta(back.lon, st.subpoint.lon).abs() < 1e-9);
+    }
+
+    /// Grid-neighbour relation is symmetric and 4-regular.
+    #[test]
+    fn grid_neighbors_regular(cfg in any_config(), plane in 0u16..72, slot in 0u16..40) {
+        let plane = plane % cfg.planes;
+        let slot = slot % cfg.sats_per_plane;
+        let c = Constellation::new(cfg);
+        let sat = SatId::new(plane, slot);
+        let nb = c.grid_neighbors(sat);
+        for n in nb {
+            prop_assert!(c.grid_neighbors(n).contains(&sat));
+        }
+    }
+
+    /// index_of / sat_at are inverse bijections.
+    #[test]
+    fn index_bijection(cfg in any_config(), idx in 0usize..1584) {
+        let c = Constellation::new(cfg.clone());
+        let idx = idx % cfg.total_sats();
+        prop_assert_eq!(c.index_of(c.sat_at(idx)), idx);
+    }
+
+    /// Period-advanced γ returns to itself for the ideal propagator.
+    #[test]
+    fn periodicity_in_gamma(cfg in any_config(), plane in 0u16..72, slot in 0u16..40) {
+        let plane = plane % cfg.planes;
+        let slot = slot % cfg.sats_per_plane;
+        let p = IdealPropagator::new(cfg.clone());
+        let g0 = p.arg_lat(SatId::new(plane, slot), 0.0);
+        let g1 = p.arg_lat(SatId::new(plane, slot), cfg.period_s());
+        let d = sc_geo::angle::signed_delta(g0, g1).abs();
+        prop_assert!(d < 1e-6, "{d}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Seamless space-terrestrial integration (§4.5).
+//!
+//! SpaceCore's home is a legacy 5G core reachable by both satellites and
+//! terrestrial base stations, which makes it "a natural coordinator for
+//! space-terrestrial integration": an idle UE switches between space and
+//! ground by standard **cell re-selection** (no signaling while camped);
+//! a connected UE switches by a standard **5G handover coordinated by
+//! the home**. This module implements that access-selection and
+//! switching logic, and accounts its signaling.
+
+use sc_fiveg::conn::ConnState;
+use sc_fiveg::messages::{Procedure, ProcedureKind};
+
+/// An access an idle UE can camp on / a connected UE can use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Access {
+    /// Terrestrial gNB with the given signal strength (dB, relative).
+    Terrestrial { strength_db: f64 },
+    /// Satellite access with the given elevation (radians).
+    Satellite { elevation_rad: f64 },
+}
+
+impl Access {
+    /// Comparable camping rank. Terrestrial coverage, where present, is
+    /// preferred (stronger, cheaper); satellite rank grows with
+    /// elevation. The thresholds mirror standard cell-reselection
+    /// hysteresis: terrestrial wins unless weaker than `MIN_TERR_DB`.
+    fn rank(&self) -> f64 {
+        match self {
+            Access::Terrestrial { strength_db } => {
+                if *strength_db < MIN_TERR_DB {
+                    f64::NEG_INFINITY
+                } else {
+                    1000.0 + strength_db
+                }
+            }
+            Access::Satellite { elevation_rad } => {
+                if *elevation_rad < MIN_SAT_ELEV_RAD {
+                    f64::NEG_INFINITY
+                } else {
+                    elevation_rad.to_degrees()
+                }
+            }
+        }
+    }
+
+    /// Is this access usable at all?
+    pub fn usable(&self) -> bool {
+        self.rank() > f64::NEG_INFINITY
+    }
+}
+
+/// Minimum usable terrestrial signal, dB (relative threshold).
+pub const MIN_TERR_DB: f64 = -110.0;
+/// Minimum usable satellite elevation.
+pub const MIN_SAT_ELEV_RAD: f64 = 0.436; // 25°
+
+/// How a UE moved between accesses and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchOutcome {
+    /// The access selected (None: out of coverage entirely).
+    pub selected: Option<Access>,
+    /// Signaling messages exchanged for the switch.
+    pub signaling_messages: u32,
+    /// Whether the home coordinated the switch.
+    pub via_home: bool,
+}
+
+/// The access selector / switch coordinator.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSelector {
+    current: Option<Access>,
+}
+
+impl AccessSelector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently camped/used access.
+    pub fn current(&self) -> Option<Access> {
+        self.current
+    }
+
+    /// Select the best access among the candidates (standard ranking).
+    pub fn best(candidates: &[Access]) -> Option<Access> {
+        candidates
+            .iter()
+            .copied()
+            .filter(Access::usable)
+            .max_by(|a, b| a.rank().partial_cmp(&b.rank()).expect("finite ranks"))
+    }
+
+    /// Evaluate the candidates at the UE's current connection state and
+    /// switch if a better access exists.
+    ///
+    /// * idle → standard cell re-selection: **zero signaling** (§4.5:
+    ///   "it runs the standard cell re-selection to switch its
+    ///   association between space and terrestrial base stations"),
+    /// * connected → a standard 5G handover (C3) **through the home**,
+    ///   which controls both sides.
+    pub fn evaluate(&mut self, conn: ConnState, candidates: &[Access]) -> SwitchOutcome {
+        let best = Self::best(candidates);
+        let changed = match (self.current, best) {
+            (Some(cur), Some(new)) => !same_kind(&cur, &new) || new.rank() > cur.rank() + HYSTERESIS,
+            (None, Some(_)) => true,
+            (_, None) => {
+                self.current = None;
+                return SwitchOutcome {
+                    selected: None,
+                    signaling_messages: 0,
+                    via_home: false,
+                };
+            }
+        };
+        if !changed {
+            return SwitchOutcome {
+                selected: self.current,
+                signaling_messages: 0,
+                via_home: false,
+            };
+        }
+        let outcome = match conn {
+            ConnState::Idle => SwitchOutcome {
+                selected: best,
+                signaling_messages: 0,
+                via_home: false,
+            },
+            ConnState::Connected => {
+                let c3 = Procedure::build(ProcedureKind::Handover);
+                SwitchOutcome {
+                    selected: best,
+                    signaling_messages: c3.message_count() as u32,
+                    via_home: true,
+                }
+            }
+        };
+        self.current = best;
+        outcome
+    }
+}
+
+/// Re-selection hysteresis in rank units.
+const HYSTERESIS: f64 = 3.0;
+
+fn same_kind(a: &Access, b: &Access) -> bool {
+    matches!(
+        (a, b),
+        (Access::Terrestrial { .. }, Access::Terrestrial { .. })
+            | (Access::Satellite { .. }, Access::Satellite { .. })
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_TERR: Access = Access::Terrestrial { strength_db: -80.0 };
+    const WEAK_TERR: Access = Access::Terrestrial {
+        strength_db: -120.0,
+    };
+    const HIGH_SAT: Access = Access::Satellite { elevation_rad: 1.2 };
+    const LOW_SAT: Access = Access::Satellite {
+        elevation_rad: 0.30,
+    };
+
+    #[test]
+    fn terrestrial_preferred_when_present() {
+        let best = AccessSelector::best(&[GOOD_TERR, HIGH_SAT]).unwrap();
+        assert!(matches!(best, Access::Terrestrial { .. }));
+    }
+
+    #[test]
+    fn satellite_fills_coverage_gaps() {
+        // Weak terrestrial is unusable → the satellite takes over.
+        let best = AccessSelector::best(&[WEAK_TERR, HIGH_SAT]).unwrap();
+        assert!(matches!(best, Access::Satellite { .. }));
+        // Both unusable → none.
+        assert!(AccessSelector::best(&[WEAK_TERR, LOW_SAT]).is_none());
+    }
+
+    #[test]
+    fn idle_reselection_is_signaling_free() {
+        let mut sel = AccessSelector::new();
+        // Camp on satellite first (rural area).
+        let o1 = sel.evaluate(ConnState::Idle, &[HIGH_SAT]);
+        assert_eq!(o1.signaling_messages, 0);
+        assert!(matches!(o1.selected, Some(Access::Satellite { .. })));
+        // Enter a city: idle switch to terrestrial, still free.
+        let o2 = sel.evaluate(ConnState::Idle, &[GOOD_TERR, HIGH_SAT]);
+        assert_eq!(o2.signaling_messages, 0);
+        assert!(!o2.via_home);
+        assert!(matches!(o2.selected, Some(Access::Terrestrial { .. })));
+    }
+
+    #[test]
+    fn connected_switch_is_a_home_coordinated_handover() {
+        let mut sel = AccessSelector::new();
+        sel.evaluate(ConnState::Idle, &[HIGH_SAT]);
+        let o = sel.evaluate(ConnState::Connected, &[GOOD_TERR, HIGH_SAT]);
+        assert!(o.via_home);
+        assert_eq!(o.signaling_messages, 11, "standard C3");
+    }
+
+    #[test]
+    fn hysteresis_prevents_ping_pong() {
+        let mut sel = AccessSelector::new();
+        sel.evaluate(ConnState::Idle, &[HIGH_SAT]);
+        // A marginally better satellite does not trigger re-selection.
+        let slightly_better = Access::Satellite {
+            elevation_rad: 1.2 + 0.01,
+        };
+        let o = sel.evaluate(ConnState::Idle, &[slightly_better]);
+        assert_eq!(o.signaling_messages, 0);
+        // Current access is retained (rank delta below hysteresis).
+        if let Some(Access::Satellite { elevation_rad }) = o.selected {
+            assert!((elevation_rad - 1.2).abs() < 1e-9);
+        } else {
+            panic!("stayed on satellite expected");
+        }
+    }
+
+    #[test]
+    fn out_of_coverage_clears_selection() {
+        let mut sel = AccessSelector::new();
+        sel.evaluate(ConnState::Idle, &[GOOD_TERR]);
+        let o = sel.evaluate(ConnState::Idle, &[]);
+        assert!(o.selected.is_none());
+        assert!(sel.current().is_none());
+        // Re-acquiring coverage re-selects.
+        let o2 = sel.evaluate(ConnState::Idle, &[HIGH_SAT]);
+        assert!(o2.selected.is_some());
+    }
+}

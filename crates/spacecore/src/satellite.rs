@@ -1,0 +1,342 @@
+//! The SpaceCore satellite agent: localized session establishment
+//! (Fig. 16) with rollback to the legacy home-routed path.
+//!
+//! The agent is deliberately **stateless across sessions**: it keeps only
+//! the set of *currently served* sessions (radio/UPF install state that
+//! any base station must hold while a connection is active) and its
+//! launch-time credentials. Nothing survives the session: when the UE
+//! leaves or the connection releases, the satellite forgets it — that is
+//! the property that bounds hijack leakage (Fig. 19a) to active users.
+
+use crate::home::HomeNetwork;
+use crate::uestate::UeDevice;
+use sc_crypto::statecrypt::{satellite_local_access, ue_complete_exchange, SatCredentials,
+    StateCryptError};
+use sc_fiveg::ids::Supi;
+use sc_fiveg::state::SessionState;
+use sc_orbit::SatId;
+use std::collections::HashMap;
+
+/// How a session establishment was served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// Served from the UE's local replica (true) or via home rollback.
+    pub local: bool,
+    /// Signaling messages the satellite exchanged over the air / ISLs.
+    pub signaling_messages: u32,
+    /// Round-trips to the terrestrial home.
+    pub home_round_trips: u32,
+    /// The negotiated session key (present on the local path).
+    pub session_key: Option<u64>,
+}
+
+/// Why the local path failed (before rollback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalPathFailure {
+    /// UE has no SpaceCore proxy.
+    NoUeSupport,
+    /// State crypto failure (policy, TTL, tamper, certs).
+    Crypto(StateCryptError),
+}
+
+/// A satellite running the SpaceCore proxy.
+#[derive(Debug)]
+pub struct SpaceCoreSatellite {
+    /// Which satellite this is.
+    pub id: SatId,
+    creds: SatCredentials,
+    /// Currently served sessions: SUPI → installed state + key.
+    active: parking_lot::Mutex<HashMap<Supi, ActiveSession>>,
+    /// Home crypto handle for envelope verification (public material).
+    home_cert_key: u64,
+}
+
+/// Radio/UPF install state for one active session.
+#[derive(Debug, Clone)]
+pub struct ActiveSession {
+    pub state: SessionState,
+    pub session_key: u64,
+    pub established_at: f64,
+}
+
+impl SpaceCoreSatellite {
+    /// Provision from the home before "launch" (Algorithm 2 line 3).
+    pub fn provision(home: &HomeNetwork, id: SatId) -> Self {
+        Self {
+            id,
+            creds: home.provision_satellite(id),
+            active: parking_lot::Mutex::new(HashMap::new()),
+            home_cert_key: home.cert_verify_key(),
+        }
+    }
+
+    /// Provision with custom attributes (unauthorized/revoked satellites
+    /// for the security experiments).
+    pub fn provision_with_attrs(home: &HomeNetwork, id: SatId, attrs: &[&str]) -> Self {
+        Self {
+            id,
+            creds: home.provision_satellite_with_attrs(id, attrs),
+            active: parking_lot::Mutex::new(HashMap::new()),
+            home_cert_key: home.cert_verify_key(),
+        }
+    }
+
+    /// Fig. 16a/b — localized session establishment. The UE piggybacks
+    /// its encrypted replica in the RRC setup-complete message; the
+    /// satellite decrypts locally (Algorithm 2), verifies the home
+    /// envelope, completes the station-to-station exchange, and installs
+    /// the session — 3 over-the-air messages, no home round-trip.
+    ///
+    /// On any failure the caller must take the rollback path
+    /// ([`Self::establish_session`] does both).
+    pub fn try_local_establishment(
+        &self,
+        home: &HomeNetwork,
+        ue: &mut UeDevice,
+        now: f64,
+    ) -> Result<SessionOutcome, LocalPathFailure> {
+        if !ue.supports_spacecore {
+            return Err(LocalPathFailure::NoUeSupport);
+        }
+        // Algorithm 2 line 10: UE sends X and the encrypted state —
+        // as actual bytes: the replica is wire-encoded into the NAS PDU
+        // session request's StateReplica IE (§5), and the satellite
+        // proxy re-parses it.
+        let ue_sts = ue.begin_key_exchange(home.dh_params());
+        let nas = sc_fiveg::nas::piggybacked_session_request(
+            sc_crypto::wire::encode_state(ue.piggyback()),
+            ue_sts.public_value(),
+        );
+        let wire_bytes = nas.encode();
+        let parsed = sc_fiveg::nas::NasMessage::decode(&wire_bytes)
+            .map_err(|_| LocalPathFailure::Crypto(StateCryptError::BadHomeSignature))?;
+        let replica_bytes = parsed
+            .ie(sc_fiveg::nas::IeTag::StateReplica)
+            .ok_or(LocalPathFailure::NoUeSupport)?;
+        let replica = sc_crypto::wire::decode_state(replica_bytes)
+            .map_err(|_| LocalPathFailure::Crypto(StateCryptError::BadHomeSignature))?;
+        // Satellite side (lines 11-13).
+        let eph = sc_crypto::field::keyed_hash(
+            (self.id.plane as u64) << 32 | self.id.slot as u64,
+            &now.to_bits().to_le_bytes(),
+        );
+        let out = satellite_local_access(
+            &self.creds,
+            home.crypto(),
+            &replica,
+            ue_sts.public_value(),
+            eph,
+            now,
+        )
+        .map_err(LocalPathFailure::Crypto)?;
+        // UE side (line 14).
+        let k_ue = ue_complete_exchange(
+            self.home_cert_key,
+            &ue_sts,
+            &self.creds.cert,
+            self.creds.cert.subject,
+            out.y_public,
+            out.transcript_sig,
+        )
+        .map_err(LocalPathFailure::Crypto)?;
+        debug_assert_eq!(k_ue, out.session_key);
+
+        let state = SessionState::decode(&out.state).ok_or(LocalPathFailure::Crypto(
+            StateCryptError::BadHomeSignature,
+        ))?;
+        self.active.lock().insert(
+            ue.supi,
+            ActiveSession {
+                state,
+                session_key: out.session_key,
+                established_at: now,
+            },
+        );
+        Ok(SessionOutcome {
+            local: true,
+            // P0 (2 messages: RRC request + setup) + P1' piggyback +
+            // session accept with Y/CERT (Fig. 16a).
+            signaling_messages: 4,
+            home_round_trips: 0,
+            session_key: Some(out.session_key),
+        })
+    }
+
+    /// Full establishment: local path, with rollback to the legacy
+    /// home-routed C2 on failure ("Otherwise, the serving satellite …
+    /// rolls back to the legacy procedure in Figure 9b").
+    pub fn establish_session(
+        &self,
+        home: &HomeNetwork,
+        ue: &mut UeDevice,
+        now: f64,
+    ) -> SessionOutcome {
+        match self.try_local_establishment(home, ue, now) {
+            Ok(o) => o,
+            Err(_) => {
+                // Legacy C2: 13 messages, multiple home round-trips.
+                let c2 = sc_fiveg::messages::Procedure::build(
+                    sc_fiveg::messages::ProcedureKind::SessionEstablishment,
+                );
+                SessionOutcome {
+                    local: false,
+                    signaling_messages: c2.message_count() as u32,
+                    home_round_trips: 3,
+                    session_key: None,
+                }
+            }
+        }
+    }
+
+    /// Fig. 16c — inter-satellite handover with the UE's replica: the UE
+    /// piggybacks its state in the handover acknowledgment to the new
+    /// satellite, bypassing P13/P10/P14 (path switch through the core).
+    pub fn handover_in(
+        &self,
+        home: &HomeNetwork,
+        ue: &mut UeDevice,
+        now: f64,
+    ) -> Result<SessionOutcome, LocalPathFailure> {
+        let mut o = self.try_local_establishment(home, ue, now)?;
+        // Handover piggyback rides existing HO messages: only the HO
+        // command + confirm + accept are new over-the-air messages.
+        o.signaling_messages = 3;
+        Ok(o)
+    }
+
+    /// Release a session (UE left coverage / inactivity): the satellite
+    /// forgets everything about the UE.
+    pub fn release(&self, supi: Supi) -> bool {
+        self.active.lock().remove(&supi).is_some()
+    }
+
+    /// Number of currently served sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// What a hijacker can read off this satellite **right now**: only
+    /// the active sessions' states/keys (Fig. 19a — "only the active
+    /// serving users' keys are leaked in this case").
+    pub fn hijack_exposure(&self) -> Vec<(Supi, u64)> {
+        self.active
+            .lock()
+            .iter()
+            .map(|(s, a)| (*s, a.session_key))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::home::{HomeConfig, HomeNetwork};
+    use sc_geo::sphere::GeoPoint;
+
+    fn setup() -> (HomeNetwork, SpaceCoreSatellite, UeDevice) {
+        let home = HomeNetwork::new(HomeConfig::default());
+        let sat = SpaceCoreSatellite::provision(&home, SatId::new(3, 7));
+        let ue = home.register_ue(100, &GeoPoint::from_degrees(39.9, 116.4));
+        (home, sat, ue)
+    }
+
+    #[test]
+    fn local_path_succeeds_without_home() {
+        let (home, sat, mut ue) = setup();
+        let o = sat.establish_session(&home, &mut ue, 1.0);
+        assert!(o.local);
+        assert_eq!(o.home_round_trips, 0);
+        assert_eq!(o.signaling_messages, 4);
+        assert!(o.session_key.is_some());
+        assert_eq!(sat.active_sessions(), 1);
+    }
+
+    #[test]
+    fn legacy_ue_rolls_back() {
+        let (home, sat, mut ue) = setup();
+        ue.supports_spacecore = false;
+        let o = sat.establish_session(&home, &mut ue, 1.0);
+        assert!(!o.local);
+        assert!(o.home_round_trips > 0);
+        assert!(o.signaling_messages > 4);
+        assert_eq!(sat.active_sessions(), 0);
+    }
+
+    #[test]
+    fn unauthorized_satellite_rolls_back() {
+        let (home, _, mut ue) = setup();
+        let rogue =
+            SpaceCoreSatellite::provision_with_attrs(&home, SatId::new(9, 9), &["role:satellite"]);
+        let err = rogue.try_local_establishment(&home, &mut ue, 1.0).unwrap_err();
+        assert!(matches!(err, LocalPathFailure::Crypto(_)));
+        let o = rogue.establish_session(&home, &mut ue, 1.0);
+        assert!(!o.local);
+    }
+
+    #[test]
+    fn expired_replica_rolls_back() {
+        let (home, sat, mut ue) = setup();
+        let past_ttl = home.config().state_ttl_s + 1.0;
+        let err = sat
+            .try_local_establishment(&home, &mut ue, past_ttl)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LocalPathFailure::Crypto(StateCryptError::Expired)
+        );
+    }
+
+    #[test]
+    fn handover_uses_fewer_messages() {
+        let (home, sat1, mut ue) = setup();
+        let sat2 = SpaceCoreSatellite::provision(&home, SatId::new(4, 7));
+        sat1.establish_session(&home, &mut ue, 1.0);
+        let o = sat2.handover_in(&home, &mut ue, 10.0).unwrap();
+        assert!(o.local);
+        assert_eq!(o.signaling_messages, 3);
+        assert_eq!(o.home_round_trips, 0);
+        // The old satellite releases and forgets.
+        assert!(sat1.release(ue.supi));
+        assert_eq!(sat1.active_sessions(), 0);
+        assert_eq!(sat1.hijack_exposure().len(), 0);
+    }
+
+    #[test]
+    fn hijack_exposure_bounded_to_active() {
+        let (home, sat, _) = setup();
+        let mut ues: Vec<_> = (0..10)
+            .map(|i| home.register_ue(200 + i, &GeoPoint::from_degrees(30.0, 100.0)))
+            .collect();
+        for ue in &mut ues {
+            sat.establish_session(&home, ue, 1.0);
+        }
+        assert_eq!(sat.hijack_exposure().len(), 10);
+        // Half release → exposure shrinks accordingly.
+        for ue in &ues[..5] {
+            sat.release(ue.supi);
+        }
+        assert_eq!(sat.hijack_exposure().len(), 5);
+    }
+
+    #[test]
+    fn session_keys_differ_across_ues_and_sessions() {
+        let (home, sat, mut ue) = setup();
+        let mut ue2 = home.register_ue(101, &GeoPoint::from_degrees(39.9, 116.4));
+        let k1 = sat.establish_session(&home, &mut ue, 1.0).session_key.unwrap();
+        let k2 = sat.establish_session(&home, &mut ue2, 1.0).session_key.unwrap();
+        assert_ne!(k1, k2);
+        // Re-establishment gets a fresh key (per-session keying).
+        sat.release(ue.supi);
+        let k3 = sat.establish_session(&home, &mut ue, 2.0).session_key.unwrap();
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn installed_state_matches_ue_session() {
+        let (home, sat, mut ue) = setup();
+        sat.establish_session(&home, &mut ue, 1.0);
+        let active = sat.active.lock();
+        let a = active.get(&ue.supi).unwrap();
+        assert_eq!(a.state, ue.session);
+    }
+}

@@ -1,0 +1,181 @@
+//! Device-as-the-repository: the UE-side state replica (§4.1 Step 3).
+//!
+//! After a successful initial registration the UE holds (a) its plaintext
+//! session state — it always did, that is how 5G works — and (b) the
+//! home-encrypted, home-signed replica (`msg_UE` in Algorithm 2) that it
+//! piggybacks to serving satellites so they can serve it without any
+//! home round-trip. The UE cannot usefully tamper with (b): it is signed
+//! by the home and satellites verify the envelope after decryption.
+
+use sc_crypto::dh::StationToStation;
+use sc_crypto::statecrypt::{EncryptedUeState, UeCredentials};
+use sc_fiveg::conn::UeConnection;
+use sc_fiveg::ids::Supi;
+use sc_fiveg::state::SessionState;
+use sc_geo::addr::GeoAddress;
+use sc_geo::sphere::GeoPoint;
+
+/// A registered UE with its local state repository.
+#[derive(Debug, Clone)]
+pub struct UeDevice {
+    /// Permanent subscriber identity.
+    pub supi: Supi,
+    /// Current terrestrial position.
+    pub position: GeoPoint,
+    /// Geospatial address allocated by the home (Fig. 15c).
+    pub address: GeoAddress,
+    /// Plaintext session state (the UE's own working copy).
+    pub session: SessionState,
+    /// The encrypted, signed replica delegated by the home.
+    pub replica: EncryptedUeState,
+    /// SIM credentials (ABE key bound to this UE's attributes).
+    pub credentials: UeCredentials,
+    /// RRC connection lifecycle.
+    pub conn: UeConnection,
+    /// Whether this UE runs the SpaceCore local-state proxy. Legacy UEs
+    /// force the serving satellite onto the home-routed path (§5 "If
+    /// unsuccessful (e.g. no UE-side support …) it rolls back").
+    pub supports_spacecore: bool,
+    /// Monotonic counter mixed into each session's ephemeral DH secret.
+    dh_counter: u64,
+}
+
+impl UeDevice {
+    /// Assemble a device (called by the home network at registration).
+    pub fn new(
+        supi: Supi,
+        position: GeoPoint,
+        address: GeoAddress,
+        session: SessionState,
+        replica: EncryptedUeState,
+        credentials: UeCredentials,
+    ) -> Self {
+        Self {
+            supi,
+            position,
+            address,
+            session,
+            replica,
+            credentials,
+            conn: UeConnection::with_default_release(),
+            supports_spacecore: true,
+            dh_counter: 0,
+        }
+    }
+
+    /// Start a fresh station-to-station exchange for a session
+    /// establishment (Algorithm 2 line 10). Each call uses a new
+    /// ephemeral secret, so every session gets a fresh key.
+    pub fn begin_key_exchange(&mut self, params: sc_crypto::dh::DhParams) -> StationToStation {
+        self.dh_counter += 1;
+        // Ephemeral secret: deterministic per (UE, counter) for replayable
+        // experiments, unique per exchange.
+        let secret = sc_crypto::field::keyed_hash(
+            self.supi.0 ^ EPHEMERAL_SALT,
+            &self.dh_counter.to_le_bytes(),
+        );
+        StationToStation::new(params, secret)
+    }
+
+    /// The piggyback payload a UE attaches to its RRC setup-complete /
+    /// handover-ack messages: the encrypted replica (Fig. 16a).
+    pub fn piggyback(&self) -> &EncryptedUeState {
+        &self.replica
+    }
+
+    /// Install an updated replica pushed by the home (§4.4
+    /// home-controlled state updates). Rejects version rollback.
+    pub fn install_update(
+        &mut self,
+        new_session: SessionState,
+        new_replica: EncryptedUeState,
+    ) -> Result<(), StaleUpdate> {
+        if new_replica.version <= self.replica.version {
+            return Err(StaleUpdate {
+                current: self.replica.version,
+                offered: new_replica.version,
+            });
+        }
+        self.session = new_session;
+        self.replica = new_replica;
+        Ok(())
+    }
+
+    /// Move the UE; returns `true` if it crossed into a new geospatial
+    /// cell (which requires a home-routed mobility registration, §4.3).
+    pub fn move_to(&mut self, grid: &sc_geo::cells::CellGrid, new_position: GeoPoint) -> bool {
+        let old_cell = grid.cell_of_point(&self.position);
+        let new_cell = grid.cell_of_point(&new_position);
+        self.position = new_position;
+        old_cell != new_cell
+    }
+}
+
+/// Rejected state update (version rollback attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleUpdate {
+    pub current: u32,
+    pub offered: u32,
+}
+
+impl std::fmt::Display for StaleUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale state update: offered v{} but device holds v{}",
+            self.offered, self.current
+        )
+    }
+}
+
+impl std::error::Error for StaleUpdate {}
+
+/// Fixed salt for the ephemeral-secret derivation.
+const EPHEMERAL_SALT: u64 = 0x5face_c0de_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::home::{HomeConfig, HomeNetwork};
+
+    fn registered_ue() -> (HomeNetwork, UeDevice) {
+        let home = HomeNetwork::new(HomeConfig::default());
+        let ue = home.register_ue(42, &GeoPoint::from_degrees(40.0, 116.0));
+        (home, ue)
+    }
+
+    #[test]
+    fn fresh_key_per_exchange() {
+        let (home, mut ue) = registered_ue();
+        let a = ue.begin_key_exchange(home.dh_params());
+        let b = ue.begin_key_exchange(home.dh_params());
+        assert_ne!(a.public_value(), b.public_value());
+    }
+
+    #[test]
+    fn stale_update_rejected() {
+        let (home, mut ue) = registered_ue();
+        let v = ue.replica.version;
+        let (s2, r2) = home.refresh_state(&ue, 1000.0);
+        assert!(r2.version > v);
+        ue.install_update(s2.clone(), r2.clone()).unwrap();
+        // Replaying the same version is rejected.
+        assert!(ue.install_update(s2, r2).is_err());
+    }
+
+    #[test]
+    fn cell_crossing_detection() {
+        let (home, mut ue) = registered_ue();
+        let grid = home.cell_grid();
+        // A few km movement stays in-cell (Table 3: cells are ≥ 10⁵ km²).
+        assert!(!ue.move_to(&grid, GeoPoint::from_degrees(40.05, 116.05)));
+        // A continental hop crosses cells.
+        assert!(ue.move_to(&grid, GeoPoint::from_degrees(-30.0, 20.0)));
+    }
+
+    #[test]
+    fn piggyback_is_the_replica() {
+        let (_, ue) = registered_ue();
+        assert_eq!(ue.piggyback(), &ue.replica);
+    }
+}

@@ -1,0 +1,54 @@
+//! Stateless geospatial relaying demo: Beijing → New York (Fig. 18b).
+//!
+//! Routes a packet with Algorithm 1 across each constellation under
+//! ideal and J4-perturbed orbits, printing the per-hop path for one
+//! trace so the +Grid movement pattern (α-moves, then γ-moves) is
+//! visible.
+//!
+//! Run with: `cargo run --example beijing_newyork`
+
+use sc_geo::GeoPoint;
+use sc_orbit::{ConstellationConfig, IdealPropagator, J4Propagator, Propagator};
+use spacecore::relay::GeoRelay;
+
+fn main() {
+    let beijing = GeoPoint::from_degrees(39.9042, 116.4074);
+    let ny = GeoPoint::from_degrees(40.7128, -74.0060);
+    println!(
+        "great-circle Beijing → New York: {:.0} km\n",
+        beijing.distance_km(&ny)
+    );
+
+    for cfg in ConstellationConfig::all_presets() {
+        let relay = GeoRelay::for_shell(&cfg);
+        let ideal = IdealPropagator::new(cfg.clone());
+        let j4 = J4Propagator::new(cfg.clone());
+        let props: [(&str, &dyn Propagator); 2] = [("ideal", &ideal), ("J4", &j4)];
+        for (name, prop) in props {
+            match relay.deliver_ground_to_ground(prop, &beijing, &ny, 1800.0, 1.0) {
+                Some(tr) => println!(
+                    "{:<9} {:<6} delivered={} hops={:>2} delay={:>6.1} ms",
+                    cfg.name,
+                    name,
+                    tr.delivered,
+                    tr.hops(),
+                    tr.delay_ms
+                ),
+                None => println!("{:<9} {:<6} no coverage at source", cfg.name, name),
+            }
+        }
+    }
+
+    // Show one full path (Starlink, ideal) hop by hop.
+    let cfg = ConstellationConfig::starlink();
+    let prop = IdealPropagator::new(cfg.clone());
+    let relay = GeoRelay::for_shell(&cfg);
+    let tr = relay
+        .deliver_ground_to_ground(&prop, &beijing, &ny, 1800.0, 1.0)
+        .expect("coverage");
+    println!("\nStarlink path ({} hops):", tr.hops());
+    for w in tr.path.windows(2) {
+        let dir = if w[0].plane != w[1].plane { "α (inter-plane)" } else { "γ (intra-plane)" };
+        println!("  {} → {}   [{dir}]", w[0], w[1]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the SpaceCore reproduction suite: re-exports the workspace crates
+//! so examples and integration tests can use one dependency.
+pub use sc_crypto as crypto;
+pub use sc_dataset as dataset;
+pub use sc_emu as emu;
+pub use sc_fiveg as fiveg;
+pub use sc_geo as geo;
+pub use sc_netsim as netsim;
+pub use sc_orbit as orbit;
+pub use spacecore as core;

@@ -1,0 +1,86 @@
+//! Data-plane capacity integration: the Fig. 5a gateway bottleneck over
+//! the real constellation, with the `netsim::capacity` model.
+
+use sc_dataset::population::PopulationModel;
+use sc_netsim::capacity::CapacityModel;
+use sc_netsim::isl::{IslConfig, IslNetwork};
+use sc_orbit::{ConstellationConfig, GroundStationSet, IdealPropagator};
+use spacecore::relay::GeoRelay;
+
+/// Build a capacity plan over the ISL network: fat ISLs, thin feeders.
+fn plan(net: &IslNetwork) -> CapacityModel {
+    let mut m = CapacityModel::new();
+    for a in 0..net.graph().len() {
+        for (b, _) in net.graph().neighbors(a) {
+            let feeder = a >= net.num_sats() || b >= net.num_sats();
+            // ISL 20 Gbps-class; feeder 4 Gbps-class (per-link units are
+            // relative; the ratio drives the bottleneck).
+            m.set_capacity(a, b, if feeder { 4.0 } else { 20.0 });
+        }
+    }
+    m
+}
+
+#[test]
+fn anchored_traffic_saturates_feeders_distributed_does_not() {
+    let cfg = ConstellationConfig::starlink();
+    let prop = IdealPropagator::new(cfg.clone());
+    let stations = GroundStationSet::starlink_like();
+    let net = IslNetwork::build(&prop, &stations, 0.0, IslConfig::default());
+    let relay = GeoRelay::for_shell(&cfg);
+    let pop = PopulationModel::world_bank_like();
+    let ues = pop.sample_ues(60, 0xCAFE);
+    let home_gw = net.ground_node(19); // beijing-cn in the default set
+
+    // Anchored plan: every UE's traffic goes serving-sat → … → home GW.
+    let mut anchored = plan(&net);
+    let mut assigned = 0;
+    for ue in &ues {
+        let Some(serving) = net.serving_sat_of(ue, cfg.min_elevation_rad) else {
+            continue;
+        };
+        let Some(p) = net
+            .graph()
+            .shortest_path(net.sat_node(serving), home_gw, |_| false)
+        else {
+            continue;
+        };
+        anchored.assign_flow(&p.path, 0.5).expect("links exist");
+        assigned += 1;
+    }
+    assert!(assigned > 40, "coverage too sparse: {assigned}");
+
+    // Distributed plan: the same demands relayed UE→UE by Algorithm 1
+    // (pairs of consecutive samples), never touching a gateway.
+    let mut distributed = plan(&net);
+    for pair in ues.chunks(2) {
+        if pair.len() < 2 {
+            break;
+        }
+        let Some(serving) = net.serving_sat_of(&pair[0], cfg.min_elevation_rad) else {
+            continue;
+        };
+        let frame = sc_geo::inclined::InclinedFrame::new(cfg.inclination_rad);
+        let dst = frame.from_geo_clamped(&pair[1]);
+        let tr = relay.trace(&prop, serving, dst, 0.0, 1.0);
+        if !tr.delivered {
+            continue;
+        }
+        let path: Vec<usize> = tr.path.iter().map(|s| net.sat_node(*s)).collect();
+        if path.len() >= 2 {
+            distributed.assign_flow(&path, 0.5).expect("ISLs exist");
+        }
+    }
+
+    let (anchored_link, anchored_u) = anchored.bottleneck().expect("load assigned");
+    let (_, distributed_u) = distributed.bottleneck().expect("load assigned");
+
+    // The anchored bottleneck is a feeder link at/near the home gateway
+    // and is far more utilized than anything in the distributed plan.
+    let is_feeder = anchored_link.0 >= net.num_sats() || anchored_link.1 >= net.num_sats();
+    assert!(is_feeder, "anchored bottleneck should be a feeder: {anchored_link:?}");
+    assert!(
+        anchored_u > 3.0 * distributed_u,
+        "anchored {anchored_u} vs distributed {distributed_u}"
+    );
+}

