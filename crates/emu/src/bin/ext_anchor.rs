@@ -1,7 +1,8 @@
 //! Extension experiment: anchor-gateway bottleneck.
 
 fn main() {
-    let r = sc_emu::ext_anchor::run();
+    let (r, timing) = sc_emu::report::timed("ext_anchor", sc_emu::ext_anchor::run);
+    timing.eprint();
     println!("{}", sc_emu::ext_anchor::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(

@@ -1,7 +1,8 @@
 //! Extension experiment: traffic-mix sensitivity (massive IoT).
 
 fn main() {
-    let r = sc_emu::ext_iot::run();
+    let (r, timing) = sc_emu::report::timed("ext_iot", sc_emu::ext_iot::run);
+    timing.eprint();
     println!("{}", sc_emu::ext_iot::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(

@@ -1,7 +1,8 @@
 //! Extension experiment: message-level procedure resilience.
 
 fn main() {
-    let r = sc_emu::ext_resilience::run();
+    let (r, timing) = sc_emu::report::timed("ext_resilience", sc_emu::ext_resilience::run);
+    timing.eprint();
     println!("{}", sc_emu::ext_resilience::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(

@@ -1,7 +1,8 @@
 //! Extension experiment: advantage vs. constellation scale.
 
 fn main() {
-    let r = sc_emu::ext_scaling::run();
+    let (r, timing) = sc_emu::report::timed("ext_scaling", sc_emu::ext_scaling::run);
+    timing.eprint();
     println!("{}", sc_emu::ext_scaling::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(

@@ -2,7 +2,8 @@
 //! `results/fig05.json`.
 
 fn main() {
-    let r = sc_emu::fig05::run();
+    let (r, timing) = sc_emu::report::timed("fig05", sc_emu::fig05::run);
+    timing.eprint();
     println!("{}", sc_emu::fig05::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     let json = serde_json::to_string_pretty(&r).expect("serialize");

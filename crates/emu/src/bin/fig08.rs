@@ -2,7 +2,8 @@
 //! `results/fig08.json`.
 
 fn main() {
-    let r = sc_emu::fig08::run();
+    let (r, timing) = sc_emu::report::timed("fig08", sc_emu::fig08::run);
+    timing.eprint();
     println!("{}", sc_emu::fig08::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     let json = serde_json::to_string_pretty(&r).expect("serialize");

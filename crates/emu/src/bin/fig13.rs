@@ -2,7 +2,8 @@
 //! `results/fig13.json`.
 
 fn main() {
-    let r = sc_emu::fig13::run();
+    let (r, timing) = sc_emu::report::timed("fig13", sc_emu::fig13::run);
+    timing.eprint();
     println!("{}", sc_emu::fig13::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(

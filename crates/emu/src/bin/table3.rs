@@ -2,7 +2,8 @@
 //! `results/table3.json`.
 
 fn main() {
-    let r = sc_emu::table3::run();
+    let (r, timing) = sc_emu::report::timed("table3", sc_emu::table3::run);
+    timing.eprint();
     println!("{}", sc_emu::table3::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     let json = serde_json::to_string_pretty(&r).expect("serialize");

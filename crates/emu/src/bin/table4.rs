@@ -2,7 +2,8 @@
 //! `results/table4.json`.
 
 fn main() {
-    let r = sc_emu::table4::run();
+    let (r, timing) = sc_emu::report::timed("table4", sc_emu::table4::run);
+    timing.eprint();
     println!("{}", sc_emu::table4::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     let json = serde_json::to_string_pretty(&r).expect("serialize");

@@ -44,13 +44,16 @@ pub fn run() -> ExtIot {
     let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
     let paging = Procedure::build(ProcedureKind::Paging);
 
-    let mut points = Vec::new();
-    for (name, mix) in [
+    let units: Vec<(&str, TrafficMix, u32)> = [
         ("consumer-dominated", TrafficMix::consumer_dominated()),
         ("IoT-dominated", TrafficMix::iot_dominated()),
-    ] {
+    ]
+    .into_iter()
+    .flat_map(|(name, mix)| DEVICE_COUNTS.iter().map(move |&d| (name, mix.clone(), d)))
+    .collect();
+    let points = crate::engine::parallel_map(units, |(name, mix, devices)| {
         let params = mix.workload_params(&base);
-        for devices in DEVICE_COUNTS {
+        {
             let sessions = devices as f64 / params.session_interarrival_s;
             let sweeps = devices as f64 / params.transit_s;
             let active_sweeps = sweeps * params.active_fraction;
@@ -68,14 +71,14 @@ pub fn run() -> ExtIot {
             let spacecore = sessions * (4.0 + params.downlink_fraction * 2.0)
                 + active_sweeps * 3.0;
 
-            points.push(IotPoint {
+            IotPoint {
                 mix: name.to_string(),
                 devices,
                 legacy_msgs_per_s: legacy,
                 spacecore_msgs_per_s: spacecore,
-            });
+            }
         }
-    }
+    });
     ExtIot { points }
 }
 

@@ -43,24 +43,27 @@ fn gen2() -> ConstellationConfig {
 
 /// Run at 30K capacity across shells of increasing size.
 pub fn run() -> ExtScaling {
+    run_with(crate::engine::thread_count())
+}
+
+/// Run with an explicit worker count. One cell per shell; output is
+/// identical for every `threads` value.
+pub fn run_with(threads: usize) -> ExtScaling {
     let mut shells: Vec<ConstellationConfig> = ConstellationConfig::all_presets().to_vec();
     shells.push(gen2());
     shells.sort_by_key(|c| c.total_sats());
     let cap = 30_000;
-    let points = shells
-        .into_iter()
-        .map(|cfg| {
-            let sc = Solution::new(SolutionKind::SpaceCore, cfg.clone()).sat_msgs_per_s(cap);
-            let ntn = Solution::new(SolutionKind::FiveGNtn, cfg.clone()).sat_msgs_per_s(cap);
-            ScalePoint {
-                shell: cfg.name.to_string(),
-                total_sats: cfg.total_sats(),
-                spacecore_sat_msgs: sc,
-                ntn_sat_msgs: ntn,
-                reduction: ntn / sc,
-            }
-        })
-        .collect();
+    let points = crate::engine::parallel_map_with(threads, shells, |cfg| {
+        let sc = Solution::new(SolutionKind::SpaceCore, cfg.clone()).sat_msgs_per_s(cap);
+        let ntn = Solution::new(SolutionKind::FiveGNtn, cfg.clone()).sat_msgs_per_s(cap);
+        ScalePoint {
+            shell: cfg.name.to_string(),
+            total_sats: cfg.total_sats(),
+            spacecore_sat_msgs: sc,
+            ntn_sat_msgs: ntn,
+            reduction: ntn / sc,
+        }
+    });
     ExtScaling { points }
 }
 
@@ -91,6 +94,15 @@ pub fn render(r: &ExtScaling) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_json_bit_identical_to_serial() {
+        let serial = serde_json::to_string_pretty(&run_with(1)).unwrap();
+        for threads in [2, 8] {
+            let parallel = serde_json::to_string_pretty(&run_with(threads)).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
 
     #[test]
     fn reduction_grows_with_constellation_size() {

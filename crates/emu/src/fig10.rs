@@ -41,52 +41,63 @@ pub struct Cell {
 
 /// Run the experiment.
 pub fn run() -> Fig10 {
-    let mut cells = Vec::new();
-    for cfg in ConstellationConfig::all_presets() {
+    run_with(crate::engine::thread_count())
+}
+
+/// Run with an explicit worker count. Output is identical for every
+/// `threads` value; tests diff the JSON against `threads = 1`.
+pub fn run_with(threads: usize) -> Fig10 {
+    let units: Vec<(ConstellationConfig, SplitOption)> = ConstellationConfig::all_presets()
+        .iter()
+        .flat_map(|cfg| SplitOption::STATEFUL.iter().map(|&o| (cfg.clone(), o)))
+        .collect();
+    let groups = crate::engine::parallel_map_with(threads, units, |(cfg, option)| {
         let params = WorkloadParams::for_constellation(&cfg);
         let model = RateModel::new(params);
-        for option in SplitOption::STATEFUL {
-            for capacity in CAPACITIES {
-                let split = option.split();
-                let sessions = model.session_rate(capacity);
-                let handovers = model.handover_rate(capacity);
-                let mob_regs = if matches!(
-                    option,
-                    SplitOption::SessionMobility | SplitOption::AllFunctions
-                ) {
-                    model.mobility_reg_rate(capacity)
-                } else {
-                    0.0
-                };
+        let mut cells = Vec::new();
+        for capacity in CAPACITIES {
+            let split = option.split();
+            let sessions = model.session_rate(capacity);
+            let handovers = model.handover_rate(capacity);
+            let mob_regs = if matches!(
+                option,
+                SplitOption::SessionMobility | SplitOption::AllFunctions
+            ) {
+                model.mobility_reg_rate(capacity)
+            } else {
+                0.0
+            };
 
-                let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
-                let paging = Procedure::build(ProcedureKind::Paging);
-                let c3 = Procedure::build(ProcedureKind::Handover);
-                let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
+            let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
+            let paging = Procedure::build(ProcedureKind::Paging);
+            let c3 = Procedure::build(ProcedureKind::Handover);
+            let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
 
-                let sat_session = sessions
-                    * (c2.satellite_messages(&split) as f64 * model.radio_overhead
-                        + params.downlink_fraction * paging.satellite_messages(&split) as f64);
-                let sat_mobility = handovers * c3.satellite_messages(&split) as f64
-                    + mob_regs * c4.satellite_messages(&split) as f64;
+            let sat_session = sessions
+                * (c2.satellite_messages(&split) as f64 * model.radio_overhead
+                    + params.downlink_fraction * paging.satellite_messages(&split) as f64);
+            let sat_mobility = handovers * c3.satellite_messages(&split) as f64
+                + mob_regs * c4.satellite_messages(&split) as f64;
 
-                let per_sat_gs = sessions * c2.ground_messages(&split) as f64
-                    + handovers * c3.ground_messages(&split) as f64
-                    + mob_regs * c4.ground_messages(&split) as f64;
-                let gs = per_sat_gs * cfg.total_sats() as f64 / GROUND_STATIONS as f64;
+            let per_sat_gs = sessions * c2.ground_messages(&split) as f64
+                + handovers * c3.ground_messages(&split) as f64
+                + mob_regs * c4.ground_messages(&split) as f64;
+            let gs = per_sat_gs * cfg.total_sats() as f64 / GROUND_STATIONS as f64;
 
-                cells.push(Cell {
-                    constellation: cfg.name.to_string(),
-                    option: option.name().to_string(),
-                    capacity,
-                    sat_session_msgs: sat_session,
-                    sat_mobility_msgs: sat_mobility,
-                    gs_msgs: gs,
-                });
-            }
+            cells.push(Cell {
+                constellation: cfg.name.to_string(),
+                option: option.name().to_string(),
+                capacity,
+                sat_session_msgs: sat_session,
+                sat_mobility_msgs: sat_mobility,
+                gs_msgs: gs,
+            });
         }
+        cells
+    });
+    Fig10 {
+        cells: groups.into_iter().flatten().collect(),
     }
-    Fig10 { cells }
 }
 
 /// Text rendering.
@@ -134,6 +145,15 @@ mod tests {
     fn has_all_cells() {
         let r = run();
         assert_eq!(r.cells.len(), 4 * 4 * 4);
+    }
+
+    #[test]
+    fn parallel_json_bit_identical_to_serial() {
+        let serial = serde_json::to_string_pretty(&run_with(1)).unwrap();
+        for threads in [2, 8] {
+            let parallel = serde_json::to_string_pretty(&run_with(threads)).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]

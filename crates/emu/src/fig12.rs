@@ -39,6 +39,12 @@ pub struct TimePoint {
 
 /// Run the experiment: follow satellite (0,0) for one orbit.
 pub fn run() -> Fig12 {
+    run_with(crate::engine::thread_count())
+}
+
+/// Run with an explicit worker count. Each time step is an independent
+/// cell; output is identical for every `threads` value.
+pub fn run_with(threads: usize) -> Fig12 {
     let cfg = ConstellationConfig::starlink();
     let prop = IdealPropagator::new(cfg.clone());
     let pop = PopulationModel::world_bank_like();
@@ -57,9 +63,16 @@ pub fn run() -> Fig12 {
 
     let dt_s = 60.0;
     let period = cfg.period_s();
-    let mut points = Vec::new();
+    // Sample instants via the same repeated-addition walk as the old
+    // serial loop, so every t is the same f64 bit pattern.
+    let mut ts = Vec::new();
     let mut t = 0.0;
     while t <= period + 1.0 {
+        ts.push(t);
+        t += dt_s;
+    }
+
+    let points = crate::engine::parallel_map_with(threads, ts, |t| {
         let st = prop.state(SatId::new(0, 0), t);
         let frac = pop.coverage_fraction(&st.subpoint, half_angle);
         let users = frac * global_users;
@@ -80,15 +93,14 @@ pub fn run() -> Fig12 {
             signaling.push((cap, msgs));
             state_tx.push((cap, stx));
         }
-        points.push(TimePoint {
+        TimePoint {
             t_min: t / 60.0,
             region: region.name().to_string(),
             users_in_view: users,
             signaling_per_s: signaling,
             state_tx_per_s: state_tx,
-        });
-        t += dt_s;
-    }
+        }
+    });
     Fig12 { dt_s, points }
 }
 
@@ -131,6 +143,15 @@ pub fn render(r: &Fig12) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_json_bit_identical_to_serial() {
+        let serial = serde_json::to_string_pretty(&run_with(1)).unwrap();
+        for threads in [2, 8] {
+            let parallel = serde_json::to_string_pretty(&run_with(threads)).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
 
     #[test]
     fn covers_one_full_orbit() {

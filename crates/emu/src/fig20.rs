@@ -33,23 +33,33 @@ pub struct Cell {
 
 /// Run the experiment.
 pub fn run() -> Fig20 {
-    let mut cells = Vec::new();
-    for cfg in ConstellationConfig::all_presets() {
-        for kind in SolutionKind::ALL {
-            let s = Solution::new(kind, cfg.clone());
-            for capacity in CAPACITIES {
-                cells.push(Cell {
-                    constellation: cfg.name.to_string(),
-                    solution: kind.name().to_string(),
-                    capacity,
-                    sat_msgs_per_s: s.sat_msgs_per_s(capacity),
-                    gs_msgs_per_s: s.ground_msgs_per_s(capacity, GROUND_STATIONS),
-                    state_tx_per_s: s.state_tx_per_s(capacity),
-                });
-            }
-        }
+    run_with(crate::engine::thread_count())
+}
+
+/// Run with an explicit worker count. Output is identical for every
+/// `threads` value; tests diff the JSON against `threads = 1`.
+pub fn run_with(threads: usize) -> Fig20 {
+    let units: Vec<(ConstellationConfig, SolutionKind)> = ConstellationConfig::all_presets()
+        .iter()
+        .flat_map(|cfg| SolutionKind::ALL.iter().map(|&kind| (cfg.clone(), kind)))
+        .collect();
+    let groups = crate::engine::parallel_map_with(threads, units, |(cfg, kind)| {
+        let s = Solution::new(kind, cfg.clone());
+        CAPACITIES
+            .iter()
+            .map(|&capacity| Cell {
+                constellation: cfg.name.to_string(),
+                solution: kind.name().to_string(),
+                capacity,
+                sat_msgs_per_s: s.sat_msgs_per_s(capacity),
+                gs_msgs_per_s: s.ground_msgs_per_s(capacity, GROUND_STATIONS),
+                state_tx_per_s: s.state_tx_per_s(capacity),
+            })
+            .collect::<Vec<_>>()
+    });
+    Fig20 {
+        cells: groups.into_iter().flatten().collect(),
     }
-    Fig20 { cells }
 }
 
 /// Look up one cell.
@@ -97,6 +107,15 @@ mod tests {
     #[test]
     fn all_cells_present() {
         assert_eq!(run().cells.len(), 4 * 5 * 4);
+    }
+
+    #[test]
+    fn parallel_json_bit_identical_to_serial() {
+        let serial = serde_json::to_string_pretty(&run_with(1)).unwrap();
+        for threads in [2, 8] {
+            let parallel = serde_json::to_string_pretty(&run_with(threads)).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]

@@ -22,7 +22,14 @@
 //! Every experiment is deterministic (seeded), emits JSON via `serde`,
 //! and is exercised by both a binary (`cargo run -p sc-emu --bin figNN`)
 //! and a Criterion bench target (`crates/bench`).
+//!
+//! Sweeps fan independent cells out over the [`engine`] worker pool
+//! (`SC_EMU_THREADS` overrides the worker count); results are ordered
+//! deterministically, so the emitted JSON is bit-identical to a
+//! single-threaded run. Binaries report wall-clock and thread count on
+//! stderr via [`report::timed`].
 
+pub mod engine;
 pub mod ext_anchor;
 pub mod ext_iot;
 pub mod ext_resilience;

@@ -1,4 +1,48 @@
-//! Small text-table renderer shared by the experiment binaries.
+//! Small text-table renderer and wall-clock timing shared by the
+//! experiment binaries.
+
+use std::time::Instant;
+
+/// Wall-clock timing of one experiment run. Binaries print this to
+/// stderr, keeping stdout tables and `results/*.json` byte-identical
+/// whatever the thread count.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    pub experiment: String,
+    pub wall_s: f64,
+    pub threads: usize,
+}
+
+impl RunTiming {
+    pub fn line(&self) -> String {
+        format!(
+            "[timing] {}: {:.3} s wall, {} thread{}",
+            self.experiment,
+            self.wall_s,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        )
+    }
+
+    pub fn eprint(&self) {
+        eprintln!("{}", self.line());
+    }
+}
+
+/// Time `f`, labeling the result with the experiment name and the
+/// engine's worker count.
+pub fn timed<R>(experiment: &str, f: impl FnOnce() -> R) -> (R, RunTiming) {
+    let start = Instant::now();
+    let r = f();
+    (
+        r,
+        RunTiming {
+            experiment: experiment.to_string(),
+            wall_s: start.elapsed().as_secs_f64(),
+            threads: crate::engine::thread_count(),
+        },
+    )
+}
 
 /// A simple fixed-width text table.
 #[derive(Debug, Clone, Default)]

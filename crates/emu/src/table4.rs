@@ -23,12 +23,14 @@ pub fn run() -> Table4 {
     run_at(30_000)
 }
 
-/// Run at a chosen capacity.
+/// Run at a chosen capacity. The heavy lifting — the full Fig. 20
+/// sweep — runs on the parallel engine; the per-constellation ratio
+/// rows then fan out over the same engine.
 pub fn run_at(capacity: u32) -> Table4 {
     let fig20 = crate::fig20::run();
-    let rows = ["Starlink", "Kuiper", "OneWeb", "Iridium"]
-        .iter()
-        .map(|cons| {
+    let rows = crate::engine::parallel_map(
+        vec!["Starlink", "Kuiper", "OneWeb", "Iridium"],
+        |cons| {
             let sc = crate::fig20::cell(&fig20, cons, "SpaceCore", capacity).sat_msgs_per_s;
             let reductions = SolutionKind::BASELINES
                 .iter()
@@ -41,8 +43,8 @@ pub fn run_at(capacity: u32) -> Table4 {
                 constellation: cons.to_string(),
                 reductions,
             }
-        })
-        .collect();
+        },
+    );
     Table4 { capacity, rows }
 }
 

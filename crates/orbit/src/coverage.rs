@@ -7,6 +7,7 @@
 //! user, §3.2).
 
 use crate::constellation::{Constellation, SatId};
+use crate::index::{IndexedSnapshot, PREFILTER_MARGIN_RAD};
 use crate::propagator::{Propagator, SatState};
 use sc_geo::sphere::{coverage_half_angle, elevation_angle, GeoPoint};
 
@@ -19,6 +20,16 @@ pub struct SatView {
     pub elevation_rad: f64,
     /// Straight-line (slant) distance, km.
     pub slant_km: f64,
+}
+
+/// Canonical visibility ordering: descending elevation, then ascending
+/// [`SatId`]. Total (handles any f64) and tie-free, so the linear and
+/// indexed query paths sort to the same sequence no matter what order
+/// candidates were gathered in.
+fn view_order(a: &SatView, b: &SatView) -> std::cmp::Ordering {
+    b.elevation_rad
+        .total_cmp(&a.elevation_rad)
+        .then_with(|| a.sat.cmp(&b.sat))
 }
 
 /// Coverage queries over a propagator.
@@ -72,25 +83,50 @@ impl<'a> CoverageModel<'a> {
     pub fn visible_from_snapshot(&self, snapshot: &[SatState], p: &GeoPoint) -> Vec<SatView> {
         let mut out = Vec::new();
         for (i, st) in snapshot.iter().enumerate() {
-            // Cheap central-angle pre-filter on the sub-point.
-            if p.central_angle(&st.subpoint) > self.max_central_angle + 0.02 {
-                continue;
-            }
-            let elev = elevation_angle(p, &st.position);
-            if elev >= self.min_elevation {
-                out.push(SatView {
-                    sat: self.constellation.sat_at(i),
-                    elevation_rad: elev,
-                    slant_km: st.position.distance_km(&p.surface_vector()),
-                });
+            if let Some(v) = self.view_of(i, st, p) {
+                out.push(v);
             }
         }
-        out.sort_by(|a, b| {
-            b.elevation_rad
-                .partial_cmp(&a.elevation_rad)
-                .expect("elevations are finite")
-        });
+        out.sort_by(view_order);
         out
+    }
+
+    /// Like [`Self::visible_from_snapshot`] but consulting the spatial
+    /// index, so only satellites near `p` are examined. Returns exactly
+    /// the linear-scan result: same satellites, same order.
+    pub fn visible_from_indexed(&self, snapshot: &IndexedSnapshot, p: &GeoPoint) -> Vec<SatView> {
+        debug_assert!(
+            snapshot.query_radius() >= self.max_central_angle + PREFILTER_MARGIN_RAD - 1e-12,
+            "index radius too small for this coverage model"
+        );
+        let mut out = Vec::new();
+        snapshot.for_each_candidate(p, |i, st| {
+            if let Some(v) = self.view_of(i, st, p) {
+                out.push(v);
+            }
+        });
+        out.sort_by(view_order);
+        out
+    }
+
+    /// Exact visibility test for one satellite: the central-angle
+    /// prefilter then the elevation threshold. Shared by the linear and
+    /// indexed paths so they accept exactly the same satellites.
+    fn view_of(&self, i: usize, st: &SatState, p: &GeoPoint) -> Option<SatView> {
+        // Cheap central-angle pre-filter on the sub-point.
+        if p.central_angle(&st.subpoint) > self.max_central_angle + PREFILTER_MARGIN_RAD {
+            return None;
+        }
+        let elev = elevation_angle(p, &st.position);
+        if elev >= self.min_elevation {
+            Some(SatView {
+                sat: self.constellation.sat_at(i),
+                elevation_rad: elev,
+                slant_km: st.position.distance_km(&p.surface_vector()),
+            })
+        } else {
+            None
+        }
     }
 
     /// The serving satellite (highest elevation), if any is visible.
@@ -101,6 +137,27 @@ impl<'a> CoverageModel<'a> {
     /// Serving satellite against a pre-computed snapshot.
     pub fn serving_from_snapshot(&self, snapshot: &[SatState], p: &GeoPoint) -> Option<SatView> {
         self.visible_from_snapshot(snapshot, p).into_iter().next()
+    }
+
+    /// Serving satellite via the spatial index; selects by the same
+    /// canonical order as the sorted visibility list, without sorting.
+    pub fn serving_from_indexed(&self, snapshot: &IndexedSnapshot, p: &GeoPoint) -> Option<SatView> {
+        debug_assert!(
+            snapshot.query_radius() >= self.max_central_angle + PREFILTER_MARGIN_RAD - 1e-12,
+            "index radius too small for this coverage model"
+        );
+        let mut best: Option<SatView> = None;
+        snapshot.for_each_candidate(p, |i, st| {
+            if let Some(v) = self.view_of(i, st, p) {
+                if best
+                    .as_ref()
+                    .map_or(true, |b| view_order(&v, b) == std::cmp::Ordering::Less)
+                {
+                    best = Some(v);
+                }
+            }
+        });
+        best
     }
 
     /// Mean single-satellite coverage transit time for a static user, s:

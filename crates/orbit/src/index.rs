@@ -1,0 +1,326 @@
+//! Spatial visibility index over propagator snapshots.
+//!
+//! Visibility queries ask "which satellites are within the coverage
+//! cone of this ground point" — a radius-θ spherical-cap search, where
+//! θ is the constellation's coverage half-angle plus the prefilter
+//! margin. The linear scan in [`crate::coverage::CoverageModel`] tests
+//! every satellite; at Starlink/Kuiper scale that is 1 000+ central
+//! angles per query, of which a handful survive. [`SpatialIndex`]
+//! buckets the snapshot's sub-points into a lat/lon grid whose cell
+//! size equals θ, so a query only touches the grid cells intersecting
+//! the cap's bounding box and the candidate set stays O(visible).
+//!
+//! [`IndexedSnapshot`] bundles a snapshot with its index, and
+//! [`SnapshotCache`] memoizes `(t → IndexedSnapshot)` so experiment
+//! sweeps that revisit the same instants (per-capacity series, UE
+//! populations against one epoch) build each snapshot once.
+//!
+//! Indexed queries return exactly the linear-scan result — same
+//! satellites, same order; `crates/orbit/tests/props.rs` property-tests
+//! the equivalence.
+
+use std::f64::consts::{FRAC_PI_2, PI};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sc_geo::sphere::{coverage_half_angle, GeoPoint};
+
+use crate::propagator::{Propagator, SatState};
+
+/// Fixed margin added to the coverage half-angle by the central-angle
+/// prefilter (kept identical to the historical inline `0.02`).
+pub const PREFILTER_MARGIN_RAD: f64 = 0.02;
+
+/// A lat/lon bucket grid over one snapshot's sub-points.
+///
+/// Cell size is the query radius θ, so every satellite within central
+/// angle θ of a query point lies in a cell intersecting the cap's
+/// bounding box: rows covering `[φ−θ, φ+θ]` and, when the cap avoids
+/// the pole, columns within `Δλ = asin(sin θ / cos φ)` of the query
+/// longitude (all columns otherwise).
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    rows: usize,
+    cols: usize,
+    lat_step: f64,
+    lon_step: f64,
+    radius: f64,
+    /// Satellite snapshot indices, bucketed; row-major `rows × cols`.
+    cells: Vec<Vec<u32>>,
+}
+
+impl SpatialIndex {
+    /// Index `subpoints` for caps of central-angle radius `radius_rad`.
+    pub fn build(subpoints: impl Iterator<Item = GeoPoint>, radius_rad: f64) -> Self {
+        assert!(
+            radius_rad.is_finite() && radius_rad > 0.0,
+            "query radius must be positive, got {radius_rad}"
+        );
+        let rows = ((PI / radius_rad).ceil() as usize).clamp(1, 180);
+        let cols = ((2.0 * PI / radius_rad).ceil() as usize).clamp(1, 360);
+        let mut idx = Self {
+            rows,
+            cols,
+            lat_step: PI / rows as f64,
+            lon_step: 2.0 * PI / cols as f64,
+            radius: radius_rad,
+            cells: vec![Vec::new(); rows * cols],
+        };
+        for (i, p) in subpoints.enumerate() {
+            let cell = idx.row_of(p.lat) * cols + idx.col_of(p.lon);
+            idx.cells[cell].push(i as u32);
+        }
+        idx
+    }
+
+    /// The cap radius this index was built for, radians.
+    pub fn query_radius(&self) -> f64 {
+        self.radius
+    }
+
+    fn row_of(&self, lat: f64) -> usize {
+        (((lat + FRAC_PI_2) / self.lat_step) as usize).min(self.rows - 1)
+    }
+
+    fn col_of(&self, lon: f64) -> usize {
+        (((lon + PI) / self.lon_step) as usize).min(self.cols - 1)
+    }
+
+    /// Visit every snapshot index whose sub-point could lie within
+    /// `radius` of `p` (superset of the true cap; callers re-check with
+    /// the exact central angle). Each index is visited at most once.
+    pub fn for_each_candidate(&self, p: &GeoPoint, mut f: impl FnMut(usize)) {
+        let row_lo = self.row_of((p.lat - self.radius).max(-FRAC_PI_2));
+        let row_hi = self.row_of((p.lat + self.radius).min(FRAC_PI_2));
+
+        // Longitude extent of the cap's bounding box.
+        let whole_band = p.lat.abs() + self.radius >= FRAC_PI_2;
+        let (col_start, col_span) = if whole_band {
+            (0, self.cols)
+        } else {
+            let dlon = (self.radius.sin() / p.lat.cos()).clamp(-1.0, 1.0).asin();
+            // Pad by one cell: the query point sits anywhere inside its
+            // cell, so the box can spill into one extra column per side.
+            let span = (2.0 * dlon / self.lon_step).ceil() as usize + 2;
+            if span >= self.cols {
+                (0, self.cols)
+            } else {
+                let start = self.col_of(sc_geo::angle::normalize_lon(p.lon - dlon));
+                (start, span)
+            }
+        };
+
+        for row in row_lo..=row_hi {
+            for k in 0..col_span {
+                let col = (col_start + k) % self.cols;
+                for &i in &self.cells[row * self.cols + col] {
+                    f(i as usize);
+                }
+            }
+        }
+    }
+
+    /// Candidate snapshot indices for `p`, as a vector.
+    pub fn candidates(&self, p: &GeoPoint) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_candidate(p, |i| out.push(i));
+        out
+    }
+}
+
+/// One propagated instant plus its spatial index.
+#[derive(Debug, Clone)]
+pub struct IndexedSnapshot {
+    states: Vec<SatState>,
+    index: SpatialIndex,
+}
+
+impl IndexedSnapshot {
+    /// Propagate `prop` at `t` and index the result with the
+    /// constellation's own coverage radius (half-angle + prefilter
+    /// margin) — the radius every `CoverageModel` query needs.
+    pub fn build(prop: &dyn Propagator, t: f64) -> Self {
+        let cfg = prop.config();
+        let radius =
+            coverage_half_angle(cfg.altitude_km, cfg.min_elevation_rad) + PREFILTER_MARGIN_RAD;
+        Self::from_states(prop.snapshot(t), radius)
+    }
+
+    /// Index pre-computed states for caps of radius `radius_rad`.
+    pub fn from_states(states: Vec<SatState>, radius_rad: f64) -> Self {
+        let index = SpatialIndex::build(states.iter().map(|s| s.subpoint), radius_rad);
+        Self { states, index }
+    }
+
+    pub fn states(&self) -> &[SatState] {
+        &self.states
+    }
+
+    pub fn index(&self) -> &SpatialIndex {
+        &self.index
+    }
+
+    pub fn query_radius(&self) -> f64 {
+        self.index.radius
+    }
+
+    /// Visit candidate `(snapshot index, state)` pairs for `p`.
+    pub fn for_each_candidate(&self, p: &GeoPoint, mut f: impl FnMut(usize, &SatState)) {
+        self.index
+            .for_each_candidate(p, |i| f(i, &self.states[i]));
+    }
+}
+
+/// Small memo of `t → IndexedSnapshot` over one propagator.
+///
+/// Keys are the exact bits of `t`, so a hit returns the identical
+/// snapshot the propagator would produce — memoization changes no
+/// results, only how often `snapshot()` runs. Eviction is LRU with a
+/// small bound: sweeps touch few distinct instants at a time (fig12
+/// walks one period; capacity series revisit the same epochs).
+pub struct SnapshotCache<'a> {
+    prop: &'a dyn Propagator,
+    capacity: usize,
+    /// MRU at the back.
+    entries: Mutex<Vec<(u64, Arc<IndexedSnapshot>)>>,
+}
+
+impl<'a> SnapshotCache<'a> {
+    pub const DEFAULT_CAPACITY: usize = 16;
+
+    pub fn new(prop: &'a dyn Propagator) -> Self {
+        Self::with_capacity(prop, Self::DEFAULT_CAPACITY)
+    }
+
+    pub fn with_capacity(prop: &'a dyn Propagator, capacity: usize) -> Self {
+        Self {
+            prop,
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn propagator(&self) -> &'a dyn Propagator {
+        self.prop
+    }
+
+    /// The indexed snapshot at `t`, building it on first use.
+    pub fn at(&self, t: f64) -> Arc<IndexedSnapshot> {
+        let key = t.to_bits();
+        {
+            let mut entries = self.entries.lock();
+            if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+                let hit = entries.remove(pos);
+                let snap = hit.1.clone();
+                entries.push(hit);
+                return snap;
+            }
+        }
+        // Build outside the lock; concurrent misses may build twice but
+        // produce identical snapshots.
+        let snap = Arc::new(IndexedSnapshot::build(self.prop, t));
+        let mut entries = self.entries.lock();
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            return entries[pos].1.clone();
+        }
+        if entries.len() >= self.capacity {
+            entries.remove(0);
+        }
+        entries.push((key, snap.clone()));
+        snap
+    }
+
+    /// Number of cached instants.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::ConstellationConfig;
+    use crate::propagator::IdealPropagator;
+
+    fn candidate_set(idx: &SpatialIndex, p: &GeoPoint) -> std::collections::BTreeSet<usize> {
+        idx.candidates(p).into_iter().collect()
+    }
+
+    #[test]
+    fn candidates_cover_the_cap() {
+        let prop = IdealPropagator::new(ConstellationConfig::starlink());
+        let snap = prop.snapshot(321.0);
+        let radius = 0.3;
+        let idx = SpatialIndex::build(snap.iter().map(|s| s.subpoint), radius);
+        for &(lat, lon) in &[
+            (0.0, 0.0),
+            (40.0, -100.0),
+            (-52.9, 179.5),
+            (52.9, -179.5),
+            (85.0, 10.0),
+            (-85.0, 10.0),
+        ] {
+            let p = GeoPoint::from_degrees(lat, lon);
+            let cands = candidate_set(&idx, &p);
+            for (i, st) in snap.iter().enumerate() {
+                if p.central_angle(&st.subpoint) <= radius {
+                    assert!(
+                        cands.contains(&i),
+                        "missed sat {i} at ({lat}, {lon})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_visit_each_index_once() {
+        let prop = IdealPropagator::new(ConstellationConfig::iridium());
+        let snap = prop.snapshot(0.0);
+        let idx = SpatialIndex::build(snap.iter().map(|s| s.subpoint), 1.2);
+        let p = GeoPoint::from_degrees(80.0, 0.0);
+        let cands = idx.candidates(&p);
+        let set: std::collections::BTreeSet<_> = cands.iter().copied().collect();
+        assert_eq!(cands.len(), set.len(), "duplicate candidates");
+    }
+
+    #[test]
+    fn candidate_count_is_sublinear_at_scale() {
+        let prop = IdealPropagator::new(ConstellationConfig::starlink());
+        let snap = IndexedSnapshot::build(&prop, 100.0);
+        let p = GeoPoint::from_degrees(35.0, 20.0);
+        let n = snap.index().candidates(&p).len();
+        assert!(
+            n * 10 < snap.states().len(),
+            "expected <10% of {} candidates, got {n}",
+            snap.states().len()
+        );
+    }
+
+    #[test]
+    fn cache_returns_identical_snapshots() {
+        let prop = IdealPropagator::new(ConstellationConfig::iridium());
+        let cache = SnapshotCache::new(&prop);
+        let a = cache.at(42.0);
+        let b = cache.at(42.0);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup should hit");
+        assert_eq!(a.states(), prop.snapshot(42.0).as_slice());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let prop = IdealPropagator::new(ConstellationConfig::iridium());
+        let cache = SnapshotCache::with_capacity(&prop, 2);
+        let first = cache.at(1.0);
+        cache.at(2.0);
+        cache.at(1.0); // refresh 1.0 → 2.0 becomes LRU
+        cache.at(3.0); // evicts 2.0
+        assert_eq!(cache.len(), 2);
+        assert!(Arc::ptr_eq(&first, &cache.at(1.0)));
+    }
+}

@@ -1,7 +1,10 @@
 //! Property-based tests for the orbital substrate.
 
 use proptest::prelude::*;
-use sc_orbit::{ConstellationConfig, Constellation, IdealPropagator, J4Propagator, Propagator, SatId};
+use sc_orbit::{
+    Constellation, ConstellationConfig, CoverageModel, IdealPropagator, IndexedSnapshot,
+    J4Propagator, Propagator, SatId,
+};
 
 fn any_config() -> impl Strategy<Value = ConstellationConfig> {
     (0usize..4).prop_map(|i| ConstellationConfig::all_presets()[i].clone())
@@ -78,6 +81,29 @@ proptest! {
         let c = Constellation::new(cfg.clone());
         let idx = idx % cfg.total_sats();
         prop_assert_eq!(c.index_of(c.sat_at(idx)), idx);
+    }
+
+    /// Indexed visibility returns exactly the linear-scan result:
+    /// same satellites, same order, for any point, preset, and time.
+    #[test]
+    fn indexed_visibility_matches_linear(
+        cfg in any_config(),
+        lat in -89.0f64..89.0,
+        lon in -180.0f64..180.0,
+        t in 0.0f64..100_000.0,
+    ) {
+        let prop = IdealPropagator::new(cfg);
+        let cov = CoverageModel::new(&prop);
+        let p = sc_geo::GeoPoint::from_degrees(lat, lon);
+        let snapshot = prop.snapshot(t);
+        let indexed = IndexedSnapshot::build(&prop, t);
+        let linear = cov.visible_from_snapshot(&snapshot, &p);
+        let via_index = cov.visible_from_indexed(&indexed, &p);
+        prop_assert_eq!(linear.clone(), via_index, "at ({lat}, {lon}) t={t}");
+        prop_assert_eq!(
+            cov.serving_from_indexed(&indexed, &p),
+            linear.into_iter().next()
+        );
     }
 
     /// Period-advanced γ returns to itself for the ideal propagator.

@@ -15,7 +15,7 @@ use crate::satellite::SpaceCoreSatellite;
 use crate::uestate::UeDevice;
 use sc_fiveg::conn::ConnState;
 use sc_orbit::coverage::CoverageModel;
-use sc_orbit::{Propagator, SatId};
+use sc_orbit::{Propagator, SatId, SnapshotCache};
 use std::collections::HashMap;
 
 /// Aggregate statistics of an epoch advance.
@@ -38,6 +38,9 @@ pub struct EpochStats {
 pub struct Deployment<'a> {
     home: &'a HomeNetwork,
     prop: &'a dyn Propagator,
+    /// Memoized indexed snapshots: epochs shared across deployments of
+    /// the same sweep hit the cache instead of re-propagating.
+    snapshots: SnapshotCache<'a>,
     satellites: HashMap<SatId, SpaceCoreSatellite>,
     /// Current serving assignment per UE index.
     serving: Vec<Option<SatId>>,
@@ -54,6 +57,7 @@ impl<'a> Deployment<'a> {
         Self {
             home,
             prop,
+            snapshots: SnapshotCache::new(prop),
             satellites: HashMap::new(),
             serving: vec![None; fleet_size],
             connected: vec![false; fleet_size],
@@ -85,11 +89,11 @@ impl<'a> Deployment<'a> {
         assert_eq!(ues.len(), self.serving.len());
         self.now = t;
         let cov = CoverageModel::new(self.prop);
-        let snapshot = self.prop.snapshot(t);
+        let snapshot = self.snapshots.at(t);
         let mut stats = EpochStats::default();
 
         for (i, ue) in ues.iter_mut().enumerate() {
-            let view = cov.serving_from_snapshot(&snapshot, &ue.position);
+            let view = cov.serving_from_indexed(&snapshot, &ue.position);
             match (self.serving[i], view.map(|v| v.sat)) {
                 (_, None) => {
                     if self.serving[i].take().is_some() && self.connected[i] {

@@ -18,7 +18,7 @@
 use sc_geo::angle::signed_delta;
 use sc_geo::inclined::InclinedCoord;
 use sc_geo::sphere::{propagation_delay_ms, GeoPoint};
-use sc_orbit::{Constellation, Propagator, SatId};
+use sc_orbit::{Constellation, IndexedSnapshot, Propagator, SatId};
 
 /// A local forwarding decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,18 +181,46 @@ impl GeoRelay {
         t: f64,
         per_hop_processing_ms: f64,
     ) -> Option<RelayTrace> {
+        self.deliver_indexed(
+            prop,
+            &IndexedSnapshot::build(prop, t),
+            src,
+            dst,
+            t,
+            per_hop_processing_ms,
+        )
+    }
+
+    /// Like [`Self::deliver_ground_to_ground`] against a pre-indexed
+    /// snapshot (use a [`sc_orbit::SnapshotCache`] when delivering many
+    /// packets at the same instant). `snapshot` must be the propagated
+    /// state of `prop` at `t`.
+    pub fn deliver_indexed(
+        &self,
+        prop: &dyn Propagator,
+        snapshot: &IndexedSnapshot,
+        src: &GeoPoint,
+        dst: &GeoPoint,
+        t: f64,
+        per_hop_processing_ms: f64,
+    ) -> Option<RelayTrace> {
         let cfg = prop.config();
-        let snapshot = prop.snapshot(t);
         let constellation = Constellation::new(cfg.clone());
-        // Ingress: highest-elevation satellite over the source.
+        // Ingress: highest-elevation satellite over the source. Only
+        // satellites inside the coverage cap can clear the elevation
+        // threshold, so the bucket candidates suffice; ties keep the
+        // lowest snapshot index, matching a linear front-to-back scan.
         let mut best: Option<(f64, usize)> = None;
-        for (i, st) in snapshot.iter().enumerate() {
+        snapshot.for_each_candidate(src, |i, st| {
             let e = sc_geo::sphere::elevation_angle(src, &st.position);
-            if e >= cfg.min_elevation_rad && best.map_or(true, |(be, _)| e > be) {
+            if e >= cfg.min_elevation_rad
+                && best.map_or(true, |(be, bi)| e > be || (e == be && i < bi))
+            {
                 best = Some((e, i));
             }
-        }
+        });
         let (_, ingress_idx) = best?;
+        let states = snapshot.states();
         let ingress = constellation.sat_at(ingress_idx);
 
         // Destination coordinate: the UE address embeds the ascending
@@ -202,13 +230,13 @@ impl GeoRelay {
 
         let mut trace = self.trace(prop, ingress, dst_coord, t, per_hop_processing_ms);
         // Uplink to ingress + downlink from the delivering satellite.
-        let up = snapshot[ingress_idx]
+        let up = states[ingress_idx]
             .position
             .distance_km(&src.surface_vector());
         trace.delay_ms += propagation_delay_ms(up);
         if trace.delivered {
             let last = constellation.index_of(*trace.path.last().expect("non-empty path"));
-            let down = snapshot[last].position.distance_km(&dst.surface_vector());
+            let down = states[last].position.distance_km(&dst.surface_vector());
             trace.delay_ms += propagation_delay_ms(down);
         }
         Some(trace)
@@ -349,6 +377,37 @@ mod tests {
         assert!(a.delivered && b.delivered);
         // A wider delivery radius can only shorten (or equal) the path.
         assert!(b.hops() <= a.hops());
+    }
+
+    #[test]
+    fn indexed_ingress_matches_linear_scan() {
+        let cfg = ConstellationConfig::starlink();
+        let prop = IdealPropagator::new(cfg.clone());
+        let relay = GeoRelay::for_shell(&cfg);
+        let dst = GeoPoint::from_degrees(48.9, 2.4);
+        for (lat, lon, t) in [
+            (40.0, -100.0, 0.0),
+            (-33.9, 151.2, 600.0),
+            (0.0, 0.0, 1234.5),
+            (52.5, 13.4, 4321.0),
+        ] {
+            let src = GeoPoint::from_degrees(lat, lon);
+            // Linear reference: front-to-back scan, strict improvement.
+            let snapshot = prop.snapshot(t);
+            let mut best: Option<(f64, usize)> = None;
+            for (i, st) in snapshot.iter().enumerate() {
+                let e = sc_geo::sphere::elevation_angle(&src, &st.position);
+                if e >= cfg.min_elevation_rad && best.map_or(true, |(be, _)| e > be) {
+                    best = Some((e, i));
+                }
+            }
+            let constellation = Constellation::new(cfg.clone());
+            let expected = best.map(|(_, i)| constellation.sat_at(i));
+            let got = relay
+                .deliver_ground_to_ground(&prop, &src, &dst, t, 1.0)
+                .map(|tr| tr.path[0]);
+            assert_eq!(got, expected, "src ({lat}, {lon}) t={t}");
+        }
     }
 
     #[test]

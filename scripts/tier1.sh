@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification (ROADMAP.md): release build + quiet test run.
+#
+# Runs with --offline: every external dependency is vendored under
+# vendor/ (see vendor/README.md), so the build must never touch a
+# registry. Pass extra cargo arguments through, e.g.
+#   scripts/tier1.sh --workspace
+# to extend the test run to every workspace member.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release --offline" >&2
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q --offline $*" >&2
+cargo test -q --offline "$@"
+
+echo "== tier-1: OK" >&2

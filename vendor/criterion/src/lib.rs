@@ -1,0 +1,308 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Benches compile and run with the same source as against the real
+//! crate, but measurement is intentionally lightweight: each benchmark
+//! runs for a handful of iterations (bounded by `SC_BENCH_BUDGET_MS`,
+//! default 200 ms per benchmark) and reports a mean ns/iter line to
+//! stdout. There are no statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("SC_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// Like the real criterion: cargo passes `--bench` only under
+/// `cargo bench`; without it (e.g. `cargo test` running a
+/// `harness = false` bench target) each benchmark executes once as a
+/// smoke test instead of being measured.
+fn in_test_mode() -> bool {
+    !std::env::args().any(|a| a == "--bench")
+}
+
+/// Runs a closure repeatedly and records timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    budget: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    fn new(budget: Duration, test_mode: bool) -> Self {
+        Self {
+            iters: 0,
+            total: Duration::ZERO,
+            budget,
+            test_mode,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // One untimed warm-up iteration.
+        black_box(f());
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            self.iters += 1;
+            self.total = start.elapsed();
+            if self.iters >= 3 && self.total >= self.budget {
+                break;
+            }
+            if self.iters >= 1000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.test_mode {
+            println!("Testing {name} ... ok");
+            return;
+        }
+        if self.iters == 0 {
+            println!("{name}: no iterations recorded");
+            return;
+        }
+        let ns = self.total.as_nanos() / self.iters as u128;
+        println!("{name}: {ns} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Identifies a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation; accepted and ignored by the stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: budget(),
+            test_mode: in_test_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sample count hint. The stand-in keeps its time budget instead,
+    /// but scales it down for small requested sample sizes.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.budget = self.budget.min(t);
+        self
+    }
+
+    pub fn warm_up_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.budget, self.test_mode);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.budget, self.test_mode);
+        f(&mut b, input);
+        b.report(&id.id);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.budget = self.criterion.budget.min(t);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<GroupId>, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.budget, self.criterion.test_mode);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into().0));
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<GroupId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.budget, self.criterion.test_mode);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.into().0));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark label within a group: either a plain string or a
+/// [`BenchmarkId`].
+#[derive(Debug, Clone)]
+pub struct GroupId(pub String);
+
+impl From<&str> for GroupId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for GroupId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for GroupId {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.id)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_bounds_iters() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            test_mode: false,
+        };
+        let mut count = 0u64;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        // warm-up + at least 3 measured iterations, bounded above.
+        assert!(count >= 4, "{count}");
+        assert!(count <= 1001 + 1, "{count}");
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        assert_eq!(GroupId::from(BenchmarkId::new("f", 7)).0, "f/7");
+        assert_eq!(GroupId::from(BenchmarkId::from_parameter("x")).0, "x");
+        assert_eq!(GroupId::from("plain").0, "plain");
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("t", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion { budget: Duration::from_millis(1), test_mode: false };
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_invokes_targets() {
+        benches();
+    }
+}

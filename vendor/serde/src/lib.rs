@@ -1,0 +1,353 @@
+//! Minimal offline stand-in for `serde` (serialization only).
+//!
+//! Instead of serde's full data model, the stand-in drives a single
+//! JSON [`ser::Emitter`] directly: `Serialize::serialize` writes the
+//! value into the emitter, and `serde_json::to_string{,_pretty}` wrap
+//! it. Field order follows declaration order, and pretty output uses
+//! two-space indentation — both matching the real serde_json.
+
+pub use serde_derive::Serialize;
+
+pub mod ser {
+    /// A JSON writer: compact or pretty (2-space indent).
+    #[derive(Debug)]
+    pub struct Emitter {
+        out: String,
+        pretty: bool,
+        depth: usize,
+        /// Per-level flag: has this container already emitted an item?
+        has_item: Vec<bool>,
+        /// An object key was just written; the next value follows `: `.
+        after_key: bool,
+    }
+
+    impl Emitter {
+        pub fn new(pretty: bool) -> Self {
+            Self {
+                out: String::new(),
+                pretty,
+                depth: 0,
+                has_item: Vec::new(),
+                after_key: false,
+            }
+        }
+
+        pub fn finish(self) -> String {
+            self.out
+        }
+
+        fn newline_indent(&mut self) {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+
+        /// Position the cursor for a new value or key: emit the
+        /// separating comma and (when pretty) the newline + indent.
+        fn pre_item(&mut self) {
+            if self.after_key {
+                self.after_key = false;
+                return;
+            }
+            if let Some(has) = self.has_item.last_mut() {
+                if *has {
+                    self.out.push(',');
+                }
+                *has = true;
+                if self.pretty {
+                    self.newline_indent();
+                }
+            }
+        }
+
+        pub fn begin_object(&mut self) {
+            self.pre_item();
+            self.out.push('{');
+            self.depth += 1;
+            self.has_item.push(false);
+        }
+
+        pub fn field(&mut self, name: &str) {
+            self.pre_item();
+            self.string(name);
+            self.out.push(':');
+            if self.pretty {
+                self.out.push(' ');
+            }
+            self.after_key = true;
+        }
+
+        pub fn end_object(&mut self) {
+            let had = self.has_item.pop().unwrap_or(false);
+            self.depth -= 1;
+            if self.pretty && had {
+                self.newline_indent();
+            }
+            self.out.push('}');
+        }
+
+        pub fn begin_array(&mut self) {
+            self.pre_item();
+            self.out.push('[');
+            self.depth += 1;
+            self.has_item.push(false);
+        }
+
+        pub fn end_array(&mut self) {
+            let had = self.has_item.pop().unwrap_or(false);
+            self.depth -= 1;
+            if self.pretty && had {
+                self.newline_indent();
+            }
+            self.out.push(']');
+        }
+
+        /// A raw (pre-rendered) scalar token.
+        pub fn scalar(&mut self, token: &str) {
+            self.pre_item();
+            self.out.push_str(token);
+        }
+
+        /// A JSON string literal with escaping.
+        pub fn string(&mut self, s: &str) {
+            self.out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    '\r' => self.out.push_str("\\r"),
+                    '\t' => self.out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        self.out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+
+        /// A string value (positions, then writes the literal).
+        pub fn string_value(&mut self, s: &str) {
+            self.pre_item();
+            self.string(s);
+        }
+    }
+}
+
+/// Serialize a value into JSON via the [`ser::Emitter`].
+pub trait Serialize {
+    fn serialize(&self, e: &mut ser::Emitter);
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, e: &mut ser::Emitter) {
+                e.scalar(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_ser_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Render a finite float exactly as the real serde_json does: shortest
+/// round-trip digits (Rust's `{:e}` and ryu agree on those) laid out
+/// under ryu's notation rules — plain decimal while the decimal point
+/// lands within [-4, 16] digits of the front, scientific (`d.ddde±x`)
+/// outside that, integral values keeping a trailing `.0`.
+fn ryu_format(mantissa_exp: String) -> String {
+    let (mant, exp) = mantissa_exp
+        .split_once('e')
+        .expect("{:e} always contains an exponent");
+    let exp: i32 = exp.parse().expect("{:e} exponent is an integer");
+    let (sign, mant) = match mant.strip_prefix('-') {
+        Some(m) => ("-", m),
+        None => ("", mant),
+    };
+    let digits: String = mant.chars().filter(|&c| c != '.').collect();
+    let len = digits.len() as i32;
+    // value = digits × 10^k; decimal point sits `kk` digits in.
+    let k = exp - (len - 1);
+    let kk = exp + 1;
+    let body = if k >= 0 && kk <= 16 {
+        format!("{digits}{}.0", "0".repeat(k as usize))
+    } else if kk > 0 && kk <= 16 {
+        format!("{}.{}", &digits[..kk as usize], &digits[kk as usize..])
+    } else if kk > -5 && kk <= 0 {
+        format!("0.{}{digits}", "0".repeat(-kk as usize))
+    } else if len == 1 {
+        format!("{digits}e{}", kk - 1)
+    } else {
+        format!("{}.{}e{}", &digits[..1], &digits[1..], kk - 1)
+    };
+    format!("{sign}{body}")
+}
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, e: &mut ser::Emitter) {
+                if self.is_finite() {
+                    e.scalar(&ryu_format(format!("{self:e}")));
+                } else {
+                    e.scalar("null");
+                }
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self, e: &mut ser::Emitter) {
+        e.scalar(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, e: &mut ser::Emitter) {
+        e.string_value(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, e: &mut ser::Emitter) {
+        e.string_value(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, e: &mut ser::Emitter) {
+        (**self).serialize(e);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, e: &mut ser::Emitter) {
+        match self {
+            Some(v) => v.serialize(e),
+            None => e.scalar("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, e: &mut ser::Emitter) {
+        e.begin_array();
+        for v in self {
+            v.serialize(e);
+        }
+        e.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, e: &mut ser::Emitter) {
+        self.as_slice().serialize(e);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, e: &mut ser::Emitter) {
+        self.as_slice().serialize(e);
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, e: &mut ser::Emitter) {
+                e.begin_array();
+                $(self.$n.serialize(e);)+
+                e.end_array();
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ser::Emitter;
+    use super::Serialize;
+
+    fn compact<T: Serialize>(v: &T) -> String {
+        let mut e = Emitter::new(false);
+        v.serialize(&mut e);
+        e.finish()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(compact(&42u32), "42");
+        assert_eq!(compact(&-1i64), "-1");
+        assert_eq!(compact(&true), "true");
+        assert_eq!(compact(&1.5f64), "1.5");
+        assert_eq!(compact(&2.0f64), "2.0");
+        assert_eq!(compact(&f64::NAN), "null");
+        // ryu notation boundaries (matching real serde_json output).
+        assert_eq!(compact(&0.0f64), "0.0");
+        assert_eq!(compact(&-0.0f64), "-0.0");
+        assert_eq!(compact(&893.8f64), "893.8");
+        assert_eq!(compact(&0.00001f64), "0.00001");
+        assert_eq!(compact(&4.913500492498967e-6), "4.913500492498967e-6");
+        assert_eq!(compact(&-8.802013090673619e-6), "-8.802013090673619e-6");
+        assert_eq!(compact(&1e15f64), "1000000000000000.0");
+        assert_eq!(compact(&1e16f64), "1e16");
+        assert_eq!(compact(&1.23e20f64), "1.23e20");
+        assert_eq!(compact(&123400.0f64), "123400.0");
+        assert_eq!(compact(&0.30000000000000004f64), "0.30000000000000004");
+        assert_eq!(compact(&"a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(compact(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(compact(&(1u32, 2.5f64)), "[1,2.5]");
+        assert_eq!(compact(&Option::<u32>::None), "null");
+        assert_eq!(compact(&Some("x".to_string())), "\"x\"");
+        assert_eq!(
+            compact(&vec![("a".to_string(), 1.0f64)]),
+            "[[\"a\",1.0]]"
+        );
+    }
+
+    #[test]
+    fn pretty_object_shape() {
+        struct S {
+            a: u32,
+            b: Vec<u32>,
+        }
+        impl Serialize for S {
+            fn serialize(&self, e: &mut Emitter) {
+                e.begin_object();
+                e.field("a");
+                self.a.serialize(e);
+                e.field("b");
+                self.b.serialize(e);
+                e.end_object();
+            }
+        }
+        let mut e = Emitter::new(true);
+        S { a: 1, b: vec![2, 3] }.serialize(&mut e);
+        assert_eq!(
+            e.finish(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(compact(&Vec::<u32>::new()), "[]");
+        let mut e = Emitter::new(true);
+        Vec::<u32>::new().serialize(&mut e);
+        assert_eq!(e.finish(), "[]");
+    }
+}

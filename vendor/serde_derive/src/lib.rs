@@ -1,0 +1,112 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Supports `#[derive(Serialize)]` on **non-generic structs with named
+//! fields** — the only shape this workspace serializes. The expansion
+//! walks fields in declaration order, matching serde's JSON field
+//! ordering. Hand-rolled token walking (no `syn`/`quote` available in
+//! the offline environment).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(v) => v,
+        Err(msg) => {
+            return format!("compile_error!(\"derive(Serialize) stub: {msg}\");")
+                .parse()
+                .unwrap();
+        }
+    };
+
+    let mut body = String::from("e.begin_object();\n");
+    for f in &fields {
+        body.push_str(&format!(
+            "e.field(\"{f}\");\n::serde::Serialize::serialize(&self.{f}, e);\n"
+        ));
+    }
+    body.push_str("e.end_object();");
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, e: &mut ::serde::ser::Emitter) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Extract `(struct_name, field_names)` from a derive input stream.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/qualifiers until `struct`.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected struct name".into()),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("enums are not supported".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("no struct keyword found")?;
+
+    // Find the brace-delimited field group (rejecting generics for
+    // simplicity: nothing in the workspace derives on generic types).
+    for tt in iter {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("generic structs are not supported".into());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return Ok((name, field_names(g.stream())));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported".into());
+            }
+            _ => {}
+        }
+    }
+    Err("no field block found".into())
+}
+
+/// Field names: for each top-level comma-separated chunk, the
+/// identifier immediately preceding the first top-level `:`.
+/// Generic arguments (`<...>`) are tracked so their commas and colons
+/// don't split fields.
+fn field_names(fields: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    for tt in fields {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && !in_type => {
+                    if let Some(id) = last_ident.take() {
+                        names.push(id);
+                    }
+                    in_type = true;
+                }
+                ',' if angle_depth == 0 => {
+                    in_type = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    names
+}

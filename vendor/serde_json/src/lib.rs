@@ -1,0 +1,81 @@
+//! Minimal offline stand-in for `serde_json` (serialization only).
+
+use serde::ser::Emitter;
+use serde::Serialize;
+
+/// Serialization error. The stand-in emitter is infallible, so this is
+/// never produced — it exists for signature compatibility.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut e = Emitter::new(false);
+    value.serialize(&mut e);
+    Ok(e.finish())
+}
+
+/// Serialize to a pretty JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut e = Emitter::new(true);
+    value.serialize(&mut e);
+    Ok(e.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: f64,
+        label: String,
+        series: Vec<(u32, f64)>,
+    }
+
+    #[test]
+    fn derive_and_emit() {
+        let p = Point {
+            x: 1.25,
+            label: "a".into(),
+            series: vec![(1, 2.0), (3, 4.5)],
+        };
+        assert_eq!(
+            to_string(&p).unwrap(),
+            "{\"x\":1.25,\"label\":\"a\",\"series\":[[1,2.0],[3,4.5]]}"
+        );
+        let pretty = to_string_pretty(&p).unwrap();
+        assert!(pretty.starts_with("{\n  \"x\": 1.25,"), "{pretty}");
+        assert!(pretty.ends_with("\n}"), "{pretty}");
+    }
+
+    #[test]
+    fn nested_structs() {
+        #[derive(Serialize)]
+        struct Outer {
+            inner: Vec<Point>,
+        }
+        let o = Outer {
+            inner: vec![Point {
+                x: 0.0,
+                label: String::new(),
+                series: vec![],
+            }],
+        };
+        assert_eq!(
+            to_string(&o).unwrap(),
+            "{\"inner\":[{\"x\":0.0,\"label\":\"\",\"series\":[]}]}"
+        );
+    }
+}
