@@ -1,0 +1,210 @@
+//! Workspace walker and ratchet comparison: ties the lexer, the rules,
+//! and the baseline together into the `sc-audit` verdict.
+
+use crate::baseline::Baseline;
+use crate::lexer;
+use crate::rules::{audit_tokens, Config, Finding, PanicCounts};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything one audit run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// R1/R2 findings (already annotation-filtered), in deterministic
+    /// file/position order.
+    pub findings: Vec<Finding>,
+    /// Measured R3 counters per crate directory name.
+    pub counts: BTreeMap<String, PanicCounts>,
+    /// R3 ratchet violations (crate, counter, current, baseline).
+    pub ratchet: Vec<RatchetViolation>,
+    /// Crates now strictly below their baseline — candidates for
+    /// `--update-baseline`.
+    pub improvements: Vec<(String, &'static str, u32, u32)>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// One counter that exceeded its checked-in ceiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetViolation {
+    pub krate: String,
+    pub counter: &'static str,
+    pub current: u32,
+    pub baseline: u32,
+}
+
+impl std::fmt::Display for RatchetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crates/{}: R3-ratchet {} count {} exceeds baseline {} — remove the new \
+             site or (after review) regenerate with --update-baseline",
+            self.krate, self.counter, self.current, self.baseline
+        )
+    }
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.ratchet.is_empty()
+    }
+}
+
+/// Collect every `.rs` file under `<root>/crates`, skipping build
+/// output and the auditor's own violation fixtures. Sorted for
+/// deterministic output.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no crates/ directory", root.display()),
+        ));
+    }
+    walk(&crates_dir, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // target/: build output. fixtures/: sc-audit's own test
+            // inputs, which violate the rules on purpose.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (rule scopes and output
+/// stay stable across platforms).
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Crate directory name for a `crates/<name>/…` relative path.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Audit a whole workspace rooted at `root` against `baseline`.
+pub fn audit_workspace(root: &Path, baseline: &Baseline, cfg: &Config) -> io::Result<Report> {
+    let mut report = Report::default();
+    for file in collect_files(root)? {
+        let src = fs::read_to_string(&file)?;
+        let rel = rel_path(root, &file);
+        audit_one(&rel, &src, cfg, &mut report);
+    }
+    compare_ratchet(baseline, &mut report);
+    Ok(report)
+}
+
+/// Audit a single source string as if it lived at `rel` (used by the
+/// fixture tests, and by `audit_workspace` for real files).
+pub fn audit_one(rel: &str, src: &str, cfg: &Config, report: &mut Report) {
+    let lexed = lexer::lex(src);
+    let (findings, counts) = audit_tokens(rel, &lexed, cfg);
+    report.findings.extend(findings);
+    if let Some(krate) = crate_of(rel) {
+        report
+            .counts
+            .entry(krate.to_string())
+            .or_default()
+            .add(&counts);
+    }
+    report.files_scanned += 1;
+}
+
+/// Fill in `report.ratchet` / `report.improvements` from the measured
+/// counts. Crates absent from the baseline ratchet at zero.
+pub fn compare_ratchet(baseline: &Baseline, report: &mut Report) {
+    for (krate, counts) in &report.counts {
+        let base = baseline.crates.get(krate).copied().unwrap_or_default();
+        for (counter, cur, allowed) in [
+            ("unwrap", counts.unwrap, base.unwrap),
+            ("expect", counts.expect, base.expect),
+            ("panic", counts.panic, base.panic),
+            ("unsafe", counts.r#unsafe, base.r#unsafe),
+        ] {
+            if cur > allowed {
+                report.ratchet.push(RatchetViolation {
+                    krate: krate.clone(),
+                    counter,
+                    current: cur,
+                    baseline: allowed,
+                });
+            } else if cur < allowed {
+                report.improvements.push((krate.clone(), counter, cur, allowed));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_parses() {
+        assert_eq!(crate_of("crates/fiveg/src/amf.rs"), Some("fiveg"));
+        assert_eq!(crate_of("src/lib.rs"), None);
+    }
+
+    #[test]
+    fn ratchet_flags_only_increases() {
+        let mut report = Report::default();
+        report.counts.insert(
+            "fiveg".into(),
+            PanicCounts {
+                unwrap: 5,
+                expect: 1,
+                panic: 0,
+                r#unsafe: 0,
+            },
+        );
+        let mut counts = BTreeMap::new();
+        counts.insert(
+            "fiveg".into(),
+            PanicCounts {
+                unwrap: 4, // ratchet says 4, we measured 5 → violation
+                expect: 2, // measured 1 < 2 → improvement
+                panic: 0,
+                r#unsafe: 0,
+            },
+        );
+        compare_ratchet(&Baseline::from_counts(&counts), &mut report);
+        assert_eq!(report.ratchet.len(), 1);
+        assert_eq!(report.ratchet[0].counter, "unwrap");
+        assert_eq!(report.improvements.len(), 1);
+        assert_eq!(report.improvements[0].1, "expect");
+    }
+
+    #[test]
+    fn unknown_crate_ratchets_at_zero() {
+        let mut report = Report::default();
+        report.counts.insert(
+            "newcrate".into(),
+            PanicCounts {
+                unwrap: 1,
+                ..Default::default()
+            },
+        );
+        compare_ratchet(&Baseline::default(), &mut report);
+        assert_eq!(report.ratchet.len(), 1);
+        assert_eq!(report.ratchet[0].baseline, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! `sc-audit` — the statelessness & determinism auditor for the
+//! SpaceCore workspace (DESIGN.md "Enforced invariants").
+//!
+//! The paper's core claim — orbital network functions hold **no per-UE
+//! state** (S1, S3–S5 live on the device; S2 compresses into a
+//! geospatial address) — and PR 1's byte-identical-results guarantee
+//! both rest on conventions that any future change can silently break.
+//! This crate turns those conventions into a CI-failing check:
+//!
+//! * **R1 `stateful`** — no per-UE keyed collections in satellite-side
+//!   modules without a written justification.
+//! * **R2 `timing` / `rng` / `unordered` / `float-cmp`** — no wall
+//!   clocks outside the reporters, no unseeded RNG, no hash-order
+//!   leakage into results, `total_cmp` over `partial_cmp().unwrap()`.
+//! * **R3 ratchet** — per-crate `unwrap`/`expect`/`panic!`/`unsafe`
+//!   counts can only go down, pinned by `audit.baseline.toml`.
+//!
+//! Run it with `scripts/audit.sh` (fatal) or `scripts/tier1.sh`
+//! (warn-only). See the binary (`src/main.rs`) for the CLI.
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use engine::{audit_workspace, Report};
+pub use rules::{Config, Finding};

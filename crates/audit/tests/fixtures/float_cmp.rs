@@ -1,0 +1,5 @@
+//! Fixture: `partial_cmp(..).unwrap()` in a sort. Must trip R2-float-cmp.
+
+pub fn rank(latencies: &mut Vec<f64>) {
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,9 @@
+//! Fixture: three fresh `unwrap()` sites — enough to push any crate
+//! past a zero (or freshly-regenerated) R3 ratchet.
+
+pub fn triple(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().unwrap();
+    let c = v.get(1).unwrap();
+    a + b + c
+}

@@ -1,0 +1,6 @@
+//! Fixture: unseeded RNG. Must trip R2-rng anywhere in the workspace.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}

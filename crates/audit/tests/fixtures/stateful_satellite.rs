@@ -1,0 +1,9 @@
+//! Fixture: a per-UE keyed collection in a satellite-side module.
+//! Audited as `crates/spacecore/src/satellite.rs` — must trip R1-stateful.
+
+use std::collections::HashMap;
+
+pub struct SatellitePayload {
+    /// A per-UE store on the spacecraft: exactly what the paper forbids.
+    contexts: HashMap<Supi, UeContext>,
+}

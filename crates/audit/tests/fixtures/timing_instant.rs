@@ -1,0 +1,6 @@
+//! Fixture: wall-clock read outside the timing allowlist.
+//! Audited as `crates/netsim/src/des.rs` — must trip R2-timing.
+
+pub fn step_with_wallclock() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,9 @@
+//! Fixture: iterating a HashMap straight into an emitted result.
+//! Must trip R2-unordered (no sort, no order-insensitive reduction).
+
+use std::collections::HashMap;
+
+pub fn emit(load: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let out: Vec<(u32, u64)> = load.iter().map(|(k, v)| (*k, *v)).collect();
+    out
+}

@@ -1,0 +1,195 @@
+//! Self-check: the live workspace must audit clean against its own
+//! checked-in baseline, and the real `sc-audit` binary must reproduce
+//! the library verdict through its exit code — including non-zero exits
+//! for the three acceptance injections (stateful satellite field,
+//! wall-clock read, ratchet overrun).
+
+use sc_audit::baseline::Baseline;
+use sc_audit::engine::audit_workspace;
+use sc_audit::rules::Config;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The real workspace root: two levels up from crates/audit.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn live_workspace_is_clean_under_checked_in_baseline() {
+    let root = workspace_root();
+    let baseline_path = root.join("audit.baseline.toml");
+    let text = fs::read_to_string(&baseline_path)
+        .expect("audit.baseline.toml is checked in at the workspace root");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let report = audit_workspace(&root, &baseline, &Config::default())
+        .expect("workspace walks");
+    assert!(report.files_scanned > 100, "scanned {}", report.files_scanned);
+    assert!(
+        report.findings.is_empty(),
+        "R1/R2 findings on the live tree:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.ratchet.is_empty(),
+        "R3 ratchet regressions:\n{}",
+        report
+            .ratchet
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Build a throwaway mini-workspace under the cargo-provided tmpdir and
+/// run the actual binary against it.
+fn run_binary(tag: &str, files: &[(&str, &str)], baseline: Option<&str>) -> (i32, String) {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    // Rebuild from scratch each run so reruns stay deterministic.
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear previous run");
+    }
+    for (rel, src) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("mkdir");
+        fs::write(&path, src).expect("write fixture");
+    }
+    let baseline_arg = root.join("audit.baseline.toml");
+    if let Some(text) = baseline {
+        fs::write(&baseline_arg, text).expect("write baseline");
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_sc-audit"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline_arg)
+        .output()
+        .expect("binary runs");
+    let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+    text.push_str(&String::from_utf8_lossy(&out.stderr));
+    (out.status.code().expect("exit code"), text)
+}
+
+const CLEAN_SRC: &str = "pub fn id(x: u32) -> u32 { x }\n";
+
+#[test]
+fn binary_exits_zero_on_clean_tree() {
+    let (code, out) = run_binary(
+        "clean",
+        &[("crates/spacecore/src/lib.rs", CLEAN_SRC)],
+        None,
+    );
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_stateful_satellite_injection() {
+    let (code, out) = run_binary(
+        "inject-stateful",
+        &[(
+            "crates/spacecore/src/satellite.rs",
+            include_str!("fixtures/stateful_satellite.rs"),
+        )],
+        None,
+    );
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("R1-stateful"), "{out}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_wallclock_injection() {
+    let (code, out) = run_binary(
+        "inject-timing",
+        &[(
+            "crates/netsim/src/des.rs",
+            include_str!("fixtures/timing_instant.rs"),
+        )],
+        None,
+    );
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("R2-timing"), "{out}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_ratchet_overrun() {
+    let (code, out) = run_binary(
+        "inject-ratchet",
+        &[(
+            "crates/spacecore/src/injected.rs",
+            include_str!("fixtures/panicky.rs"),
+        )],
+        Some("[spacecore]\nunwrap = 2\n"),
+    );
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("R3-ratchet"), "{out}");
+    assert!(out.contains("exceeds baseline 2"), "{out}");
+}
+
+#[test]
+fn binary_update_baseline_then_rerun_is_clean() {
+    let tag = "ratchet-roundtrip";
+    let files = [(
+        "crates/spacecore/src/injected.rs",
+        include_str!("fixtures/panicky.rs"),
+    )];
+    // First run ratchets at zero (no baseline file) → violation.
+    let (code, out) = run_binary(tag, &files, None);
+    assert_eq!(code, 1, "{out}");
+
+    // Regenerate the baseline in place, then the same tree passes.
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    let baseline_path = root.join("audit.baseline.toml");
+    let status = Command::new(env!("CARGO_BIN_EXE_sc-audit"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline_path)
+        .arg("--update-baseline")
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    let written = fs::read_to_string(&baseline_path).expect("baseline written");
+    assert!(written.contains("unwrap = 3"), "{written}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_sc-audit"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn binary_warn_only_downgrades_exit() {
+    let (code, out) = run_binary(
+        "warn-only",
+        &[(
+            "crates/netsim/src/des.rs",
+            include_str!("fixtures/timing_instant.rs"),
+        )],
+        None,
+    );
+    assert_eq!(code, 1, "precondition: fatal by default ({out})");
+
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("warn-only");
+    let out = Command::new(env!("CARGO_BIN_EXE_sc-audit"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--warn-only")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "warn-only reports but passes");
+}

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
         let mut i = 0u16;
         b.iter(|| {
             i = (i + 7) % 72;
-            let dst = prop.state(SatId::new(i, (i % 22) as u16), 0.0).coord;
+            let dst = prop.state(SatId::new(i, i % 22), 0.0).coord;
             std::hint::black_box(relay.trace(&prop, SatId::new(0, 0), dst, 0.0, 1.0))
         })
     });
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
         let mut i = 0u16;
         b.iter(|| {
             i = (i + 7) % 72;
-            let dst = net.sat_node(SatId::new(i, (i % 22) as u16));
+            let dst = net.sat_node(SatId::new(i, i % 22));
             std::hint::black_box(
                 net.graph()
                     .shortest_path(net.sat_node(SatId::new(0, 0)), dst, |_| false),

@@ -12,6 +12,10 @@ pub const P: u64 = (1u64 << 61) - 1;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fe(u64);
 
+// `add`/`sub`/`mul`/`neg` shadow the std::ops trait names on purpose:
+// field arithmetic is explicit-call-only here so a stray `+` on raw
+// u64s can never silently bypass the modular reduction.
+#[allow(clippy::should_implement_trait)]
 impl Fe {
     /// The additive identity.
     pub const ZERO: Fe = Fe(0);

@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn k_of_n_reconstructs() {
-        let secret = Fe::new(0x5face_c0de);
+        let secret = Fe::new(0x0005_FACE_C0DE);
         let shares = split(secret, 3, 5, rng_source(7));
         assert_eq!(shares.len(), 5);
         // Any 3 shares work.

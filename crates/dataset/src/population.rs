@@ -123,7 +123,7 @@ impl PopulationModel {
         let mut best: Option<(f64, Region)> = None;
         for h in &self.hotspots {
             let d = h.center.central_angle(p) / h.sigma;
-            if d <= 3.0 && best.map_or(true, |(bd, _)| d < bd) {
+            if d <= 3.0 && best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, h.region));
             }
         }

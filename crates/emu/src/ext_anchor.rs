@@ -71,8 +71,7 @@ pub fn run() -> ExtAnchor {
             let home = sc_geo::GeoPoint::from_degrees(39.9, 116.4);
             a.1.location
                 .distance_km(&home)
-                .partial_cmp(&b.1.location.distance_km(&home))
-                .expect("finite")
+                .total_cmp(&b.1.location.distance_km(&home))
         })
         .map(|(i, _)| i)
         .expect("stations non-empty");

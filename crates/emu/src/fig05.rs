@@ -58,7 +58,7 @@ pub fn run() -> Fig05 {
         DatasetSource::InmarsatExplorer710,
     ] {
         let mut lat = sample_latencies(source, 2000);
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        lat.sort_by(|a, b| a.total_cmp(b));
         let n = lat.len();
         let points: Vec<(f64, f64)> = lat
             .iter()

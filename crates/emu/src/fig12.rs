@@ -157,7 +157,7 @@ mod tests {
     fn covers_one_full_orbit() {
         let r = run();
         let last = r.points.last().unwrap().t_min;
-        assert!(last >= 90.0 && last <= 110.0, "{last}");
+        assert!((90.0..=110.0).contains(&last), "{last}");
     }
 
     #[test]

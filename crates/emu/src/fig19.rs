@@ -95,7 +95,7 @@ pub fn render(r: &Fig19) -> String {
 mod tests {
     use super::*;
 
-    fn hijack_at<'a>(r: &'a Fig19, sol: &str, minute: f64) -> f64 {
+    fn hijack_at(r: &Fig19, sol: &str, minute: f64) -> f64 {
         r.hijack
             .iter()
             .find(|s| s.solution == sol)

@@ -60,6 +60,7 @@ pub struct Amf {
     /// This AMF's identifier (baked into allocated GUTIs).
     pub amf_id: u32,
     plmn: PlmnId,
+    // sc-audit: allow(stateful, reason = "legacy stateful AMF baseline — the per-UE S1/S5 store the paper's stateless design eliminates (§3.2)")
     contexts: HashMap<Supi, UeContext>,
     next_tmsi: u32,
 }
@@ -149,18 +150,26 @@ impl Amf {
         self.contexts.get(&supi)
     }
 
-    /// All security contexts a hijacker of this AMF's node can read.
+    /// All security contexts a hijacker of this AMF's node can read,
+    /// in SUPI order (deterministic emission).
     pub fn security_exposure(&self) -> Vec<(Supi, &SecurityState)> {
-        self.contexts
+        let mut v: Vec<(Supi, &SecurityState)> = self
+            .contexts
             .iter()
             .map(|(s, c)| (*s, &c.security))
-            .collect()
+            .collect();
+        v.sort_unstable_by_key(|(s, _)| *s);
+        v
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tests compose with `?` (`AmfError` and missing-context strings
+    /// both box) instead of `unwrap()` — see the R3 ratchet.
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
 
     fn amf(id: u32) -> Amf {
         Amf::new(id, PlmnId::new(460, 1))
@@ -173,49 +182,53 @@ mod tests {
     }
 
     #[test]
-    fn registration_creates_context_with_fresh_guti() {
+    fn registration_creates_context_with_fresh_guti() -> TestResult {
         let mut a = amf(1);
         let s = register_one(&mut a, 5, 10);
-        let ctx = a.context(s.id.supi).unwrap().clone();
+        let ctx = a.context(s.id.supi).ok_or("no context")?.clone();
         assert_eq!(ctx.rm_state, RmState::RegisteredConnected);
         assert_eq!(ctx.tracking_area, 10);
         assert_eq!(ctx.guti.amf_id, 1);
         // Distinct GUTIs per registration.
         let s2 = register_one(&mut a, 6, 10);
-        assert_ne!(a.context(s2.id.supi).unwrap().guti, ctx.guti);
+        let ctx2 = a.context(s2.id.supi).ok_or("no second context")?;
+        assert_ne!(ctx2.guti, ctx.guti);
+        Ok(())
     }
 
     #[test]
-    fn idle_connected_cycle_and_paging() {
+    fn idle_connected_cycle_and_paging() -> TestResult {
         let mut a = amf(1);
         let s = register_one(&mut a, 7, 3);
-        assert!(!a.needs_paging(s.id.supi).unwrap());
-        a.release(s.id.supi).unwrap();
-        assert!(a.needs_paging(s.id.supi).unwrap());
-        a.service_request(s.id.supi).unwrap();
-        assert!(!a.needs_paging(s.id.supi).unwrap());
+        assert!(!a.needs_paging(s.id.supi)?);
+        a.release(s.id.supi)?;
+        assert!(a.needs_paging(s.id.supi)?);
+        a.service_request(s.id.supi)?;
+        assert!(!a.needs_paging(s.id.supi)?);
+        Ok(())
     }
 
     #[test]
-    fn context_transfer_moves_and_deletes() {
+    fn context_transfer_moves_and_deletes() -> TestResult {
         let mut old = amf(1);
         let mut new = amf(2);
         let s = register_one(&mut old, 8, 3);
-        let old_guti = old.context(s.id.supi).unwrap().guti;
+        let old_guti = old.context(s.id.supi).ok_or("no context")?.guti;
 
-        let ctx = old.transfer_out(s.id.supi).unwrap();
+        let ctx = old.transfer_out(s.id.supi)?;
         assert_eq!(old.context_count(), 0, "old AMF deleted the state");
         let new_guti = new.transfer_in(ctx, 42);
         assert_ne!(new_guti, old_guti, "GUTI re-allocated by new AMF");
-        let ctx2 = new.context(s.id.supi).unwrap();
+        let ctx2 = new.context(s.id.supi).ok_or("context not adopted")?;
         assert_eq!(ctx2.tracking_area, 42);
         // Security context followed the UE (this is the S5 migration the
         // paper worries about).
         assert_eq!(ctx2.security, s.security);
+        Ok(())
     }
 
     #[test]
-    fn satellite_sweep_storm_in_miniature() {
+    fn satellite_sweep_storm_in_miniature() -> TestResult {
         // 100 static UEs, a sweep every "transit": every context moves
         // AMF→AMF each time. Count the migrations a stateful design pays.
         let mut amfs: Vec<Amf> = (0..4).map(amf).collect();
@@ -227,7 +240,7 @@ mod tests {
         let mut migrations = 0;
         for sweep in 1..4usize {
             for supi in &supis {
-                let ctx = amfs[sweep - 1].transfer_out(*supi).unwrap();
+                let ctx = amfs[sweep - 1].transfer_out(*supi)?;
                 amfs[sweep].transfer_in(ctx, sweep as u32);
                 migrations += 1;
             }
@@ -235,6 +248,7 @@ mod tests {
         assert_eq!(migrations, 300);
         assert_eq!(amfs[3].context_count(), 100);
         assert_eq!(amfs[0].context_count() + amfs[1].context_count() + amfs[2].context_count(), 0);
+        Ok(())
     }
 
     #[test]

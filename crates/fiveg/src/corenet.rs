@@ -259,23 +259,30 @@ mod tests {
     use super::*;
     use crate::upf::Verdict;
 
+    /// Test-local error: procedures and missing-state lookups both
+    /// convert into it, so tests compose with `?` instead of `unwrap()`
+    /// (the R3 panic-hygiene ratchet keeps it that way).
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     fn core() -> CoreNetwork {
         CoreNetwork::new(PlmnId::new(460, 1), 3, vec![100, 101])
     }
 
     #[test]
-    fn full_registration_executes() {
+    fn full_registration_executes() -> TestResult {
         let mut cn = core();
         let mut ue = cn.provision_subscriber(1, SubscriptionTier::Consumer);
-        let r = cn.initial_registration(&mut ue, 0, 10, 7).unwrap();
+        let r = cn.initial_registration(&mut ue, 0, 10, 7)?;
         assert!(r.keys.is_some());
         // The executable count matches the Fig. 9a step table (24).
         assert_eq!(r.signaling_messages, 24);
-        let s = ue.session.as_ref().unwrap();
-        assert_eq!(cn.amf(0).context(ue.supi).unwrap().guti, s.id.guti);
+        let s = ue.session.as_ref().ok_or("no session installed")?;
+        let ctx = cn.amf(0).context(ue.supi).ok_or("no AMF context")?;
+        assert_eq!(ctx.guti, s.id.guti);
         assert_eq!(cn.smf().session_count(), 1);
         // Policy applied from the tier.
         assert_eq!(s.billing.post_quota_kbps, 128);
+        Ok(())
     }
 
     #[test]
@@ -301,42 +308,52 @@ mod tests {
     }
 
     #[test]
-    fn traffic_flows_after_registration() {
+    fn traffic_flows_after_registration() -> TestResult {
         let mut cn = core();
         let mut ue = cn.provision_subscriber(3, SubscriptionTier::Consumer);
-        cn.initial_registration(&mut ue, 0, 1, 1).unwrap();
+        cn.initial_registration(&mut ue, 0, 1, 1)?;
         assert!(matches!(cn.user_traffic(&ue, 1400, 0.01), Verdict::Forward(_)));
         // No session → no rule.
         let stranger = SimulatedUe::new(Supi::new(PlmnId::new(460, 1), 55), 1);
         assert_eq!(cn.user_traffic(&stranger, 1400, 0.01), Verdict::NoRule);
+        Ok(())
     }
 
     #[test]
-    fn mobility_registration_moves_context() {
+    fn mobility_registration_moves_context() -> TestResult {
         let mut cn = core();
         let mut ue = cn.provision_subscriber(4, SubscriptionTier::Consumer);
-        cn.initial_registration(&mut ue, 0, 1, 1).unwrap();
-        let r = cn.mobility_registration(&ue, 0, 1, 42).unwrap();
+        cn.initial_registration(&mut ue, 0, 1, 1)?;
+        let r = cn.mobility_registration(&ue, 0, 1, 42)?;
         assert_eq!(r.signaling_messages, 12);
         assert!(cn.amf(0).context(ue.supi).is_none());
-        let ctx = cn.amf(1).context(ue.supi).unwrap();
+        let ctx = cn.amf(1).context(ue.supi).ok_or("context not at AMF 1")?;
         assert_eq!(ctx.tracking_area, 42);
+        Ok(())
     }
 
     #[test]
-    fn handover_switches_path_keeps_ip() {
+    fn handover_switches_path_keeps_ip() -> TestResult {
         let mut cn = core();
         let mut ue = cn.provision_subscriber(5, SubscriptionTier::Consumer);
-        cn.initial_registration(&mut ue, 0, 1, 1).unwrap();
-        let ip_before = cn.smf().session(ue.supi, SessionId(1)).unwrap().ip;
-        cn.handover(&ue, 99).unwrap();
-        let s = cn.smf().session(ue.supi, SessionId(1)).unwrap();
+        cn.initial_registration(&mut ue, 0, 1, 1)?;
+        let ip_before = cn
+            .smf()
+            .session(ue.supi, SessionId(1))
+            .ok_or("session missing before handover")?
+            .ip;
+        cn.handover(&ue, 99)?;
+        let s = cn
+            .smf()
+            .session(ue.supi, SessionId(1))
+            .ok_or("session missing after handover")?;
         assert_eq!(s.ran_node, 99);
         assert_eq!(s.ip, ip_before);
+        Ok(())
     }
 
     #[test]
-    fn satellite_sweep_storm_executes() {
+    fn satellite_sweep_storm_executes() -> TestResult {
         // The §3.2 scenario against the executable core: 50 static UEs,
         // AMF changes every transit → 50 context transfers per sweep.
         let mut cn = core();
@@ -344,26 +361,28 @@ mod tests {
             .map(|i| cn.provision_subscriber(100 + i, SubscriptionTier::Iot))
             .collect();
         for ue in ues.iter_mut() {
-            cn.initial_registration(ue, 0, 0, 0).unwrap();
+            cn.initial_registration(ue, 0, 0, 0)?;
         }
         let mut total_msgs = 0;
         for sweep in 0..2usize {
             for ue in &ues {
                 total_msgs += cn
-                    .mobility_registration(ue, sweep, sweep + 1, sweep as u32 + 1)
-                    .unwrap()
+                    .mobility_registration(ue, sweep, sweep + 1, sweep as u32 + 1)?
                     .signaling_messages;
             }
         }
         assert_eq!(total_msgs, 2 * 50 * 12);
         assert_eq!(cn.amf(2).context_count(), 50);
+        Ok(())
     }
 
     #[test]
-    fn iot_tier_gets_narrow_policy() {
+    fn iot_tier_gets_narrow_policy() -> TestResult {
         let mut cn = core();
         let mut ue = cn.provision_subscriber(6, SubscriptionTier::Iot);
-        cn.initial_registration(&mut ue, 0, 1, 1).unwrap();
-        assert_eq!(ue.session.as_ref().unwrap().qos.ambr_kbps, 64);
+        cn.initial_registration(&mut ue, 0, 1, 1)?;
+        let s = ue.session.as_ref().ok_or("no session installed")?;
+        assert_eq!(s.qos.ambr_kbps, 64);
+        Ok(())
     }
 }

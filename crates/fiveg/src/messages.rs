@@ -545,7 +545,7 @@ mod tests {
         let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
         let transfers_s5 = c4.steps.iter().any(|s| {
             s.label.contains("context transfer")
-                && s.ops.iter().any(|o| o.category == StateCategory::S5Security)
+                && s.ops.iter().any(|o| o.category == S5Security)
         });
         assert!(transfers_s5, "C4 must migrate S5 between AMFs (Fig. 9d)");
     }

@@ -108,7 +108,7 @@ mod tests {
     use super::*;
 
     const K: u64 = 0x5EC2E7_5EC2E7;
-    const SNID: u64 = 460_01;
+    const SNID: u64 = 46001;
 
     #[test]
     fn full_aka_roundtrip() {
@@ -163,7 +163,7 @@ mod tests {
     fn serving_network_binding() {
         // The same UE registering via a different serving network gets
         // different keys (roaming separation).
-        let a = KeyHierarchy::derive(K, 1, 460_01);
+        let a = KeyHierarchy::derive(K, 1, 46001);
         let b = KeyHierarchy::derive(K, 1, 310_260);
         assert_ne!(a.k_seaf, b.k_seaf);
     }

@@ -8,6 +8,7 @@
 //! anchor attracts.
 
 use crate::ids::{SessionId, Supi, TunnelId};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
@@ -34,6 +35,8 @@ pub enum SmfError {
     UnknownSession,
     /// Per-UE session limit exceeded (5G allows 15).
     TooManySessions,
+    /// The SMF was configured with no candidate anchor UPFs.
+    NoAnchors,
 }
 
 impl std::fmt::Display for SmfError {
@@ -41,6 +44,7 @@ impl std::fmt::Display for SmfError {
         match self {
             SmfError::UnknownSession => f.write_str("unknown PDU session"),
             SmfError::TooManySessions => f.write_str("per-UE session limit reached"),
+            SmfError::NoAnchors => f.write_str("no candidate anchor UPFs configured"),
         }
     }
 }
@@ -57,6 +61,7 @@ pub struct Smf {
     prefix: u64,
     next_host: u64,
     next_teid: u32,
+    // sc-audit: allow(stateful, reason = "legacy stateful SMF baseline — per-UE S2 session anchors, kept to account the Fig. 5a anchor-gateway bottleneck")
     sessions: HashMap<(Supi, SessionId), PduSession>,
     /// Sessions pinned per anchor (bottleneck accounting).
     per_anchor: HashMap<u32, u32>,
@@ -94,7 +99,7 @@ impl Smf {
             .anchors
             .iter()
             .min_by_key(|a| self.per_anchor.get(a).copied().unwrap_or(0))
-            .expect("non-empty anchors");
+            .ok_or(SmfError::NoAnchors)?;
         *self.per_anchor.entry(anchor).or_insert(0) += 1;
 
         let ip = Ipv6Addr::from(((self.prefix as u128) << 64) | self.next_host as u128);
@@ -103,20 +108,22 @@ impl Smf {
         let downlink = TunnelId(self.next_teid + 1);
         self.next_teid += 2;
 
-        let key = (supi, session_id);
-        self.sessions.insert(
-            key,
-            PduSession {
-                supi,
-                session_id,
-                ip,
-                anchor_upf: anchor,
-                uplink_teid: uplink,
-                downlink_teid: downlink,
-                ran_node,
-            },
-        );
-        Ok(self.sessions.get(&key).expect("just inserted"))
+        let session = PduSession {
+            supi,
+            session_id,
+            ip,
+            anchor_upf: anchor,
+            uplink_teid: uplink,
+            downlink_teid: downlink,
+            ran_node,
+        };
+        Ok(match self.sessions.entry((supi, session_id)) {
+            Entry::Occupied(mut o) => {
+                o.insert(session);
+                o.into_mut()
+            }
+            Entry::Vacant(v) => v.insert(session),
+        })
     }
 
     /// C3/P10 — path switch: point the downlink at a new RAN node. The
@@ -173,6 +180,9 @@ mod tests {
     use super::*;
     use crate::ids::PlmnId;
 
+    /// Tests compose with `?` instead of `unwrap()` — see the R3 ratchet.
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     fn supi(n: u64) -> Supi {
         Supi::new(PlmnId::new(460, 1), n)
     }
@@ -182,63 +192,69 @@ mod tests {
     }
 
     #[test]
-    fn establish_allocates_unique_resources() {
+    fn establish_allocates_unique_resources() -> TestResult {
         let mut s = smf();
-        let a = s.establish(supi(1), SessionId(1), 7).unwrap().clone();
-        let b = s.establish(supi(2), SessionId(1), 7).unwrap().clone();
+        let a = s.establish(supi(1), SessionId(1), 7)?.clone();
+        let b = s.establish(supi(2), SessionId(1), 7)?.clone();
         assert_ne!(a.ip, b.ip);
         assert_ne!(a.uplink_teid, b.uplink_teid);
         assert_ne!(a.downlink_teid, b.downlink_teid);
         assert_eq!(s.session_count(), 2);
+        Ok(())
     }
 
     #[test]
-    fn anchor_selection_balances_load() {
+    fn anchor_selection_balances_load() -> TestResult {
         let mut s = smf();
         for i in 0..30 {
-            s.establish(supi(i), SessionId(1), 0).unwrap();
+            s.establish(supi(i), SessionId(1), 0)?;
         }
         let loads: Vec<u32> = s.anchor_load().values().copied().collect();
         assert_eq!(loads.iter().sum::<u32>(), 30);
         for l in loads {
             assert_eq!(l, 10, "least-loaded selection balances evenly");
         }
+        Ok(())
     }
 
     #[test]
-    fn path_switch_keeps_ip_and_anchor() {
+    fn path_switch_keeps_ip_and_anchor() -> TestResult {
         // The legacy session-continuity contract: the IP and anchor
         // survive handovers; only the downlink leg moves.
         let mut s = smf();
-        let before = s.establish(supi(1), SessionId(1), 7).unwrap().clone();
-        let new_teid = s.path_switch(supi(1), SessionId(1), 8).unwrap();
-        let after = s.session(supi(1), SessionId(1)).unwrap();
+        let before = s.establish(supi(1), SessionId(1), 7)?.clone();
+        let new_teid = s.path_switch(supi(1), SessionId(1), 8)?;
+        let after = s
+            .session(supi(1), SessionId(1))
+            .ok_or("session vanished after path switch")?;
         assert_eq!(after.ip, before.ip);
         assert_eq!(after.anchor_upf, before.anchor_upf);
         assert_eq!(after.ran_node, 8);
         assert_eq!(after.downlink_teid, new_teid);
         assert_ne!(new_teid, before.downlink_teid);
+        Ok(())
     }
 
     #[test]
-    fn release_frees_anchor_capacity() {
+    fn release_frees_anchor_capacity() -> TestResult {
         let mut s = smf();
-        let sess = s.establish(supi(1), SessionId(1), 0).unwrap().clone();
+        let sess = s.establish(supi(1), SessionId(1), 0)?.clone();
         assert_eq!(s.anchor_load()[&sess.anchor_upf], 1);
-        s.release(supi(1), SessionId(1)).unwrap();
+        s.release(supi(1), SessionId(1))?;
         assert_eq!(s.anchor_load()[&sess.anchor_upf], 0);
         assert_eq!(s.session_count(), 0);
         assert_eq!(
             s.release(supi(1), SessionId(1)).unwrap_err(),
             SmfError::UnknownSession
         );
+        Ok(())
     }
 
     #[test]
-    fn per_ue_session_cap() {
+    fn per_ue_session_cap() -> TestResult {
         let mut s = smf();
         for i in 0..MAX_SESSIONS_PER_UE {
-            s.establish(supi(1), SessionId(i as u32), 0).unwrap();
+            s.establish(supi(1), SessionId(i as u32), 0)?;
         }
         assert_eq!(
             s.establish(supi(1), SessionId(99), 0).unwrap_err(),
@@ -246,16 +262,18 @@ mod tests {
         );
         // Other UEs unaffected.
         assert!(s.establish(supi(2), SessionId(1), 0).is_ok());
+        Ok(())
     }
 
     #[test]
-    fn single_anchor_becomes_the_bottleneck() {
+    fn single_anchor_becomes_the_bottleneck() -> TestResult {
         // Fig. 5a in miniature: with one gateway anchor, every session
         // lands on it.
         let mut s = Smf::new(vec![100], 0xFD00);
         for i in 0..50 {
-            s.establish(supi(i), SessionId(1), 0).unwrap();
+            s.establish(supi(i), SessionId(1), 0)?;
         }
         assert_eq!(s.anchor_load()[&100], 50);
+        Ok(())
     }
 }

@@ -57,6 +57,7 @@ impl std::error::Error for UdmError {}
 /// The Unified Data Management function.
 #[derive(Debug, Clone, Default)]
 pub struct Udm {
+    // sc-audit: allow(stateful, reason = "terrestrial UDM subscriber database — ground-resident by design; satellites never hold it (§4.1)")
     subs: HashMap<Supi, Subscription>,
     /// PLMNs subscribers may register from (own PLMN always allowed).
     roaming_partners: Vec<PlmnId>,

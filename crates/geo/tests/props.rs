@@ -45,7 +45,7 @@ proptest! {
     #[test]
     fn inclined_roundtrip_ascending(
         inc in 0.3f64..1.55,
-        alpha in 0.0f64..6.28,
+        alpha in 0.0f64..TAU,
         gamma in -1.5f64..1.5,
     ) {
         let f = InclinedFrame::new(inc);
@@ -117,7 +117,7 @@ proptest! {
     }
 
     #[test]
-    fn gamma_turning_points_hit_max_lat(inc in 0.3f64..1.5, alpha in 0.0f64..6.28) {
+    fn gamma_turning_points_hit_max_lat(inc in 0.3f64..1.5, alpha in 0.0f64..TAU) {
         let f = InclinedFrame::new(inc);
         let top = f.to_geo(InclinedCoord::new(alpha, FRAC_PI_2));
         prop_assert!((top.lat - inc).abs() < 1e-9);

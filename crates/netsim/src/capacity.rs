@@ -75,7 +75,7 @@ impl CapacityModel {
                 (u >= threshold).then_some((*l, u))
             })
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite utilizations"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
 

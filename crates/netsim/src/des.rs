@@ -27,8 +27,7 @@ impl<E: PartialEq> Ord for ScheduledEvent<E> {
         // BinaryHeap is a max-heap; invert for earliest-first.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must be finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

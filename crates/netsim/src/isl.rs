@@ -171,7 +171,7 @@ impl IslNetwork {
         let mut best: Option<(f64, usize)> = None;
         for (i, st) in self.snapshot.iter().enumerate() {
             let e = sc_geo::sphere::elevation_angle(p, &st.position);
-            if e >= min_elev && best.map_or(true, |(be, _)| e > be) {
+            if e >= min_elev && best.is_none_or(|(be, _)| e > be) {
                 best = Some((e, i));
             }
         }
@@ -287,7 +287,7 @@ mod tests {
             .shortest_path(a, b, |n| n >= net.num_sats())
             .unwrap();
         let hops = r.hops();
-        assert!(hops >= 20 && hops <= 60, "hops {hops}");
+        assert!((20..=60).contains(&hops), "hops {hops}");
     }
 
     #[test]

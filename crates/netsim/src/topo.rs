@@ -113,8 +113,7 @@ impl Graph {
         impl Ord for QItem {
             fn cmp(&self, o: &Self) -> Ordering {
                 o.dist
-                    .partial_cmp(&self.dist)
-                    .expect("finite dist")
+                    .total_cmp(&self.dist)
                     .then_with(|| o.node.cmp(&self.node))
             }
         }

@@ -45,6 +45,7 @@ proptest! {
                 *e = e.min(*w);
             }
         }
+        // sc-audit: allow(unordered, reason = "property holds per edge independently; iteration order cannot affect the prop_assert outcomes")
         for ((a, b), w) in &direct {
             if let Some(p) = g.shortest_path(*a, *b, |_| false) {
                 prop_assert!(p.cost <= *w + 1e-9, "{a}->{b}: {} > {w}", p.cost);

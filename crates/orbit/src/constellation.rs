@@ -9,7 +9,7 @@ use sc_geo::cells::CellGrid;
 use std::f64::consts::TAU;
 
 /// Standard gravitational parameter of the earth, km³/s².
-pub const MU_EARTH: f64 = 398_600.4418;
+pub const MU_EARTH: f64 = 398_600.441_8;
 
 /// Earth rotation rate, rad/s (sidereal).
 pub const EARTH_ROTATION_RAD_S: f64 = 7.292_115_9e-5;

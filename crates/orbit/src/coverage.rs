@@ -151,7 +151,7 @@ impl<'a> CoverageModel<'a> {
             if let Some(v) = self.view_of(i, st, p) {
                 if best
                     .as_ref()
-                    .map_or(true, |b| view_order(&v, b) == std::cmp::Ordering::Less)
+                    .is_none_or(|b| view_order(&v, b) == std::cmp::Ordering::Less)
                 {
                     best = Some(v);
                 }

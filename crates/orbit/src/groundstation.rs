@@ -97,7 +97,7 @@ impl GroundStationSet {
         self.stations
             .iter()
             .map(|g| (g, g.location.distance_km(p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("set is non-empty")
     }
 }

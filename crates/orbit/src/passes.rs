@@ -148,7 +148,7 @@ mod tests {
             .mean_pass_duration_s(&p, 0.0, 7200.0)
             .expect("passes exist");
         assert!((20.0..400.0).contains(&mean), "{mean}");
-        let transit = crate::coverage::CoverageModel::new(&prop).mean_transit_s();
+        let transit = CoverageModel::new(&prop).mean_transit_s();
         assert!(mean < transit, "serving {mean} vs transit {transit}");
     }
 

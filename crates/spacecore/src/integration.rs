@@ -88,7 +88,7 @@ impl AccessSelector {
             .iter()
             .copied()
             .filter(Access::usable)
-            .max_by(|a, b| a.rank().partial_cmp(&b.rank()).expect("finite ranks"))
+            .max_by(|a, b| a.rank().total_cmp(&b.rank()))
     }
 
     /// Evaluate the candidates at the UE's current connection state and

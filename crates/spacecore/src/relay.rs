@@ -214,7 +214,7 @@ impl GeoRelay {
         snapshot.for_each_candidate(src, |i, st| {
             let e = sc_geo::sphere::elevation_angle(src, &st.position);
             if e >= cfg.min_elevation_rad
-                && best.map_or(true, |(be, bi)| e > be || (e == be && i < bi))
+                && best.is_none_or(|(be, bi)| e > be || (e == be && i < bi))
             {
                 best = Some((e, i));
             }
@@ -397,7 +397,7 @@ mod tests {
             let mut best: Option<(f64, usize)> = None;
             for (i, st) in snapshot.iter().enumerate() {
                 let e = sc_geo::sphere::elevation_angle(&src, &st.position);
-                if e >= cfg.min_elevation_rad && best.map_or(true, |(be, _)| e > be) {
+                if e >= cfg.min_elevation_rad && best.is_none_or(|(be, _)| e > be) {
                     best = Some((e, i));
                 }
             }

@@ -46,6 +46,7 @@ pub struct SpaceCoreSatellite {
     pub id: SatId,
     creds: SatCredentials,
     /// Currently served sessions: SUPI → installed state + key.
+    // sc-audit: allow(stateful, reason = "ephemeral radio-install state for currently served sessions only; forgotten on release, bounding hijack leakage to active users (Fig. 19a)")
     active: parking_lot::Mutex<HashMap<Supi, ActiveSession>>,
     /// Home crypto handle for envelope verification (public material).
     home_cert_key: u64,
@@ -219,11 +220,14 @@ impl SpaceCoreSatellite {
     /// the active sessions' states/keys (Fig. 19a — "only the active
     /// serving users' keys are leaked in this case").
     pub fn hijack_exposure(&self) -> Vec<(Supi, u64)> {
-        self.active
+        let mut v: Vec<(Supi, u64)> = self
+            .active
             .lock()
             .iter()
             .map(|(s, a)| (*s, a.session_key))
-            .collect()
+            .collect();
+        v.sort_unstable_by_key(|(s, _)| *s);
+        v
     }
 }
 

@@ -503,6 +503,7 @@ mod tests {
             let r = Solution::new(k, ConstellationConfig::starlink()).sat_msgs_per_s(cap) / sc;
             ratios.insert(k, r);
         }
+        // sc-audit: allow(unordered, reason = "order-insensitive range assertions over every ratio")
         for (k, r) in &ratios {
             assert!(*r > 8.0, "{k:?} ratio {r}");
             assert!(*r < 500.0, "{k:?} ratio {r}");

@@ -131,7 +131,7 @@ impl std::fmt::Display for StaleUpdate {
 impl std::error::Error for StaleUpdate {}
 
 /// Fixed salt for the ephemeral-secret derivation.
-const EPHEMERAL_SALT: u64 = 0x5face_c0de_0000;
+const EPHEMERAL_SALT: u64 = 0x0005_FACE_C0DE_0000;
 
 #[cfg(test)]
 mod tests {

@@ -24,7 +24,7 @@ fn main() {
     let cfg = ConstellationConfig::starlink();
     let prop = IdealPropagator::new(cfg.clone());
     let constellation = Constellation::new(cfg.clone());
-    let home = HomeNetwork::new(spacecore::home::HomeConfig::default());
+    let home = HomeNetwork::new(HomeConfig::default());
 
     // Civilians registered *before* the disaster, while the home was
     // reachable. Their replicas are their lifeline now.
@@ -71,13 +71,13 @@ fn main() {
     // fresh replicas demand the new epoch attribute.
     let hijacked =
         SpaceCoreSatellite::provision_with_attrs(&home, serving, &["role:satellite", "authorized"]);
-    let epoch_home = HomeNetwork::new(spacecore::home::HomeConfig {
+    let epoch_home = HomeNetwork::new(HomeConfig {
         satellite_policy: sc_crypto::policy::AccessTree::all_of(&[
             "role:satellite",
             "authorized",
             "epoch:2",
         ]),
-        ..spacecore::home::HomeConfig::default()
+        ..HomeConfig::default()
     });
     let mut fresh_ue = epoch_home.register_ue(90_001, &zone);
     let denied = hijacked.try_local_establishment(&epoch_home, &mut fresh_ue, 2.0);

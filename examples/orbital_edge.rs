@@ -28,7 +28,7 @@ fn main() {
     let cfg = ConstellationConfig::starlink();
     let prop = IdealPropagator::new(cfg.clone());
     let cov = CoverageModel::new(&prop);
-    let home = HomeNetwork::new(spacecore::home::HomeConfig::default());
+    let home = HomeNetwork::new(HomeConfig::default());
 
     // An edge client in a remote area runs inference against the
     // serving satellite's edge compute.

@@ -19,7 +19,7 @@ use sc_orbit::SatId;
 
 fn main() {
     // 1. Home network (legacy 5G core + SpaceCore extensions).
-    let home = HomeNetwork::new(spacecore::home::HomeConfig::default());
+    let home = HomeNetwork::new(HomeConfig::default());
     println!("home network up: PLMN {}", home.config().plmn);
 
     // 2. Initial registration from Beijing.

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Static-analysis gate: sc-audit (statelessness / determinism / panic
+# ratchet, see crates/audit) plus clippy with warnings promoted to
+# errors. Fatal on any finding — run before merging. tier1.sh runs the
+# same audit warn-only.
+#
+# Everything runs --offline against the vendored dependency set.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== audit: cargo build -p sc-audit --offline" >&2
+cargo build -q -p sc-audit --offline
+
+echo "== audit: sc-audit (R1 statelessness / R2 determinism / R3 ratchet)" >&2
+cargo run -q -p sc-audit --offline
+
+echo "== audit: cargo clippy --offline --workspace --all-targets -- -D warnings" >&2
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "== audit: OK" >&2

@@ -16,4 +16,9 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q --offline $*" >&2
 cargo test -q --offline "$@"
 
+# Statelessness/determinism audit, warn-only at this tier: findings are
+# printed but do not fail the build. scripts/audit.sh is the fatal gate.
+echo "== tier-1: sc-audit (warn-only; scripts/audit.sh enforces)" >&2
+cargo run -q -p sc-audit --offline -- --warn-only || true
+
 echo "== tier-1: OK" >&2

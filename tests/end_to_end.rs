@@ -27,7 +27,7 @@ fn full_lifecycle_over_live_constellation() {
     let mut t = 0.0;
     while t < 1200.0 {
         if let Some(view) = cov.serving_sat(&denver, t) {
-            let changed = serving.as_ref().map_or(true, |(id, _)| *id != view.sat);
+            let changed = serving.as_ref().is_none_or(|(id, _)| *id != view.sat);
             if changed {
                 let sat = SpaceCoreSatellite::provision(&home, view.sat);
                 let outcome = if serving.is_some() {

@@ -359,7 +359,7 @@ mod tests {
         /// The macro itself: bodies see generated bindings.
         #[test]
         fn macro_generates_in_range(a in 1u64..100, xs in crate::collection::vec(any::<u8>(), 0..8)) {
-            prop_assert!(a >= 1 && a < 100, "{a}");
+            prop_assert!((1..100).contains(&a), "{a}");
             prop_assert!(xs.len() < 8);
         }
     }
