@@ -81,6 +81,7 @@ impl Default for Config {
             stateful_scope: vec![
                 "crates/spacecore/src/".into(),
                 "crates/fiveg/src/".into(),
+                "crates/obs/src/".into(),
             ],
             timing_allowlist: vec![
                 "crates/emu/src/fig18.rs".into(),
@@ -247,7 +248,9 @@ fn rule_timing(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Findin
                 rule: "R2-timing",
                 message: format!(
                     "`{}::now()` outside the timing allowlist breaks byte-identical \
-                     results; thread simulated time through instead",
+                     results; thread simulated time through instead (telemetry \
+                     belongs in sc-obs, whose `Recorder::event` and histograms \
+                     take sim-time, never wall-clock)",
                     t.text
                 ),
             });
@@ -540,6 +543,26 @@ mod tests {
         assert_eq!(f[0].rule, "R2-timing");
         let (f, _) = run("crates/emu/src/fig18.rs", "fn f() { let t = Instant::now(); }");
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn obs_crate_is_not_timing_allowlisted() {
+        // sc-obs records sim-time only: a wall-clock read inside it is a
+        // bug, not a telemetry feature.
+        let (f, _) = run("crates/obs/src/recorder.rs", "fn f() { let t = Instant::now(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "R2-timing");
+        assert!(f[0].message.contains("sc-obs"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn obs_crate_is_in_stateful_scope() {
+        // A per-UE keyed map inside the observability layer would smuggle
+        // session state out of the stateless core — R1 watches for it.
+        let src = "struct S { m: HashMap<Supi, u64>, }";
+        let (f, _) = run("crates/obs/src/recorder.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "R1-stateful");
     }
 
     #[test]

@@ -183,6 +183,36 @@ impl AbeSystem {
         }
     }
 
+    /// [`AbeSystem::encrypt`] with telemetry: counts
+    /// `crypto.abe.encrypts` and samples `crypto.abe.ciphertext_bytes`.
+    pub fn encrypt_obs(
+        obs: &sc_obs::Recorder,
+        pk: &AbePublicKey,
+        plaintext: &[u8],
+        policy: &AccessTree,
+        entropy: u64,
+    ) -> AbeCiphertext {
+        let ct = Self::encrypt(pk, plaintext, policy, entropy);
+        obs.inc("crypto.abe.encrypts", 1);
+        obs.observe("crypto.abe.ciphertext_bytes", ct.size_bytes() as f64);
+        ct
+    }
+
+    /// [`AbeSystem::decrypt`] with telemetry: counts
+    /// `crypto.abe.decrypts` and `crypto.abe.decrypt_failures`.
+    pub fn decrypt_obs(
+        obs: &sc_obs::Recorder,
+        ct: &AbeCiphertext,
+        sk: &AbeSecretKey,
+    ) -> Result<Vec<u8>, AbeError> {
+        obs.inc("crypto.abe.decrypts", 1);
+        let r = Self::decrypt(ct, sk);
+        if r.is_err() {
+            obs.inc("crypto.abe.decrypt_failures", 1);
+        }
+        r
+    }
+
     /// `Decrypt(msg, sk)` (Algorithm 2 lines 8/11): recover the plaintext
     /// iff `sk`'s attributes satisfy the ciphertext policy.
     pub fn decrypt(ct: &AbeCiphertext, sk: &AbeSecretKey) -> Result<Vec<u8>, AbeError> {

@@ -243,10 +243,52 @@ pub fn satellite_local_access(
     ephemeral_secret: u64,
     now: f64,
 ) -> Result<LocalAccessOutcome, StateCryptError> {
+    satellite_local_access_obs(
+        &sc_obs::Recorder::disabled(),
+        creds,
+        home,
+        st,
+        ue_x_public,
+        ephemeral_secret,
+        now,
+    )
+}
+
+/// [`satellite_local_access`] with telemetry: counts
+/// `crypto.statecrypt.local_accesses` / `.failures` / `.expired`, plus
+/// the ABE decryption it performs (`crypto.abe.decrypts`). `now` is the
+/// caller's simulated time — the TTL check never reads a wall clock.
+pub fn satellite_local_access_obs(
+    obs: &sc_obs::Recorder,
+    creds: &SatCredentials,
+    home: &HomeCrypto,
+    st: &EncryptedUeState,
+    ue_x_public: u64,
+    ephemeral_secret: u64,
+    now: f64,
+) -> Result<LocalAccessOutcome, StateCryptError> {
+    obs.inc("crypto.statecrypt.local_accesses", 1);
+    let r = local_access_inner(obs, creds, home, st, ue_x_public, ephemeral_secret, now);
+    if r.is_err() {
+        obs.inc("crypto.statecrypt.failures", 1);
+    }
+    r
+}
+
+fn local_access_inner(
+    obs: &sc_obs::Recorder,
+    creds: &SatCredentials,
+    home: &HomeCrypto,
+    st: &EncryptedUeState,
+    ue_x_public: u64,
+    ephemeral_secret: u64,
+    now: f64,
+) -> Result<LocalAccessOutcome, StateCryptError> {
     if st.expired(now) {
+        obs.inc("crypto.statecrypt.expired", 1);
         return Err(StateCryptError::Expired);
     }
-    let state = AbeSystem::decrypt(&st.ciphertext, &creds.sk)?;
+    let state = AbeSystem::decrypt_obs(obs, &st.ciphertext, &creds.sk)?;
     home.verify_envelope(st, &state)?;
     let sts = StationToStation::new(home.dh_params(), ephemeral_secret);
     let session_key = sts.shared_key(ue_x_public);

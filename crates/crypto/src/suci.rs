@@ -65,6 +65,30 @@ pub fn conceal(home_public: u64, params: DhParams, supi: u64, ephemeral: u64) ->
     }
 }
 
+/// [`conceal`] with telemetry: counts `crypto.suci.concealments` (one
+/// per initial registration — footnote 4's per-C1 public-key cost).
+pub fn conceal_obs(
+    obs: &sc_obs::Recorder,
+    home_public: u64,
+    params: DhParams,
+    supi: u64,
+    ephemeral: u64,
+) -> Suci {
+    obs.inc("crypto.suci.concealments", 1);
+    conceal(home_public, params, supi, ephemeral)
+}
+
+/// [`deconceal`] with telemetry: counts `crypto.suci.deconcealments`
+/// and `crypto.suci.deconceal_failures`.
+pub fn deconceal_obs(obs: &sc_obs::Recorder, home: &SuciHomeKey, suci: &Suci) -> Option<u64> {
+    obs.inc("crypto.suci.deconcealments", 1);
+    let r = deconceal(home, suci);
+    if r.is_none() {
+        obs.inc("crypto.suci.deconceal_failures", 1);
+    }
+    r
+}
+
 /// Home side: deconceal. Returns `None` on MAC failure (tampered or
 /// encrypted for a different home).
 pub fn deconceal(home: &SuciHomeKey, suci: &Suci) -> Option<u64> {

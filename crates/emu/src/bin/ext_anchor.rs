@@ -1,6 +1,8 @@
 //! Extension experiment: anchor-gateway bottleneck.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("ext_anchor");
+    obs.recorder().inc("emu.ext_anchor.runs", 1);
     let (r, timing) = sc_emu::report::timed("ext_anchor", sc_emu::ext_anchor::run);
     timing.eprint();
     println!("{}", sc_emu::ext_anchor::render(&r));
@@ -11,4 +13,5 @@ fn main() {
     )
     .expect("write json");
     eprintln!("wrote results/ext_anchor.json");
+    obs.write();
 }

@@ -1,6 +1,8 @@
 //! Extension experiment: traffic-mix sensitivity (massive IoT).
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("ext_iot");
+    obs.recorder().inc("emu.ext_iot.runs", 1);
     let (r, timing) = sc_emu::report::timed("ext_iot", sc_emu::ext_iot::run);
     timing.eprint();
     println!("{}", sc_emu::ext_iot::render(&r));
@@ -11,4 +13,5 @@ fn main() {
     )
     .expect("write json");
     eprintln!("wrote results/ext_iot.json");
+    obs.write();
 }

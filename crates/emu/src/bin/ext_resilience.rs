@@ -1,6 +1,8 @@
 //! Extension experiment: message-level procedure resilience.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("ext_resilience");
+    obs.recorder().inc("emu.ext_resilience.runs", 1);
     let (r, timing) = sc_emu::report::timed("ext_resilience", sc_emu::ext_resilience::run);
     timing.eprint();
     println!("{}", sc_emu::ext_resilience::render(&r));
@@ -11,4 +13,5 @@ fn main() {
     )
     .expect("write json");
     eprintln!("wrote results/ext_resilience.json");
+    obs.write();
 }

@@ -1,6 +1,8 @@
 //! Extension experiment: advantage vs. constellation scale.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("ext_scaling");
+    obs.recorder().inc("emu.ext_scaling.runs", 1);
     let (r, timing) = sc_emu::report::timed("ext_scaling", sc_emu::ext_scaling::run);
     timing.eprint();
     println!("{}", sc_emu::ext_scaling::render(&r));
@@ -11,4 +13,5 @@ fn main() {
     )
     .expect("write json");
     eprintln!("wrote results/ext_scaling.json");
+    obs.write();
 }

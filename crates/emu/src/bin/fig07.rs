@@ -2,6 +2,8 @@
 //! `results/fig07.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("fig07");
+    obs.recorder().inc("emu.fig07.runs", 1);
     let (r, timing) = sc_emu::report::timed("fig07", sc_emu::fig07::run);
     timing.eprint();
     println!("{}", sc_emu::fig07::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/fig07.json", json).expect("write json");
     eprintln!("wrote results/fig07.json");
+    obs.write();
 }

@@ -2,6 +2,8 @@
 //! `results/fig08.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("fig08");
+    obs.recorder().inc("emu.fig08.runs", 1);
     let (r, timing) = sc_emu::report::timed("fig08", sc_emu::fig08::run);
     timing.eprint();
     println!("{}", sc_emu::fig08::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/fig08.json", json).expect("write json");
     eprintln!("wrote results/fig08.json");
+    obs.write();
 }

@@ -2,6 +2,8 @@
 //! `results/fig12.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("fig12");
+    obs.recorder().inc("emu.fig12.runs", 1);
     let (r, timing) = sc_emu::report::timed("fig12", sc_emu::fig12::run);
     timing.eprint();
     println!("{}", sc_emu::fig12::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/fig12.json", json).expect("write json");
     eprintln!("wrote results/fig12.json");
+    obs.write();
 }

@@ -2,6 +2,8 @@
 //! `results/fig13.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("fig13");
+    obs.recorder().inc("emu.fig13.runs", 1);
     let (r, timing) = sc_emu::report::timed("fig13", sc_emu::fig13::run);
     timing.eprint();
     println!("{}", sc_emu::fig13::render(&r));
@@ -12,4 +14,5 @@ fn main() {
     )
     .expect("write json");
     eprintln!("wrote results/fig13.json");
+    obs.write();
 }

@@ -2,6 +2,8 @@
 //! `results/fig17.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("fig17");
+    obs.recorder().inc("emu.fig17.runs", 1);
     let (r, timing) = sc_emu::report::timed("fig17", sc_emu::fig17::run);
     timing.eprint();
     println!("{}", sc_emu::fig17::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/fig17.json", json).expect("write json");
     eprintln!("wrote results/fig17.json");
+    obs.write();
 }

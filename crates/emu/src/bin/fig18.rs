@@ -1,12 +1,17 @@
 //! Regenerates fig18 of the paper. Prints the table and writes
-//! `results/fig18.json`.
+//! `results/fig18.json` (plus a telemetry sidecar when `--obs-out` or
+//! `SC_OBS=1` is given — the sidecar carries counts only, never the
+//! wall-clock panel-(a) timings; see docs/TELEMETRY.md).
 
 fn main() {
-    let (r, timing) = sc_emu::report::timed("fig18", sc_emu::fig18::run);
+    let obs = sc_emu::obs::ObsSink::from_env("fig18");
+    let rec = obs.recorder();
+    let (r, timing) = sc_emu::report::timed("fig18", || sc_emu::fig18::run_obs(&rec));
     timing.eprint();
     println!("{}", sc_emu::fig18::render(&r));
     std::fs::create_dir_all("results").expect("create results dir");
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/fig18.json", json).expect("write json");
     eprintln!("wrote results/fig18.json");
+    obs.write();
 }

@@ -2,6 +2,8 @@
 //! `results/fig19.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("fig19");
+    obs.recorder().inc("emu.fig19.runs", 1);
     let (r, timing) = sc_emu::report::timed("fig19", sc_emu::fig19::run);
     timing.eprint();
     println!("{}", sc_emu::fig19::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/fig19.json", json).expect("write json");
     eprintln!("wrote results/fig19.json");
+    obs.write();
 }

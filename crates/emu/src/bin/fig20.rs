@@ -2,6 +2,8 @@
 //! `results/fig20.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("fig20");
+    obs.recorder().inc("emu.fig20.runs", 1);
     let (r, timing) = sc_emu::report::timed("fig20", sc_emu::fig20::run);
     timing.eprint();
     println!("{}", sc_emu::fig20::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/fig20.json", json).expect("write json");
     eprintln!("wrote results/fig20.json");
+    obs.write();
 }

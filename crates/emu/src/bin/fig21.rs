@@ -2,6 +2,8 @@
 //! `results/fig21.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("fig21");
+    obs.recorder().inc("emu.fig21.runs", 1);
     let (r, timing) = sc_emu::report::timed("fig21", sc_emu::fig21::run);
     timing.eprint();
     println!("{}", sc_emu::fig21::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/fig21.json", json).expect("write json");
     eprintln!("wrote results/fig21.json");
+    obs.write();
 }

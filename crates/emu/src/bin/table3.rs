@@ -2,6 +2,8 @@
 //! `results/table3.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("table3");
+    obs.recorder().inc("emu.table3.runs", 1);
     let (r, timing) = sc_emu::report::timed("table3", sc_emu::table3::run);
     timing.eprint();
     println!("{}", sc_emu::table3::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/table3.json", json).expect("write json");
     eprintln!("wrote results/table3.json");
+    obs.write();
 }

@@ -2,6 +2,8 @@
 //! `results/table4.json`.
 
 fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("table4");
+    obs.recorder().inc("emu.table4.runs", 1);
     let (r, timing) = sc_emu::report::timed("table4", sc_emu::table4::run);
     timing.eprint();
     println!("{}", sc_emu::table4::render(&r));
@@ -9,4 +11,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&r).expect("serialize");
     std::fs::write("results/table4.json", json).expect("write json");
     eprintln!("wrote results/table4.json");
+    obs.write();
 }

@@ -94,6 +94,34 @@ where
         .collect()
 }
 
+/// [`parallel_map_with`] with telemetry: each item runs against its own
+/// child recorder, and the children are merged back into `obs` in input
+/// order after the map completes. Counters/histograms commute and events
+/// append in slot order, so the merged snapshot — and therefore the
+/// emitted `telemetry.json` — is byte-identical for every `threads`
+/// value. When `obs` is disabled the children are disabled too and the
+/// whole scheme costs nothing.
+pub fn parallel_map_obs_with<T, R, F>(
+    threads: usize,
+    obs: &sc_obs::Recorder,
+    items: Vec<T>,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T, &sc_obs::Recorder) -> R + Sync,
+{
+    let children: Vec<sc_obs::Recorder> = (0..items.len()).map(|_| obs.child()).collect();
+    let paired: Vec<(T, sc_obs::Recorder)> =
+        items.into_iter().zip(children.iter().cloned()).collect();
+    let results = parallel_map_with(threads, paired, |(item, rec)| f(item, &rec));
+    for c in &children {
+        obs.absorb(c);
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +163,42 @@ mod tests {
         // under a wrapper that sets it) or available parallelism — both
         // must be at least 1.
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn obs_map_merges_thread_invariantly() {
+        let items: Vec<u64> = (0..24).collect();
+        let reference = {
+            let obs = sc_obs::Recorder::new();
+            for &i in &items {
+                obs.inc("cells", 1);
+                obs.observe("value", i as f64);
+                obs.event(i as f64, "cell", vec![("i", sc_obs::FieldValue::from(i))]);
+            }
+            obs.snapshot().to_json("t")
+        };
+        for threads in [1, 2, 4, 16] {
+            let obs = sc_obs::Recorder::new();
+            let got = parallel_map_obs_with(threads, &obs, items.clone(), |i, rec| {
+                rec.inc("cells", 1);
+                rec.observe("value", i as f64);
+                rec.event(i as f64, "cell", vec![("i", sc_obs::FieldValue::from(i))]);
+                i * 2
+            });
+            assert_eq!(got, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(obs.snapshot().to_json("t"), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn obs_map_disabled_recorder_stays_empty() {
+        let obs = sc_obs::Recorder::disabled();
+        let got = parallel_map_obs_with(4, &obs, vec![1u32, 2, 3], |i, rec| {
+            rec.inc("cells", 1);
+            i
+        });
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(obs.snapshot().is_empty());
     }
 
     #[test]

@@ -76,6 +76,60 @@ pub fn run() -> Fig05 {
     Fig05 { series }
 }
 
+/// [`run`] with telemetry. The figure's series are unchanged; when the
+/// recorder is enabled, the run additionally records the CDF summary
+/// metrics and replays one C1 registration message-by-message over a
+/// GEO transparent-pipe topology (UE — bent-pipe satellite — remote
+/// gateway, one-way delay `GEO_ONE_WAY_S` per leg), exercising the
+/// `netsim.*`, `fiveg.*`, and `crypto.suci.*` counters the latency
+/// model abstracts over.
+pub fn run_obs(obs: &sc_obs::Recorder) -> Fig05 {
+    let r = run();
+    if obs.enabled() {
+        record_telemetry(obs, &r);
+    }
+    r
+}
+
+fn record_telemetry(obs: &sc_obs::Recorder, r: &Fig05) {
+    let suci_home = sc_crypto::suci::SuciHomeKey::generate(0x0516);
+    for (i, s) in r.series.iter().enumerate() {
+        obs.inc("emu.fig05.terminals", 1);
+        let gauge = if s.terminal.contains("SC310") {
+            "emu.fig05.tiantong_mean_s"
+        } else {
+            "emu.fig05.inmarsat_mean_s"
+        };
+        obs.set_gauge(gauge, s.mean_s);
+        for (v, _) in &s.points {
+            obs.observe("emu.fig05.latency_s", *v);
+        }
+        // Every registration starts with a SUCI concealment (footnote 4).
+        let _ = sc_crypto::suci::conceal_obs(
+            obs,
+            suci_home.public,
+            suci_home.params,
+            0x4600_0100_0000 + i as u64,
+            1000 + i as u64,
+        );
+    }
+    // The C1 the pipe serializes, replayed over UE(0)—satellite(1)—
+    // gateway(2) with one-way GEO delay per leg.
+    let c1 = sc_fiveg::messages::Procedure::build_obs(
+        sc_fiveg::messages::ProcedureKind::InitialRegistration,
+        obs,
+    );
+    let mut g = sc_netsim::topo::Graph::new(3);
+    g.add_bidirectional(0, 1, GEO_ONE_WAY_S * 1e3);
+    g.add_bidirectional(1, 2, GEO_ONE_WAY_S * 1e3);
+    let nf = sc_netsim::failure::NodeFailures::none();
+    let sim = sc_netsim::sim::ProcedureSim::new(&g, &nf, sc_netsim::sim::SimConfig::default())
+        .with_recorder(obs.clone());
+    let steps = crate::obs::replay_steps(&c1);
+    let outcome = sim.run(&steps, &mut sc_netsim::failure::LossProcess::new(0.0, 1));
+    obs.set_gauge("emu.fig05.pipe_replay_latency_ms", outcome.latency_ms);
+}
+
 /// Text rendering.
 pub fn render(r: &Fig05) -> String {
     let mut t = crate::report::TextTable::new(&["terminal", "mean (s)", "p50 (s)", "p90 (s)"]);
@@ -138,6 +192,31 @@ mod tests {
         for s in run().series {
             assert!(s.points[0].0 >= 8.0 * 2.0 * GEO_ONE_WAY_S);
         }
+    }
+
+    #[test]
+    fn run_obs_preserves_series_and_records_cross_crate_metrics() -> Result<(), serde_json::Error> {
+        let plain = serde_json::to_string(&run())?;
+        let disabled = sc_obs::Recorder::disabled();
+        assert_eq!(serde_json::to_string(&run_obs(&disabled))?, plain);
+        assert!(disabled.snapshot().is_empty());
+
+        let rec = sc_obs::Recorder::new();
+        assert_eq!(serde_json::to_string(&run_obs(&rec))?, plain);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("emu.fig05.terminals"), 2);
+        assert_eq!(snap.counter("crypto.suci.concealments"), 2);
+        assert_eq!(snap.counter("fiveg.procedures.c1_initial_registration"), 1);
+        assert_eq!(snap.counter("netsim.sim.completed"), 1);
+        assert!(snap.gauge("emu.fig05.pipe_replay_latency_ms").unwrap_or(0.0) > 1000.0);
+        // Deterministic: a second run emits the same bytes.
+        let rec2 = sc_obs::Recorder::new();
+        run_obs(&rec2);
+        assert_eq!(
+            rec.snapshot().to_json("fig05"),
+            rec2.snapshot().to_json("fig05")
+        );
+        Ok(())
     }
 
     #[test]

@@ -47,11 +47,31 @@ pub fn run() -> Fig10 {
 /// Run with an explicit worker count. Output is identical for every
 /// `threads` value; tests diff the JSON against `threads = 1`.
 pub fn run_with(threads: usize) -> Fig10 {
+    run_obs_with(threads, &sc_obs::Recorder::disabled())
+}
+
+/// [`run`] with telemetry (engine worker count).
+pub fn run_obs(obs: &sc_obs::Recorder) -> Fig10 {
+    run_obs_with(crate::engine::thread_count(), obs)
+}
+
+/// [`run_with`] with telemetry. Cells fan out over per-unit child
+/// recorders merged in input order
+/// ([`crate::engine::parallel_map_obs_with`]), so the merged snapshot is
+/// byte-identical for every `threads` value. When the recorder is
+/// enabled, a signaling-storm miniature additionally exercises the
+/// stateful AMF/SMF paths, the SUCI concealments, the stateless
+/// satellite-local contrast, and one message-level C2 replay.
+pub fn run_obs_with(threads: usize, obs: &sc_obs::Recorder) -> Fig10 {
+    if obs.enabled() {
+        storm_miniature(obs);
+    }
     let units: Vec<(ConstellationConfig, SplitOption)> = ConstellationConfig::all_presets()
         .iter()
         .flat_map(|cfg| SplitOption::STATEFUL.iter().map(|&o| (cfg.clone(), o)))
         .collect();
-    let groups = crate::engine::parallel_map_with(threads, units, |(cfg, option)| {
+    let groups = crate::engine::parallel_map_obs_with(threads, obs, units, |(cfg, option), rec| {
+        rec.inc("emu.fig10.units", 1);
         let params = WorkloadParams::for_constellation(&cfg);
         let model = RateModel::new(params);
         let mut cells = Vec::new();
@@ -68,10 +88,10 @@ pub fn run_with(threads: usize) -> Fig10 {
                 0.0
             };
 
-            let c2 = Procedure::build(ProcedureKind::SessionEstablishment);
-            let paging = Procedure::build(ProcedureKind::Paging);
-            let c3 = Procedure::build(ProcedureKind::Handover);
-            let c4 = Procedure::build(ProcedureKind::MobilityRegistration);
+            let c2 = Procedure::build_obs(ProcedureKind::SessionEstablishment, rec);
+            let paging = Procedure::build_obs(ProcedureKind::Paging, rec);
+            let c3 = Procedure::build_obs(ProcedureKind::Handover, rec);
+            let c4 = Procedure::build_obs(ProcedureKind::MobilityRegistration, rec);
 
             let sat_session = sessions
                 * (c2.satellite_messages(&split) as f64 * model.radio_overhead
@@ -83,6 +103,11 @@ pub fn run_with(threads: usize) -> Fig10 {
                 + handovers * c3.ground_messages(&split) as f64
                 + mob_regs * c4.ground_messages(&split) as f64;
             let gs = per_sat_gs * cfg.total_sats() as f64 / GROUND_STATIONS as f64;
+
+            rec.inc("emu.fig10.cells", 1);
+            rec.observe("emu.fig10.sat_session_msgs", sat_session);
+            rec.observe("emu.fig10.sat_mobility_msgs", sat_mobility);
+            rec.observe("emu.fig10.gs_msgs", gs);
 
             cells.push(Cell {
                 constellation: cfg.name.to_string(),
@@ -98,6 +123,66 @@ pub fn run_with(threads: usize) -> Fig10 {
     Fig10 {
         cells: groups.into_iter().flatten().collect(),
     }
+}
+
+/// The Fig. 10 storm in miniature: a handful of UEs run the stateful
+/// satellite-sweep cycle (SUCI-concealed registration at one AMF, PDU
+/// session at the SMF, context transfer to the next AMF) that the
+/// figure's rates aggregate; one UE takes the stateless satellite-local
+/// path (Algorithm 2) for contrast; and one C2 is replayed
+/// message-by-message over a UE—satellite—ground topology.
+fn storm_miniature(obs: &sc_obs::Recorder) {
+    use sc_fiveg::amf::Amf;
+    use sc_fiveg::ids::{PlmnId, SessionId};
+    use sc_fiveg::smf::Smf;
+    use sc_fiveg::state::SessionState;
+
+    let plmn = PlmnId::new(460, 1);
+    let mut old_amf = Amf::new(1, plmn);
+    let mut new_amf = Amf::new(2, plmn);
+    old_amf.attach_recorder(obs.clone());
+    new_amf.attach_recorder(obs.clone());
+    let mut smf = Smf::new(vec![100], 0xFD00_0000_0000_0001);
+    smf.attach_recorder(obs.clone());
+    let suci_home = sc_crypto::suci::SuciHomeKey::generate(0x0A10);
+
+    for i in 0..8u64 {
+        let s = SessionState::sample(i);
+        let _ = sc_crypto::suci::conceal_obs(
+            obs,
+            suci_home.public,
+            suci_home.params,
+            0x4600_0100_0000 + i,
+            500 + i,
+        );
+        old_amf.register(&s, 0);
+        let _ = smf.establish(s.id.supi, SessionId(1), 0);
+        if let Ok(ctx) = old_amf.transfer_out(s.id.supi) {
+            new_amf.transfer_in(ctx, 1);
+        }
+    }
+
+    // Stateless contrast: Algorithm 2's satellite-local establishment
+    // (feeds `spacecore.satellite.*` and `crypto.statecrypt.*`/ABE).
+    let home = spacecore::home::HomeNetwork::new(spacecore::home::HomeConfig::default());
+    let mut sat = spacecore::satellite::SpaceCoreSatellite::provision(
+        &home,
+        sc_orbit::SatId::new(0, 0),
+    );
+    sat.attach_recorder(obs.clone());
+    let mut ue = home.register_ue(1, &sc_geo::sphere::GeoPoint::from_degrees(39.9, 116.4));
+    sat.establish_session(&home, &mut ue, 1.0);
+
+    // One C2 at message level: UE(0) — satellite(1) — ground(2).
+    let mut g = sc_netsim::topo::Graph::new(3);
+    g.add_bidirectional(0, 1, 2.0);
+    g.add_bidirectional(1, 2, 30.0);
+    let nf = sc_netsim::failure::NodeFailures::none();
+    let sim = sc_netsim::sim::ProcedureSim::new(&g, &nf, sc_netsim::sim::SimConfig::default())
+        .with_recorder(obs.clone());
+    let c2 = Procedure::build_obs(ProcedureKind::SessionEstablishment, obs);
+    let steps = crate::obs::replay_steps(&c2);
+    sim.run(&steps, &mut sc_netsim::failure::LossProcess::new(0.0, 1));
 }
 
 /// Text rendering.
@@ -154,6 +239,32 @@ mod tests {
             let parallel = serde_json::to_string_pretty(&run_with(threads)).unwrap();
             assert_eq!(serial, parallel, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn run_obs_telemetry_thread_invariant_and_output_unchanged(
+    ) -> Result<(), serde_json::Error> {
+        let plain = serde_json::to_string(&run_with(1))?;
+        let rec1 = sc_obs::Recorder::new();
+        let r1 = run_obs_with(1, &rec1);
+        assert_eq!(serde_json::to_string(&r1)?, plain, "telemetry must not perturb results");
+        let rec4 = sc_obs::Recorder::new();
+        run_obs_with(4, &rec4);
+        assert_eq!(
+            rec1.snapshot().to_json("fig10"),
+            rec4.snapshot().to_json("fig10"),
+            "telemetry must be byte-identical across thread counts"
+        );
+        let snap = rec1.snapshot();
+        assert_eq!(snap.counter("emu.fig10.units"), 16);
+        assert_eq!(snap.counter("emu.fig10.cells"), 64);
+        assert_eq!(snap.counter("spacecore.satellite.local_establishments"), 1);
+        assert_eq!(snap.counter("fiveg.amf.registrations"), 8);
+        assert_eq!(snap.counter("fiveg.smf.establishments"), 8);
+        assert_eq!(snap.counter("crypto.suci.concealments"), 8);
+        assert_eq!(snap.counter("netsim.sim.procedures"), 1);
+        assert!(snap.metric_names().len() >= 10, "{:?}", snap.metric_names());
+        Ok(())
     }
 
     #[test]

@@ -28,6 +28,15 @@
 //! deterministically, so the emitted JSON is bit-identical to a
 //! single-threaded run. Binaries report wall-clock and thread count on
 //! stderr via [`report::timed`].
+//!
+//! Every binary can also emit a deterministic `sc-obs` telemetry
+//! sidecar ([`obs::ObsSink`], enabled by `--obs-out <path>` or
+//! `SC_OBS=1`): sorted, byte-stable JSON spanning the netsim DES, the
+//! 5G signaling paths, the crypto layer, and SpaceCore itself. Parallel
+//! sweeps record through per-cell child recorders merged in input-slot
+//! order ([`engine::parallel_map_obs_with`]), so the sidecar is
+//! byte-identical across thread counts too. Schema and metric registry:
+//! `docs/TELEMETRY.md`.
 
 pub mod engine;
 pub mod ext_anchor;
@@ -45,6 +54,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fig21;
+pub mod obs;
 pub mod report;
 pub mod table3;
 pub mod table4;

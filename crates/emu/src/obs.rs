@@ -1,0 +1,185 @@
+//! Telemetry sidecar plumbing for the experiment binaries.
+//!
+//! Every binary builds an [`ObsSink`] first thing in `main`. Telemetry
+//! is **off by default** — the sink hands out a disabled
+//! [`sc_obs::Recorder`] and [`ObsSink::write`] is a no-op, so the
+//! regenerated `results/*.json` stay byte-identical to untelemetered
+//! runs. It turns on in two ways:
+//!
+//! * `--obs-out <path>` (or `--obs-out=<path>`) on the command line
+//!   names the sidecar file explicitly;
+//! * the `SC_OBS` environment variable set to any non-empty value other
+//!   than `"0"` selects the default sidecar path
+//!   `results/<experiment>.telemetry.json` (the `SC_OBS=1` mode of
+//!   `scripts/tier1.sh`).
+//!
+//! The sidecar schema is documented in `docs/TELEMETRY.md`. Emission is
+//! byte-stable: same seed ⇒ same bytes, independent of `SC_EMU_THREADS`
+//! (see [`crate::engine::parallel_map_obs_with`]).
+
+use sc_obs::Recorder;
+use std::path::PathBuf;
+
+/// Where (and whether) one experiment binary writes its telemetry.
+#[derive(Debug, Clone)]
+pub struct ObsSink {
+    experiment: &'static str,
+    recorder: Recorder,
+    out: Option<PathBuf>,
+}
+
+impl ObsSink {
+    /// Resolve from the process arguments and environment (see the
+    /// module docs for the precedence rules).
+    pub fn from_env(experiment: &'static str) -> Self {
+        Self::from_args(
+            experiment,
+            std::env::args().skip(1),
+            std::env::var("SC_OBS").ok(),
+        )
+    }
+
+    /// Testable core of [`Self::from_env`]: `args` are the process
+    /// arguments (binary name already stripped), `sc_obs` the `SC_OBS`
+    /// environment value, if any.
+    pub fn from_args(
+        experiment: &'static str,
+        args: impl Iterator<Item = String>,
+        sc_obs: Option<String>,
+    ) -> Self {
+        let mut out: Option<PathBuf> = None;
+        let mut args = args;
+        while let Some(a) = args.next() {
+            if a == "--obs-out" {
+                out = args.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--obs-out=") {
+                out = Some(PathBuf::from(p));
+            }
+        }
+        if out.is_none() && sc_obs.is_some_and(|v| !v.is_empty() && v != "0") {
+            out = Some(PathBuf::from(format!(
+                "results/{experiment}.telemetry.json"
+            )));
+        }
+        let recorder = if out.is_some() {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        };
+        Self {
+            experiment,
+            recorder,
+            out,
+        }
+    }
+
+    /// The recorder to thread into the experiment (disabled when no
+    /// sidecar was requested — recording through it is a no-op).
+    pub fn recorder(&self) -> Recorder {
+        self.recorder.clone()
+    }
+
+    /// Is a sidecar going to be written?
+    pub fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// Write the sidecar. No-op when telemetry is disabled; I/O errors
+    /// are reported on stderr, never panicked on (telemetry must not
+    /// take an experiment down).
+    pub fn write(&self) {
+        let Some(path) = &self.out else { return };
+        let json = self.recorder.snapshot().to_json(self.experiment);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("obs: cannot create {}: {e}", dir.display());
+                    return;
+                }
+            }
+        }
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("obs: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Map a Figure 9 procedure onto the 3-node replay topology the
+/// telemetry miniatures use — UE = node 0, satellite radio = node 1,
+/// ground segment = node 2 — keeping only the messages that actually
+/// cross nodes (core-internal legs collapse onto the ground node).
+pub fn replay_steps(p: &sc_fiveg::messages::Procedure) -> Vec<sc_netsim::sim::SimStep> {
+    fn node(e: sc_fiveg::messages::Entity) -> usize {
+        use sc_fiveg::messages::Entity;
+        match e {
+            Entity::Ue => 0,
+            Entity::Ran | Entity::RanTarget => 1,
+            _ => 2,
+        }
+    }
+    p.steps
+        .iter()
+        .filter(|s| node(s.from) != node(s.to))
+        .map(|s| sc_netsim::sim::SimStep {
+            label: s.label.to_string(),
+            from: node(s.from),
+            to: node(s.to),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> std::vec::IntoIter<String> {
+        v.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let s = ObsSink::from_args("figxx", args(&[]), None);
+        assert!(!s.enabled());
+        assert!(!s.recorder().enabled());
+        s.write(); // no-op, no panic
+    }
+
+    #[test]
+    fn obs_out_flag_enables() {
+        let s = ObsSink::from_args("figxx", args(&["--obs-out", "/tmp/t.json"]), None);
+        assert!(s.enabled());
+        assert!(s.recorder().enabled());
+        let s2 = ObsSink::from_args("figxx", args(&["--obs-out=/tmp/t.json"]), None);
+        assert!(s2.enabled());
+    }
+
+    #[test]
+    fn sc_obs_env_selects_default_path() {
+        let s = ObsSink::from_args("fig05", args(&[]), Some("1".into()));
+        assert!(s.enabled());
+        assert_eq!(
+            s.out.as_deref(),
+            Some(std::path::Path::new("results/fig05.telemetry.json"))
+        );
+        assert!(!ObsSink::from_args("fig05", args(&[]), Some("0".into())).enabled());
+        assert!(!ObsSink::from_args("fig05", args(&[]), Some(String::new())).enabled());
+    }
+
+    #[test]
+    fn replay_steps_drop_core_internal_legs() {
+        let c1 = sc_fiveg::messages::Procedure::build(
+            sc_fiveg::messages::ProcedureKind::InitialRegistration,
+        );
+        let steps = replay_steps(&c1);
+        assert!(!steps.is_empty());
+        assert!(steps.len() < c1.message_count());
+        for s in &steps {
+            assert_ne!(s.from, s.to);
+            assert!(s.from <= 2 && s.to <= 2);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::ids::{Guti, PlmnId, Supi};
 use crate::state::{SecurityState, SessionState};
+use sc_obs::Recorder;
 use std::collections::HashMap;
 
 /// Registration state of one UE at an AMF (TS 23.501 RM/CM states).
@@ -63,6 +64,10 @@ pub struct Amf {
     // sc-audit: allow(stateful, reason = "legacy stateful AMF baseline — the per-UE S1/S5 store the paper's stateless design eliminates (§3.2)")
     contexts: HashMap<Supi, UeContext>,
     next_tmsi: u32,
+    /// Telemetry (disabled by default): `fiveg.amf.*` counters and the
+    /// held-context gauge — the per-procedure accounting behind the
+    /// Fig. 10 signaling-storm aggregates.
+    obs: Recorder,
 }
 
 impl Amf {
@@ -72,7 +77,19 @@ impl Amf {
             plmn,
             contexts: HashMap::new(),
             next_tmsi: 1,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder; subsequent operations count under
+    /// `fiveg.amf.*` and maintain the `fiveg.amf.contexts` gauge.
+    pub fn attach_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    fn gauge_contexts(&self) {
+        self.obs
+            .set_gauge("fiveg.amf.contexts", self.contexts.len() as f64);
     }
 
     /// Number of held UE contexts (the hijack-exposure surface).
@@ -94,6 +111,8 @@ impl Amf {
                 security: session.security.clone(),
             },
         );
+        self.obs.inc("fiveg.amf.registrations", 1);
+        self.gauge_contexts();
         guti
     }
 
@@ -108,6 +127,7 @@ impl Amf {
     pub fn release(&mut self, supi: Supi) -> Result<(), AmfError> {
         let ctx = self.contexts.get_mut(&supi).ok_or(AmfError::UnknownUe)?;
         ctx.rm_state = RmState::RegisteredIdle;
+        self.obs.inc("fiveg.amf.releases", 1);
         Ok(())
     }
 
@@ -115,6 +135,7 @@ impl Amf {
     pub fn service_request(&mut self, supi: Supi) -> Result<(), AmfError> {
         let ctx = self.contexts.get_mut(&supi).ok_or(AmfError::UnknownUe)?;
         ctx.rm_state = RmState::RegisteredConnected;
+        self.obs.inc("fiveg.amf.service_requests", 1);
         Ok(())
     }
 
@@ -132,7 +153,13 @@ impl Amf {
     /// context to the new AMF and delete the local copy ("after which
     /// the old AMF deletes the states", §3.2).
     pub fn transfer_out(&mut self, supi: Supi) -> Result<UeContext, AmfError> {
-        self.contexts.remove(&supi).ok_or(AmfError::TransferUnknownUe)
+        let ctx = self
+            .contexts
+            .remove(&supi)
+            .ok_or(AmfError::TransferUnknownUe)?;
+        self.obs.inc("fiveg.amf.transfers_out", 1);
+        self.gauge_contexts();
+        Ok(ctx)
     }
 
     /// P16 — incoming side: adopt the context, re-allocate the GUTI
@@ -142,6 +169,8 @@ impl Amf {
         ctx.guti = guti;
         ctx.tracking_area = new_tracking_area;
         self.contexts.insert(ctx.supi, ctx);
+        self.obs.inc("fiveg.amf.transfers_in", 1);
+        self.gauge_contexts();
         guti
     }
 
@@ -248,6 +277,28 @@ mod tests {
         assert_eq!(migrations, 300);
         assert_eq!(amfs[3].context_count(), 100);
         assert_eq!(amfs[0].context_count() + amfs[1].context_count() + amfs[2].context_count(), 0);
+        Ok(())
+    }
+
+    #[test]
+    fn recorder_counts_lifecycle_and_gauges_contexts() -> TestResult {
+        let rec = Recorder::new();
+        let mut a = amf(1);
+        a.attach_recorder(rec.clone());
+        let s = register_one(&mut a, 5, 10);
+        a.release(s.id.supi)?;
+        a.service_request(s.id.supi)?;
+        let ctx = a.transfer_out(s.id.supi)?;
+        let mut b = amf(2);
+        b.attach_recorder(rec.clone());
+        b.transfer_in(ctx, 11);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("fiveg.amf.registrations"), 1);
+        assert_eq!(snap.counter("fiveg.amf.releases"), 1);
+        assert_eq!(snap.counter("fiveg.amf.service_requests"), 1);
+        assert_eq!(snap.counter("fiveg.amf.transfers_out"), 1);
+        assert_eq!(snap.counter("fiveg.amf.transfers_in"), 1);
+        assert_eq!(snap.gauge("fiveg.amf.contexts"), Some(1.0));
         Ok(())
     }
 

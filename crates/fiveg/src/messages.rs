@@ -163,6 +163,17 @@ impl ProcedureKind {
             ProcedureKind::Paging => "paging",
         }
     }
+
+    /// Telemetry counter name for this kind (see docs/TELEMETRY.md).
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            ProcedureKind::InitialRegistration => "fiveg.procedures.c1_initial_registration",
+            ProcedureKind::SessionEstablishment => "fiveg.procedures.c2_session_establishment",
+            ProcedureKind::Handover => "fiveg.procedures.c3_handover",
+            ProcedureKind::MobilityRegistration => "fiveg.procedures.c4_mobility_registration",
+            ProcedureKind::Paging => "fiveg.procedures.paging",
+        }
+    }
 }
 
 /// A full signaling procedure: ordered steps.
@@ -206,6 +217,18 @@ impl Procedure {
             ProcedureKind::Paging => paging(),
         };
         Procedure { kind, steps }
+    }
+
+    /// [`Procedure::build`] with telemetry: counts the total
+    /// `fiveg.procedures.built`, the per-kind counter
+    /// ([`ProcedureKind::counter_name`]), and observes the message count
+    /// into the `fiveg.procedure.messages` histogram.
+    pub fn build_obs(kind: ProcedureKind, obs: &sc_obs::Recorder) -> Procedure {
+        let p = Procedure::build(kind);
+        obs.inc("fiveg.procedures.built", 1);
+        obs.inc(kind.counter_name(), 1);
+        obs.observe("fiveg.procedure.messages", p.message_count() as f64);
+        p
     }
 
     /// Total message count.
@@ -591,6 +614,21 @@ mod tests {
         assert!(!s.crosses_space_ground(&radio));
         let s2 = step("y", Entity::Ue, Entity::Ran, &[], 100);
         assert!(s2.touches_satellite(&radio));
+    }
+
+    #[test]
+    fn build_obs_counts_kinds_and_messages() {
+        let rec = sc_obs::Recorder::new();
+        Procedure::build_obs(ProcedureKind::InitialRegistration, &rec);
+        Procedure::build_obs(ProcedureKind::SessionEstablishment, &rec);
+        Procedure::build_obs(ProcedureKind::SessionEstablishment, &rec);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("fiveg.procedures.built"), 3);
+        assert_eq!(snap.counter("fiveg.procedures.c1_initial_registration"), 1);
+        assert_eq!(snap.counter("fiveg.procedures.c2_session_establishment"), 2);
+        let h = snap.histogram("fiveg.procedure.messages");
+        assert_eq!(h.map(|h| h.count()), Some(3));
+        assert_eq!(h.and_then(|h| h.max()), Some(24.0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! anchor attracts.
 
 use crate::ids::{SessionId, Supi, TunnelId};
+use sc_obs::Recorder;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
@@ -65,6 +66,9 @@ pub struct Smf {
     sessions: HashMap<(Supi, SessionId), PduSession>,
     /// Sessions pinned per anchor (bottleneck accounting).
     per_anchor: HashMap<u32, u32>,
+    /// Telemetry (disabled by default): `fiveg.smf.*` counters and the
+    /// active-session gauge.
+    obs: Recorder,
 }
 
 /// 5G's per-UE PDU session cap.
@@ -80,7 +84,14 @@ impl Smf {
             next_teid: 1,
             sessions: HashMap::new(),
             per_anchor: HashMap::new(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder; subsequent operations count under
+    /// `fiveg.smf.*` and maintain the `fiveg.smf.sessions` gauge.
+    pub fn attach_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// C2/P7-P9 — establish a PDU session: allocate IP + tunnels, select
@@ -117,6 +128,13 @@ impl Smf {
             downlink_teid: downlink,
             ran_node,
         };
+        self.obs.inc("fiveg.smf.establishments", 1);
+        // Gauge before the insert borrow: re-establishment replaces.
+        let new_session = !self.sessions.contains_key(&(supi, session_id));
+        self.obs.set_gauge(
+            "fiveg.smf.sessions",
+            (self.sessions.len() + usize::from(new_session)) as f64,
+        );
         Ok(match self.sessions.entry((supi, session_id)) {
             Entry::Occupied(mut o) => {
                 o.insert(session);
@@ -143,7 +161,9 @@ impl Smf {
         // New downlink tunnel toward the new node.
         s.downlink_teid = TunnelId(self.next_teid);
         self.next_teid += 1;
-        Ok(s.downlink_teid)
+        let teid = s.downlink_teid;
+        self.obs.inc("fiveg.smf.path_switches", 1);
+        Ok(teid)
     }
 
     /// P15 — release a session.
@@ -155,6 +175,9 @@ impl Smf {
         if let Some(n) = self.per_anchor.get_mut(&s.anchor_upf) {
             *n = n.saturating_sub(1);
         }
+        self.obs.inc("fiveg.smf.releases", 1);
+        self.obs
+            .set_gauge("fiveg.smf.sessions", self.sessions.len() as f64);
         Ok(())
     }
 
@@ -247,6 +270,23 @@ mod tests {
             s.release(supi(1), SessionId(1)).unwrap_err(),
             SmfError::UnknownSession
         );
+        Ok(())
+    }
+
+    #[test]
+    fn recorder_counts_session_lifecycle() -> TestResult {
+        let rec = Recorder::new();
+        let mut s = smf();
+        s.attach_recorder(rec.clone());
+        s.establish(supi(1), SessionId(1), 7)?;
+        s.establish(supi(2), SessionId(1), 7)?;
+        s.path_switch(supi(1), SessionId(1), 8)?;
+        s.release(supi(2), SessionId(1))?;
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("fiveg.smf.establishments"), 2);
+        assert_eq!(snap.counter("fiveg.smf.path_switches"), 1);
+        assert_eq!(snap.counter("fiveg.smf.releases"), 1);
+        assert_eq!(snap.gauge("fiveg.smf.sessions"), Some(1.0));
         Ok(())
     }
 

@@ -1,7 +1,7 @@
 //! Link-capacity accounting: the data-plane side of the bottleneck
 //! analysis.
 //!
-//! §2.2: "[26] reports that Starlink's ground stations limit the LEO
+//! §2.2: "\[26\] reports that Starlink's ground stations limit the LEO
 //! network's total capacity despite mega-constellations." This module
 //! assigns flows to paths, accumulates per-link utilization, and finds
 //! the saturated links — showing *where* the network runs out of

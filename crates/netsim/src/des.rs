@@ -6,6 +6,7 @@
 //! same workload therefore produces identical traces — the property that
 //! makes every figure in EXPERIMENTS.md regenerable bit-for-bit.
 
+use sc_obs::Recorder;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -55,6 +56,9 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
     now: f64,
+    /// Telemetry handle (disabled by default; see `sc-obs`). Counts
+    /// `netsim.des.scheduled` / `netsim.des.processed`.
+    obs: Recorder,
 }
 
 impl<E: PartialEq> Default for EventQueue<E> {
@@ -69,7 +73,15 @@ impl<E: PartialEq> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: 0.0,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder; every subsequent schedule/pop is
+    /// counted under `netsim.des.*`. Timestamps stay simulated time —
+    /// this queue never reads a wall clock.
+    pub fn attach_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// Current simulated time: the timestamp of the last popped event.
@@ -91,6 +103,7 @@ impl<E: PartialEq> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.obs.inc("netsim.des.scheduled", 1);
         self.heap.push(ScheduledEvent { time, seq, event });
     }
 
@@ -103,6 +116,7 @@ impl<E: PartialEq> EventQueue<E> {
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         let ev = self.heap.pop()?;
         self.now = ev.time;
+        self.obs.inc("netsim.des.processed", 1);
         Some(ev)
     }
 
@@ -195,6 +209,19 @@ mod tests {
         assert_eq!(seen.last().unwrap().1, 5);
         // The t=6 follow-up remains pending.
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn recorder_counts_schedules_and_pops() {
+        let rec = Recorder::new();
+        let mut q = EventQueue::new();
+        q.attach_recorder(rec.clone());
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        q.pop();
+        let s = rec.snapshot();
+        assert_eq!(s.counter("netsim.des.scheduled"), 2);
+        assert_eq!(s.counter("netsim.des.processed"), 1);
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //!   matching the radio-link failure traces of Figure 13b, satellite
 //!   decay (Fig. 13a), plus hijack and man-in-the-middle attack markers
 //!   for the Figure 19 leakage experiments.
+//!
+//! The DES and the message-level procedure simulator carry an optional
+//! `sc-obs` recorder: [`des::EventQueue`] counts scheduled/processed
+//! events, and [`sim::ProcedureSim`] counts transmissions, losses,
+//! retransmissions, and completions, records a per-procedure latency
+//! histogram, and emits a sim-time-stamped `netsim.delivery` event per
+//! delivered message (metric registry: `docs/TELEMETRY.md`). Telemetry
+//! never touches the wall clock, so instrumented runs stay bit-identical.
 
 pub mod capacity;
 pub mod des;

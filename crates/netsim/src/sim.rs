@@ -20,6 +20,7 @@
 use crate::des::EventQueue;
 use crate::failure::{LossProcess, NodeFailures};
 use crate::topo::{Graph, NodeId};
+use sc_obs::{FieldValue, Recorder};
 
 /// Where each abstract entity of a procedure lives in the network.
 #[derive(Debug, Clone)]
@@ -82,6 +83,10 @@ pub struct ProcedureSim<'a> {
     graph: &'a Graph,
     failures: &'a NodeFailures,
     cfg: SimConfig,
+    /// Telemetry (disabled by default): `netsim.sim.*` counters, the
+    /// per-procedure latency histogram, and one `netsim.delivery` event
+    /// per delivered step, all stamped with DES sim-time (ms).
+    obs: Recorder,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -100,12 +105,23 @@ impl<'a> ProcedureSim<'a> {
             graph,
             failures,
             cfg,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder (builder style); the recorder is
+    /// also propagated into the internal event queue, so `netsim.des.*`
+    /// counters cover every scheduled/processed event of each run.
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Run a serialized step list; `loss` draws per-transmission losses.
     pub fn run(&self, steps: &[SimStep], loss: &mut LossProcess) -> SimOutcome {
+        self.obs.inc("netsim.sim.procedures", 1);
         let mut q: EventQueue<Ev> = EventQueue::new();
+        q.attach_recorder(self.obs.clone());
         let mut deliveries: Vec<(String, f64)> = Vec::new();
         let mut delivered = vec![false; steps.len()];
         let mut transmissions = 0u32;
@@ -113,6 +129,8 @@ impl<'a> ProcedureSim<'a> {
         let mut last_time = 0.0f64;
 
         if steps.is_empty() {
+            self.obs.inc("netsim.sim.completed", 1);
+            self.obs.observe("netsim.sim.procedure_latency_ms", 0.0);
             return SimOutcome {
                 completed: true,
                 latency_ms: 0.0,
@@ -135,6 +153,10 @@ impl<'a> ProcedureSim<'a> {
                         break; // the whole procedure is blocked (§3.3)
                     }
                     transmissions += 1;
+                    self.obs.inc("netsim.sim.transmissions", 1);
+                    if attempt > 1 {
+                        self.obs.inc("netsim.sim.retransmissions", 1);
+                    }
                     let step = &steps[idx];
                     let path = self
                         .graph
@@ -146,6 +168,7 @@ impl<'a> ProcedureSim<'a> {
                         }
                         Some(p) => {
                             if loss.lost() {
+                                self.obs.inc("netsim.sim.losses", 1);
                                 // Lost somewhere en route: only the RTO
                                 // recovers it.
                                 q.schedule(
@@ -171,6 +194,14 @@ impl<'a> ProcedureSim<'a> {
                         continue;
                     }
                     delivered[idx] = true;
+                    self.obs.event(
+                        now,
+                        "netsim.delivery",
+                        vec![
+                            ("idx", FieldValue::from(idx)),
+                            ("step", FieldValue::from(steps[idx].label.as_str())),
+                        ],
+                    );
                     deliveries.push((steps[idx].label.clone(), now));
                     if idx + 1 < steps.len() {
                         q.schedule(now, Ev::Send {
@@ -193,8 +224,18 @@ impl<'a> ProcedureSim<'a> {
         }
 
         let all = delivered.iter().all(|d| *d);
+        let completed = completed && all;
+        self.obs.inc(
+            if completed {
+                "netsim.sim.completed"
+            } else {
+                "netsim.sim.blocked"
+            },
+            1,
+        );
+        self.obs.observe("netsim.sim.procedure_latency_ms", last_time);
         SimOutcome {
-            completed: completed && all,
+            completed,
             latency_ms: last_time,
             deliveries,
             transmissions,
@@ -333,6 +374,40 @@ mod tests {
         let o = sim.run(&[], &mut LossProcess::new(0.5, 1));
         assert!(o.completed);
         assert_eq!(o.latency_ms, 0.0);
+    }
+
+    #[test]
+    fn recorder_sees_full_procedure_accounting() {
+        let g = line();
+        let nf = no_failures();
+        let rec = Recorder::new();
+        let sim =
+            ProcedureSim::new(&g, &nf, SimConfig::default()).with_recorder(rec.clone());
+        let steps = steps_from_pairs(&[("req", 0, 3), ("rsp", 3, 0)]);
+        let mut loss = LossProcess::new(0.0, 1);
+        let o = sim.run(&steps, &mut loss);
+        assert!(o.completed);
+        let s = rec.snapshot();
+        assert_eq!(s.counter("netsim.sim.procedures"), 1);
+        assert_eq!(s.counter("netsim.sim.transmissions"), 2);
+        assert_eq!(s.counter("netsim.sim.completed"), 1);
+        assert_eq!(s.counter("netsim.sim.retransmissions"), 0);
+        assert!(s.counter("netsim.des.scheduled") >= 4);
+        // One delivery event per step, stamped with DES sim-time (ms).
+        let deliveries: Vec<f64> = s
+            .events
+            .iter()
+            .filter(|e| e.kind == "netsim.delivery")
+            .map(|e| e.t)
+            .collect();
+        assert_eq!(deliveries.len(), 2);
+        assert!((deliveries[1] - o.latency_ms).abs() < 1e-9);
+        // Latency histogram carries the same sim-time quantity.
+        assert_eq!(
+            s.histogram("netsim.sim.procedure_latency_ms")
+                .and_then(|h| h.max()),
+            Some(o.latency_ms)
+        );
     }
 
     #[test]

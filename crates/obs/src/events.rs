@@ -1,0 +1,159 @@
+//! Bounded structured-event ring.
+//!
+//! Events carry a **simulated-time** timestamp handed in by the caller
+//! (the DES scheduler's clock, an orbital epoch — whatever the emitting
+//! module's time base is; docs/TELEMETRY.md records the unit per event
+//! kind). The ring keeps the most recent `capacity` events and counts
+//! what it sheds, so a storm of deliveries degrades telemetry detail
+//! instead of memory.
+
+use std::collections::VecDeque;
+
+/// A value attached to an event field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated time in the emitting module's time base — never wall
+    /// clock (sc-audit R2 enforces this crate reads no clocks at all).
+    pub t: f64,
+    /// Static event kind, e.g. `netsim.delivery`.
+    pub kind: &'static str,
+    /// Field key/value pairs; keys are sorted at emission time.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Keep-last ring of events with a shed counter.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventRing {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, shedding the oldest entry when full.
+    pub fn push(&mut self, ev: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were shed because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Carry over a shed count from a merged child ring.
+    pub fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
+    /// Configured capacity (children inherit it).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> Event {
+        Event {
+            t,
+            kind: "test.event",
+            fields: vec![("n", FieldValue::from(t))],
+        }
+    }
+
+    #[test]
+    fn keeps_last_capacity_events() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i as f64));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<f64> = r.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1.0));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3u64), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(0.5), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".to_string()));
+    }
+}

@@ -1,0 +1,196 @@
+//! Fixed-bucket histograms.
+//!
+//! One global 1–2–5 log ladder covers every series the reproduction
+//! records — microseconds of processing up to giga-scale message counts
+//! — so histograms from different runs, cells, and threads merge by
+//! plain bucket-wise addition and always emit the same bounds.
+
+/// Inclusive upper bounds of the shared 1–2–5 ladder, ascending.
+/// Values above the last bound land in an overflow bucket that emits
+/// with a `null` bound; values at or below `1e-6` (including zero and
+/// negatives) land in the first bucket.
+pub const BUCKET_BOUNDS: [f64; 46] = [
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4,
+    2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+];
+
+/// Index into the per-histogram count array for a sample, with the
+/// overflow bucket at `BUCKET_BOUNDS.len()`.
+fn bucket_index(v: f64) -> usize {
+    BUCKET_BOUNDS
+        .iter()
+        .position(|b| v <= *b)
+        .unwrap_or(BUCKET_BOUNDS.len())
+}
+
+/// A fixed-bucket histogram with exact count/sum/min/max sidecars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// One count per [`BUCKET_BOUNDS`] entry plus the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample. Non-finite samples are dropped (NaN/∞ would
+    /// poison `sum` and break byte-stable emission).
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = bucket_index(v);
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Bucket-wise merge (the operation parallel sweeps rely on; it is
+    /// commutative but the engine still merges in slot order so `sum`,
+    /// a float, accumulates in a fixed order).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+
+    /// The non-empty buckets, ascending; `None` bound = overflow.
+    pub fn nonzero_buckets(&self) -> Vec<(Option<f64>, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (BUCKET_BOUNDS.get(i).copied(), *c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_ascending() {
+        for w in BUCKET_BOUNDS.windows(2) {
+            assert!(w[0] < w[1], "{w:?}");
+        }
+    }
+
+    #[test]
+    fn observe_places_samples_on_the_ladder() {
+        let mut h = Histogram::new();
+        h.observe(0.15); // → bucket 0.2
+        h.observe(0.2); // inclusive upper bound → bucket 0.2
+        h.observe(3.0); // → bucket 5.0
+        assert_eq!(h.count(), 3);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(Some(0.2), 2), (Some(5.0), 1)]
+        );
+        assert_eq!(h.min(), Some(0.15));
+        assert_eq!(h.max(), Some(3.0));
+    }
+
+    #[test]
+    fn extremes_land_in_edge_buckets() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-5.0);
+        h.observe(2e12);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(Some(1e-6), 2), (None, 1)]
+        );
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation() {
+        let samples = [0.001, 0.4, 7.0, 7.0, 900.0, 1e10];
+        let mut whole = Histogram::new();
+        for s in samples {
+            whole.observe(s);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.observe(*s);
+            } else {
+                right.observe(*s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+    }
+}

@@ -1,0 +1,82 @@
+//! Minimal byte-stable JSON emission helpers (internal).
+//!
+//! Hand-rolled on purpose: serde would be a dependency, and the point
+//! of this crate is that two identical runs produce identical bytes —
+//! which needs exactly one float format and exactly one escape policy,
+//! both pinned here.
+
+/// Append `s` as a JSON string literal (quotes + escapes).
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite f64 using Rust's shortest round-trip `{:?}` format
+/// (`1.0`, `0.25`, `1e-6`) — stable across platforms. Non-finite values
+/// emit as `null` (they cannot appear in JSON numbers).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn str_lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    fn f64_lit(v: f64) -> String {
+        let mut out = String::new();
+        push_f64(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(str_lit("plain"), "\"plain\"");
+        assert_eq!(str_lit("a\"b"), "\"a\\\"b\"");
+        assert_eq!(str_lit("a\\b"), "\"a\\\\b\"");
+        assert_eq!(str_lit("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(str_lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_use_shortest_roundtrip_format() {
+        assert_eq!(f64_lit(1.0), "1.0");
+        assert_eq!(f64_lit(0.25), "0.25");
+        assert_eq!(f64_lit(1e-6), "1e-6");
+        assert_eq!(f64_lit(-3.5), "-3.5");
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        assert_eq!(f64_lit(f64::NAN), "null");
+        assert_eq!(f64_lit(f64::INFINITY), "null");
+        assert_eq!(f64_lit(f64::NEG_INFINITY), "null");
+    }
+}

@@ -1,0 +1,280 @@
+//! The [`Recorder`] handle threaded through instrumented code.
+
+use crate::events::{Event, EventRing, FieldValue};
+use crate::hist::Histogram;
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Default bound on the structured-event ring. Large enough for every
+/// per-figure replay in this repository; storms beyond it shed oldest
+/// events and count the loss.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    events: EventRing,
+}
+
+impl Inner {
+    fn new(event_capacity: usize) -> Self {
+        Self {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            events: EventRing::new(event_capacity),
+        }
+    }
+}
+
+/// A cheap, cloneable telemetry handle.
+///
+/// Clones share one underlying registry, so a recorder can be threaded
+/// into several components of the same simulation (scheduler + AMF +
+/// relay) and their series land in one snapshot. A **disabled** recorder
+/// (the [`Default`]) holds nothing and makes every operation a no-op
+/// `Option` check — instrumented hot paths cost nothing when telemetry
+/// is off.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Recorder {
+    /// An enabled recorder with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled recorder with an explicit event-ring capacity.
+    pub fn with_event_capacity(event_capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Inner::new(event_capacity)))),
+        }
+    }
+
+    /// The no-op recorder.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Is this recorder collecting anything?
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+        self.inner.as_ref().map(|m| {
+            let mut guard = m.lock().unwrap_or_else(|p| p.into_inner());
+            f(&mut guard)
+        })
+    }
+
+    /// Add `by` to the counter `name`.
+    pub fn inc(&self, name: &'static str, by: u64) {
+        self.with_inner(|i| {
+            *i.counters.entry(name).or_insert(0) += by;
+        });
+    }
+
+    /// Set the gauge `name` to `v` (last write wins, including across
+    /// [`Recorder::absorb`], which replays children in merge order).
+    pub fn set_gauge(&self, name: &'static str, v: f64) {
+        self.with_inner(|i| {
+            i.gauges.insert(name, v);
+        });
+    }
+
+    /// Record a sample into the histogram `name`.
+    pub fn observe(&self, name: &'static str, v: f64) {
+        self.with_inner(|i| {
+            i.hists.entry(name).or_default().observe(v);
+        });
+    }
+
+    /// Append a structured event at simulated time `t_sim` (the emitting
+    /// module's time base; see docs/TELEMETRY.md for units per kind).
+    pub fn event(&self, t_sim: f64, kind: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        self.with_inner(|i| {
+            i.events.push(Event {
+                t: t_sim,
+                kind,
+                fields,
+            });
+        });
+    }
+
+    /// A fresh, independent recorder for one parallel cell: enabled
+    /// (with the parent's event capacity) iff the parent is. Merge it
+    /// back with [`Recorder::absorb`] in input-slot order.
+    pub fn child(&self) -> Recorder {
+        match self.with_inner(|i| i.events.capacity()) {
+            Some(cap) => Recorder::with_event_capacity(cap),
+            None => Recorder::disabled(),
+        }
+    }
+
+    /// Merge a child's series into this recorder: counters and histogram
+    /// buckets add, gauges take the child's value, events append in the
+    /// child's order. A no-op when either side is disabled or both are
+    /// the same registry.
+    pub fn absorb(&self, child: &Recorder) {
+        let (Some(mine), Some(theirs)) = (&self.inner, &child.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(mine, theirs) {
+            return;
+        }
+        let snap = child.snapshot();
+        self.with_inner(|i| {
+            for (name, v) in &snap.counters {
+                *i.counters.entry(name).or_insert(0) += v;
+            }
+            for (name, v) in &snap.gauges {
+                i.gauges.insert(name, *v);
+            }
+            for (name, h) in &snap.histograms {
+                i.hists.entry(name).or_default().merge(h);
+            }
+            for ev in &snap.events {
+                i.events.push(ev.clone());
+            }
+            // Events the child already shed stay shed; keep the count.
+            i.events.note_dropped(snap.events_dropped);
+        });
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.with_inner(|i| Snapshot {
+            counters: i.counters.clone(),
+            gauges: i.gauges.clone(),
+            histograms: i.hists.clone(),
+            events: i.events.iter().cloned().collect(),
+            events_dropped: i.events.dropped(),
+        })
+        .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        r.inc("a", 1);
+        r.set_gauge("b", 2.0);
+        r.observe("c", 3.0);
+        r.event(0.0, "d", vec![]);
+        assert!(!r.enabled());
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let r = Recorder::new();
+        let r2 = r.clone();
+        r.inc("x", 1);
+        r2.inc("x", 2);
+        assert_eq!(r.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let r = Recorder::new();
+        r.inc("net.msgs", 5);
+        r.inc("net.msgs", 2);
+        r.set_gauge("net.load", 0.5);
+        r.set_gauge("net.load", 0.75);
+        r.observe("net.delay_ms", 10.0);
+        r.observe("net.delay_ms", 30.0);
+        let s = r.snapshot();
+        assert_eq!(s.counter("net.msgs"), 7);
+        assert_eq!(s.gauge("net.load"), Some(0.75));
+        let h = s.histogram("net.delay_ms");
+        assert_eq!(h.map(|h| h.count()), Some(2));
+        assert_eq!(h.and_then(|h| h.mean()), Some(20.0));
+    }
+
+    #[test]
+    fn events_keep_order_and_sim_time() {
+        let r = Recorder::new();
+        r.event(1.5, "step", vec![("idx", FieldValue::from(0usize))]);
+        r.event(0.5, "step", vec![("idx", FieldValue::from(1usize))]);
+        let s = r.snapshot();
+        // Insertion order, not time order: the caller's schedule is the
+        // ground truth.
+        let ts: Vec<f64> = s.events.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1.5, 0.5]);
+    }
+
+    #[test]
+    fn child_of_disabled_is_disabled() {
+        assert!(!Recorder::disabled().child().enabled());
+        assert!(Recorder::new().child().enabled());
+    }
+
+    #[test]
+    fn absorb_merges_in_slot_order() {
+        let parent = Recorder::new();
+        let a = parent.child();
+        let b = parent.child();
+        a.inc("cells", 1);
+        b.inc("cells", 1);
+        a.set_gauge("last", 1.0);
+        b.set_gauge("last", 2.0);
+        a.observe("h", 1.0);
+        b.observe("h", 100.0);
+        a.event(1.0, "cell", vec![]);
+        b.event(2.0, "cell", vec![]);
+        parent.absorb(&a);
+        parent.absorb(&b);
+        let s = parent.snapshot();
+        assert_eq!(s.counter("cells"), 2);
+        assert_eq!(s.gauge("last"), Some(2.0));
+        assert_eq!(s.histogram("h").map(|h| h.count()), Some(2));
+        let ts: Vec<f64> = s.events.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn absorb_same_registry_is_noop() {
+        let r = Recorder::new();
+        r.inc("x", 1);
+        let alias = r.clone();
+        r.absorb(&alias);
+        assert_eq!(r.snapshot().counter("x"), 1);
+    }
+
+    #[test]
+    fn merged_snapshot_is_thread_count_invariant() {
+        // The property the emu engine relies on: N children merged in
+        // slot order produce the same snapshot regardless of which
+        // thread ran which child.
+        let build = |order: &[usize]| {
+            let parent = Recorder::new();
+            let children: Vec<Recorder> = (0..4).map(|_| parent.child()).collect();
+            // "Work" happens in an arbitrary order…
+            for &i in order {
+                if let Some(c) = children.get(i) {
+                    c.inc("work", (i + 1) as u64);
+                    c.observe("cost", i as f64);
+                    c.event(i as f64, "done", vec![("cell", FieldValue::from(i))]);
+                }
+            }
+            // …but the merge is always slot order.
+            for c in &children {
+                parent.absorb(c);
+            }
+            parent.snapshot().to_json("invariance")
+        };
+        let a = build(&[0, 1, 2, 3]);
+        let b = build(&[3, 1, 0, 2]);
+        assert_eq!(a, b);
+    }
+}

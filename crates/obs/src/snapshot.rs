@@ -1,0 +1,230 @@
+//! Point-in-time snapshots and their byte-stable JSON form.
+
+use crate::events::{Event, FieldValue};
+use crate::hist::Histogram;
+use crate::json::{push_f64, push_str_literal};
+use std::collections::BTreeMap;
+
+/// Everything a [`crate::Recorder`] has collected, frozen.
+///
+/// Maps are `BTreeMap`s so iteration — and therefore [`Snapshot::to_json`]
+/// emission — is sorted name order. Two snapshots of identical runs
+/// serialize to identical bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub gauges: BTreeMap<&'static str, f64>,
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Events in recording/merge order (deterministic; not re-sorted by
+    /// time because the caller's schedule is the ground truth).
+    pub events: Vec<Event>,
+    /// Events shed by the bounded ring.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Counter value, 0 when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, `None` when never set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, `None` when nothing was observed under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Sorted union of all metric names (counters, gauges, histograms).
+    pub fn metric_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .copied()
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// True when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+            && self.events_dropped == 0
+    }
+
+    /// Serialize to the documented telemetry JSON (docs/TELEMETRY.md):
+    /// sorted keys, 2-space indent, shortest-round-trip floats, trailing
+    /// newline. Byte-stable: identical snapshots → identical bytes.
+    pub fn to_json(&self, experiment: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": ");
+        push_str_literal(&mut out, crate::SCHEMA);
+        out.push_str(",\n  \"experiment\": ");
+        push_str_literal(&mut out, experiment);
+
+        out.push_str(",\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_str_literal(&mut out, name);
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str(if self.counters.is_empty() { "}" } else { "\n  }" });
+
+        out.push_str(",\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_str_literal(&mut out, name);
+            out.push_str(": ");
+            push_f64(&mut out, *v);
+        }
+        out.push_str(if self.gauges.is_empty() { "}" } else { "\n  }" });
+
+        out.push_str(",\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_str_literal(&mut out, name);
+            out.push_str(": {\"count\": ");
+            out.push_str(&h.count().to_string());
+            out.push_str(", \"sum\": ");
+            push_f64(&mut out, h.sum());
+            if let (Some(mn), Some(mx)) = (h.min(), h.max()) {
+                out.push_str(", \"min\": ");
+                push_f64(&mut out, mn);
+                out.push_str(", \"max\": ");
+                push_f64(&mut out, mx);
+            }
+            out.push_str(", \"buckets\": [");
+            for (j, (bound, c)) in h.nonzero_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                match bound {
+                    Some(b) => push_f64(&mut out, *b),
+                    None => out.push_str("null"),
+                }
+                out.push_str(", ");
+                out.push_str(&c.to_string());
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.histograms.is_empty() { "}" } else { "\n  }" });
+
+        out.push_str(",\n  \"events\": [");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_event(&mut out, ev);
+        }
+        out.push_str(if self.events.is_empty() { "]" } else { "\n  ]" });
+
+        out.push_str(",\n  \"events_dropped\": ");
+        out.push_str(&self.events_dropped.to_string());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn push_event(out: &mut String, ev: &Event) {
+    out.push_str("{\"t\": ");
+    push_f64(out, ev.t);
+    out.push_str(", \"kind\": ");
+    push_str_literal(out, ev.kind);
+    out.push_str(", \"fields\": {");
+    // Sort field keys for stable emission (stable sort: duplicate keys
+    // keep their recording order).
+    let mut fields: Vec<&(&'static str, FieldValue)> = ev.fields.iter().collect();
+    fields.sort_by_key(|(k, _)| *k);
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_str_literal(out, k);
+        out.push_str(": ");
+        match v {
+            FieldValue::U64(n) => out.push_str(&n.to_string()),
+            FieldValue::F64(f) => push_f64(out, *f),
+            FieldValue::Str(s) => push_str_literal(out, s),
+        }
+    }
+    out.push_str("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample() -> Snapshot {
+        let r = Recorder::new();
+        r.inc("b.count", 2);
+        r.inc("a.count", 1);
+        r.set_gauge("z.gauge", 0.5);
+        r.observe("m.hist", 3.0);
+        r.event(
+            1.25,
+            "net.step",
+            vec![("name", FieldValue::from("rrc")), ("idx", FieldValue::from(0usize))],
+        );
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_is_sorted_and_complete() {
+        let j = sample().to_json("unit");
+        assert!(j.contains("\"schema\": \"sc-obs/1\""));
+        assert!(j.contains("\"experiment\": \"unit\""));
+        // Counters in sorted order.
+        let a = j.find("a.count");
+        let b = j.find("b.count");
+        assert!(a < b, "{j}");
+        // Event fields sorted by key.
+        let idx = j.find("\"idx\"");
+        let name = j.find("\"name\"");
+        assert!(idx < name, "{j}");
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_is_byte_stable() {
+        assert_eq!(sample().to_json("x"), sample().to_json("x"));
+    }
+
+    #[test]
+    fn empty_snapshot_has_fixed_shape() {
+        let j = Snapshot::default().to_json("empty");
+        assert!(j.contains("\"counters\": {}"));
+        assert!(j.contains("\"gauges\": {}"));
+        assert!(j.contains("\"histograms\": {}"));
+        assert!(j.contains("\"events\": []"));
+        assert!(j.contains("\"events_dropped\": 0"));
+    }
+
+    #[test]
+    fn metric_names_union_sorted() {
+        let s = sample();
+        assert_eq!(
+            s.metric_names(),
+            vec!["a.count", "b.count", "m.hist", "z.gauge"]
+        );
+    }
+
+    #[test]
+    fn histogram_emission_includes_sidecars() {
+        let j = sample().to_json("unit");
+        assert!(
+            j.contains("\"m.hist\": {\"count\": 1, \"sum\": 3.0, \"min\": 3.0, \"max\": 3.0, \"buckets\": [[5.0, 1]]}"),
+            "{j}"
+        );
+    }
+}

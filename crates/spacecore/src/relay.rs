@@ -42,6 +42,9 @@ pub struct GeoRelay {
     coverage_radius: f64,
     /// Hop budget before declaring a routing failure.
     max_hops: usize,
+    /// Telemetry (disabled by default): `spacecore.relay.*` counters and
+    /// the per-packet hop/delay histograms.
+    obs: sc_obs::Recorder,
 }
 
 /// Result of tracing a packet through the constellation.
@@ -72,7 +75,15 @@ impl GeoRelay {
         Self {
             coverage_radius: 0.55 * d_alpha.max(d_gamma),
             max_hops: 4 * (cfg.planes as usize + cfg.sats_per_plane as usize),
+            obs: sc_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder; subsequent traces count under
+    /// `spacecore.relay.*`.
+    pub fn with_recorder(mut self, obs: sc_obs::Recorder) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Override the coverage radius (used by the cell-granularity
@@ -138,6 +149,7 @@ impl GeoRelay {
         per_hop_processing_ms: f64,
     ) -> RelayTrace {
         let constellation = Constellation::new(prop.config().clone());
+        self.obs.inc("spacecore.relay.packets", 1);
         let mut cur = ingress;
         let mut path = vec![cur];
         let mut delay = 0.0;
@@ -145,6 +157,10 @@ impl GeoRelay {
             let st = prop.state(cur, t);
             match self.decide(st.coord, dst) {
                 RelayDecision::Deliver => {
+                    self.obs.inc("spacecore.relay.delivered", 1);
+                    self.obs
+                        .observe("spacecore.relay.hops", (path.len() - 1) as f64);
+                    self.obs.observe("spacecore.relay.delay_ms", delay);
                     return RelayTrace {
                         path,
                         delivered: true,
@@ -161,6 +177,7 @@ impl GeoRelay {
                 }
             }
         }
+        self.obs.inc("spacecore.relay.expired", 1);
         RelayTrace {
             path,
             delivered: false,
@@ -408,6 +425,24 @@ mod tests {
                 .map(|tr| tr.path[0]);
             assert_eq!(got, expected, "src ({lat}, {lon}) t={t}");
         }
+    }
+
+    #[test]
+    fn recorder_counts_packets_hops_and_delay() {
+        let prop = starlink();
+        let rec = sc_obs::Recorder::new();
+        let relay = GeoRelay::for_shell(prop.config()).with_recorder(rec.clone());
+        let dst = prop.state(SatId::new(40, 10), 0.0).coord;
+        let tr = relay.trace(&prop, SatId::new(0, 0), dst, 0.0, 1.0);
+        assert!(tr.delivered);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("spacecore.relay.packets"), 1);
+        assert_eq!(snap.counter("spacecore.relay.delivered"), 1);
+        assert_eq!(snap.counter("spacecore.relay.expired"), 0);
+        let hops = snap.histogram("spacecore.relay.hops");
+        assert_eq!(hops.and_then(|h| h.max()), Some(tr.hops() as f64));
+        let delay = snap.histogram("spacecore.relay.delay_ms");
+        assert_eq!(delay.map(|h| h.sum()), Some(tr.delay_ms));
     }
 
     #[test]

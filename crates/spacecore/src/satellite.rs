@@ -10,7 +10,7 @@
 
 use crate::home::HomeNetwork;
 use crate::uestate::UeDevice;
-use sc_crypto::statecrypt::{satellite_local_access, ue_complete_exchange, SatCredentials,
+use sc_crypto::statecrypt::{satellite_local_access_obs, ue_complete_exchange, SatCredentials,
     StateCryptError};
 use sc_fiveg::ids::Supi;
 use sc_fiveg::state::SessionState;
@@ -50,6 +50,10 @@ pub struct SpaceCoreSatellite {
     active: parking_lot::Mutex<HashMap<Supi, ActiveSession>>,
     /// Home crypto handle for envelope verification (public material).
     home_cert_key: u64,
+    /// Telemetry (disabled by default): `spacecore.satellite.*` counters
+    /// and the active-session gauge; local accesses also feed the
+    /// `crypto.statecrypt.*` counters.
+    obs: sc_obs::Recorder,
 }
 
 /// Radio/UPF install state for one active session.
@@ -68,7 +72,14 @@ impl SpaceCoreSatellite {
             creds: home.provision_satellite(id),
             active: parking_lot::Mutex::new(HashMap::new()),
             home_cert_key: home.cert_verify_key(),
+            obs: sc_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder; subsequent establishments count
+    /// under `spacecore.satellite.*` (and `crypto.statecrypt.*`).
+    pub fn attach_recorder(&mut self, obs: sc_obs::Recorder) {
+        self.obs = obs;
     }
 
     /// Provision with custom attributes (unauthorized/revoked satellites
@@ -79,6 +90,7 @@ impl SpaceCoreSatellite {
             creds: home.provision_satellite_with_attrs(id, attrs),
             active: parking_lot::Mutex::new(HashMap::new()),
             home_cert_key: home.cert_verify_key(),
+            obs: sc_obs::Recorder::disabled(),
         }
     }
 
@@ -121,7 +133,8 @@ impl SpaceCoreSatellite {
             (self.id.plane as u64) << 32 | self.id.slot as u64,
             &now.to_bits().to_le_bytes(),
         );
-        let out = satellite_local_access(
+        let out = satellite_local_access_obs(
+            &self.obs,
             &self.creds,
             home.crypto(),
             &replica,
@@ -145,14 +158,21 @@ impl SpaceCoreSatellite {
         let state = SessionState::decode(&out.state).ok_or(LocalPathFailure::Crypto(
             StateCryptError::BadHomeSignature,
         ))?;
-        self.active.lock().insert(
-            ue.supi,
-            ActiveSession {
-                state,
-                session_key: out.session_key,
-                established_at: now,
-            },
-        );
+        let active_now = {
+            let mut active = self.active.lock();
+            active.insert(
+                ue.supi,
+                ActiveSession {
+                    state,
+                    session_key: out.session_key,
+                    established_at: now,
+                },
+            );
+            active.len()
+        };
+        self.obs.inc("spacecore.satellite.local_establishments", 1);
+        self.obs
+            .set_gauge("spacecore.satellite.active_sessions", active_now as f64);
         Ok(SessionOutcome {
             local: true,
             // P0 (2 messages: RRC request + setup) + P1' piggyback +
@@ -175,6 +195,7 @@ impl SpaceCoreSatellite {
         match self.try_local_establishment(home, ue, now) {
             Ok(o) => o,
             Err(_) => {
+                self.obs.inc("spacecore.satellite.rollbacks", 1);
                 // Legacy C2: 13 messages, multiple home round-trips.
                 let c2 = sc_fiveg::messages::Procedure::build(
                     sc_fiveg::messages::ProcedureKind::SessionEstablishment,
@@ -199,6 +220,7 @@ impl SpaceCoreSatellite {
         now: f64,
     ) -> Result<SessionOutcome, LocalPathFailure> {
         let mut o = self.try_local_establishment(home, ue, now)?;
+        self.obs.inc("spacecore.satellite.handovers_in", 1);
         // Handover piggyback rides existing HO messages: only the HO
         // command + confirm + accept are new over-the-air messages.
         o.signaling_messages = 3;
@@ -208,7 +230,16 @@ impl SpaceCoreSatellite {
     /// Release a session (UE left coverage / inactivity): the satellite
     /// forgets everything about the UE.
     pub fn release(&self, supi: Supi) -> bool {
-        self.active.lock().remove(&supi).is_some()
+        let (removed, active_now) = {
+            let mut active = self.active.lock();
+            (active.remove(&supi).is_some(), active.len())
+        };
+        if removed {
+            self.obs.inc("spacecore.satellite.releases", 1);
+            self.obs
+                .set_gauge("spacecore.satellite.active_sessions", active_now as f64);
+        }
+        removed
     }
 
     /// Number of currently served sessions.
@@ -333,6 +364,27 @@ mod tests {
         sat.release(ue.supi);
         let k3 = sat.establish_session(&home, &mut ue, 2.0).session_key.unwrap();
         assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn recorder_counts_local_path_rollback_and_release() {
+        let (home, mut sat, mut ue) = setup();
+        let rec = sc_obs::Recorder::new();
+        sat.attach_recorder(rec.clone());
+        let mut legacy = home.register_ue(101, &GeoPoint::from_degrees(30.0, 100.0));
+        legacy.supports_spacecore = false;
+        sat.establish_session(&home, &mut ue, 1.0);
+        sat.establish_session(&home, &mut legacy, 1.0);
+        sat.release(ue.supi);
+        sat.release(ue.supi); // double release: not counted twice
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("spacecore.satellite.local_establishments"), 1);
+        assert_eq!(snap.counter("spacecore.satellite.rollbacks"), 1);
+        assert_eq!(snap.counter("spacecore.satellite.releases"), 1);
+        assert_eq!(snap.gauge("spacecore.satellite.active_sessions"), Some(0.0));
+        // The local path also feeds the crypto-layer counters.
+        assert_eq!(snap.counter("crypto.statecrypt.local_accesses"), 1);
+        assert_eq!(snap.counter("crypto.abe.decrypts"), 1);
     }
 
     #[test]

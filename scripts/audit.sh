@@ -18,4 +18,10 @@ cargo run -q -p sc-audit --offline
 echo "== audit: cargo clippy --offline --workspace --all-targets -- -D warnings" >&2
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+# Docs gate: rustdoc must build warning-free (broken intra-doc links,
+# missing code-block languages, …). docs/TELEMETRY.md names every
+# metric; the crate-level rustdoc maps modules to paper sections.
+echo "== audit: cargo doc --no-deps --offline --workspace (warnings are errors)" >&2
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline --workspace
+
 echo "== audit: OK" >&2

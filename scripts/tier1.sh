@@ -21,4 +21,31 @@ cargo test -q --offline "$@"
 echo "== tier-1: sc-audit (warn-only; scripts/audit.sh enforces)" >&2
 cargo run -q -p sc-audit --offline -- --warn-only || true
 
+# Opt-in telemetry determinism check (SC_OBS=1 scripts/tier1.sh): run
+# fig05 and fig10 with the sc-obs sidecar enabled, twice and under
+# different thread counts, and require byte-identical telemetry.json.
+# See docs/TELEMETRY.md for the schema.
+if [ "${SC_OBS:-0}" != "0" ] && [ -n "${SC_OBS:-}" ]; then
+    echo "== tier-1: SC_OBS telemetry determinism (fig05, fig10)" >&2
+    OBS_TMP="$(mktemp -d)"
+    trap 'rm -rf "$OBS_TMP"' EXIT
+    for exp in fig05 fig10; do
+        ( cd "$OBS_TMP" && \
+          SC_EMU_THREADS=1 cargo run -q --release --offline \
+              --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin "$exp" -- \
+              --obs-out "$OBS_TMP/$exp.t1.json" >/dev/null && \
+          SC_EMU_THREADS=1 cargo run -q --release --offline \
+              --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin "$exp" -- \
+              --obs-out "$OBS_TMP/$exp.t1b.json" >/dev/null && \
+          SC_EMU_THREADS=4 cargo run -q --release --offline \
+              --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin "$exp" -- \
+              --obs-out "$OBS_TMP/$exp.t4.json" >/dev/null )
+        cmp "$OBS_TMP/$exp.t1.json" "$OBS_TMP/$exp.t1b.json" || {
+            echo "== tier-1: FAIL — $exp telemetry differs across reruns" >&2; exit 1; }
+        cmp "$OBS_TMP/$exp.t1.json" "$OBS_TMP/$exp.t4.json" || {
+            echo "== tier-1: FAIL — $exp telemetry differs across thread counts" >&2; exit 1; }
+        echo "== tier-1: $exp telemetry byte-stable (reruns, threads 1 vs 4)" >&2
+    done
+fi
+
 echo "== tier-1: OK" >&2

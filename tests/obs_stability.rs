@@ -1,0 +1,92 @@
+//! Snapshot stability of the sc-obs telemetry sidecars (docs/TELEMETRY.md).
+//!
+//! The schema's core promise is that telemetry never perturbs
+//! determinism: for a fixed seed the serialized snapshot is
+//! byte-identical across reruns and across `SC_EMU_THREADS` settings,
+//! and an instrumented run produces the same figure output as an
+//! uninstrumented one. `SC_OBS=1 scripts/tier1.sh` checks the same
+//! property end-to-end through the experiment binaries.
+
+use sc_obs::Recorder;
+
+/// Same seed, two runs: fig05's sidecar must be byte-identical, and the
+/// instrumented run must not change the figure itself.
+#[test]
+fn fig05_telemetry_byte_identical_across_reruns() {
+    let plain = sc_emu::fig05::run();
+
+    let rec_a = Recorder::new();
+    let r_a = sc_emu::fig05::run_obs(&rec_a);
+    let rec_b = Recorder::new();
+    let r_b = sc_emu::fig05::run_obs(&rec_b);
+
+    assert_eq!(r_a.series.len(), plain.series.len());
+    assert_eq!(r_b.series.len(), plain.series.len());
+
+    let json_a = rec_a.snapshot().to_json("fig05");
+    let json_b = rec_b.snapshot().to_json("fig05");
+    assert!(!json_a.is_empty());
+    assert_eq!(json_a, json_b, "fig05 telemetry differs across reruns");
+}
+
+/// fig10 under 1 worker vs. 4 workers: child recorders are absorbed in
+/// input-slot order, so the merged sidecar must be byte-identical.
+#[test]
+fn fig10_telemetry_byte_identical_across_thread_counts() {
+    let rec_1 = Recorder::new();
+    let r_1 = sc_emu::fig10::run_obs_with(1, &rec_1);
+    let rec_4 = Recorder::new();
+    let r_4 = sc_emu::fig10::run_obs_with(4, &rec_4);
+
+    assert_eq!(
+        serde_json::to_string(&r_1).ok(),
+        serde_json::to_string(&r_4).ok(),
+        "fig10 figure output differs across thread counts"
+    );
+    assert_eq!(
+        rec_1.snapshot().to_json("fig10"),
+        rec_4.snapshot().to_json("fig10"),
+        "fig10 telemetry differs across thread counts"
+    );
+}
+
+/// One fig10 run spans the whole registry: at least ten distinct metric
+/// names covering the netsim, fiveg, crypto, and spacecore layers
+/// (acceptance floor from docs/TELEMETRY.md).
+#[test]
+fn fig10_telemetry_spans_layers_with_ten_plus_metrics() {
+    let rec = Recorder::new();
+    let _ = sc_emu::fig10::run_obs_with(2, &rec);
+    let snap = rec.snapshot();
+
+    let names = snap.metric_names();
+    assert!(
+        names.len() >= 10,
+        "expected >= 10 distinct metrics, got {}: {names:?}",
+        names.len()
+    );
+    for prefix in ["netsim.", "fiveg.", "crypto.", "spacecore.", "emu."] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no metric with prefix {prefix} in {names:?}"
+        );
+    }
+
+    assert_eq!(snap.counter("emu.fig10.units"), 16);
+    assert_eq!(snap.counter("emu.fig10.cells"), 64);
+    assert!(snap.counter("fiveg.amf.registrations") >= 1);
+    assert!(snap.counter("crypto.suci.concealments") >= 1);
+    assert!(snap.counter("spacecore.satellite.local_establishments") >= 1);
+    assert!(snap.counter("netsim.sim.procedures") >= 1);
+}
+
+/// A disabled recorder records nothing and costs nothing: the default
+/// (no `--obs-out`, no `SC_OBS`) path stays telemetry-free so regenerated
+/// `results/` files are byte-identical to the pre-instrumentation build.
+#[test]
+fn disabled_recorder_stays_empty_through_a_full_run() {
+    let rec = Recorder::disabled();
+    let _ = sc_emu::fig05::run_obs(&rec);
+    let _ = sc_emu::fig10::run_obs_with(2, &rec);
+    assert!(rec.snapshot().is_empty());
+}

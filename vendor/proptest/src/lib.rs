@@ -202,7 +202,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Element-count bounds for [`vec`].
+    /// Element-count bounds for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         pub min: usize,
