@@ -1,0 +1,16 @@
+//! Criterion bench for the chaos session-survival extension experiment
+//! (one timeline-driven DES sweep over Starlink).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ext_chaos::run", |b| {
+        b.iter(|| std::hint::black_box(sc_emu::ext_chaos::run()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Extension experiment: session survival under serving-satellite
+//! crashes (chaos injection).
+
+fn main() {
+    let obs = sc_emu::obs::ObsSink::from_env("ext_chaos");
+    let (r, timing) = sc_emu::report::timed("ext_chaos", || {
+        sc_emu::ext_chaos::run_obs(&obs.recorder())
+    });
+    timing.eprint();
+    println!("{}", sc_emu::ext_chaos::render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/ext_chaos.json",
+        serde_json::to_string_pretty(&r).expect("serialize"),
+    )
+    .expect("write json");
+    eprintln!("wrote results/ext_chaos.json");
+    obs.write();
+}

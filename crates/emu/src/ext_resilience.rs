@@ -35,16 +35,16 @@ pub struct ResiliencePoint {
     pub decay_fraction: f64,
     /// Fraction of runs that completed within the retry budget.
     pub completion_rate: f64,
-    /// Mean latency over completed runs, ms.
-    pub mean_latency_ms: f64,
+    /// Mean latency over completed runs, ms; `None` (JSON `null`) when
+    /// no run completed.
+    pub mean_latency_ms: Option<f64>,
     /// Mean transmissions per run (retries included).
     pub mean_transmissions: f64,
 }
 
 /// Build the legacy C2 step list over the network: UE messages terminate
 /// at the serving satellite; core messages cross to the nearest gateway.
-fn legacy_steps(net: &IslNetwork, serving: usize, gateway: usize) -> Vec<SimStep> {
-    let _ = net;
+fn legacy_steps(serving: usize, gateway: usize) -> Vec<SimStep> {
     let pairs: Vec<(&str, usize, usize)> = vec![
         ("rrc request", serving, serving),
         ("rrc setup", serving, serving),
@@ -86,7 +86,7 @@ pub fn run() -> ExtResilience {
 
     let mut points = Vec::new();
     for (name, steps) in [
-        ("legacy C2 via home", legacy_steps(&net, serving, gateway)),
+        ("legacy C2 via home", legacy_steps(serving, gateway)),
         ("SpaceCore local", spacecore_steps(serving)),
     ] {
         for loss_rate in LOSS_RATES {
@@ -119,9 +119,9 @@ pub fn run() -> ExtResilience {
                     decay_fraction: decay,
                     completion_rate: completed as f64 / RUNS as f64,
                     mean_latency_ms: if completed > 0 {
-                        lat_sum / completed as f64
+                        Some(lat_sum / completed as f64)
                     } else {
-                        f64::NAN
+                        None
                     },
                     mean_transmissions: tx_sum as f64 / RUNS as f64,
                 });
@@ -147,10 +147,9 @@ pub fn render(r: &ExtResilience) -> String {
             format!("{:.0}%", p.loss_rate * 100.0),
             format!("{:.1}%", p.decay_fraction * 100.0),
             format!("{:.0}%", p.completion_rate * 100.0),
-            if p.mean_latency_ms.is_nan() {
-                "-".into()
-            } else {
-                crate::report::fmt_num(p.mean_latency_ms)
+            match p.mean_latency_ms {
+                Some(ms) => crate::report::fmt_num(ms),
+                None => "-".into(),
             },
             crate::report::fmt_num(p.mean_transmissions),
         ]);
@@ -193,8 +192,8 @@ mod tests {
             let sc = point(r, "SpaceCore", loss, 0.0);
             let legacy = point(r, "legacy", loss, 0.0);
             assert!(sc.completion_rate >= legacy.completion_rate, "loss {loss}");
-            if !sc.mean_latency_ms.is_nan() && !legacy.mean_latency_ms.is_nan() {
-                assert!(sc.mean_latency_ms < legacy.mean_latency_ms, "loss {loss}");
+            if let (Some(sc_ms), Some(legacy_ms)) = (sc.mean_latency_ms, legacy.mean_latency_ms) {
+                assert!(sc_ms < legacy_ms, "loss {loss}");
             }
         }
     }
@@ -215,6 +214,31 @@ mod tests {
         for decay in DECAY_FRACTIONS {
             assert_eq!(point(r, "SpaceCore", 0.0, decay).completion_rate, 1.0);
         }
+    }
+
+    #[test]
+    fn empty_mean_latency_serializes_as_null_never_nan() {
+        // A fully-blocked cell must serialize `mean_latency_ms` as JSON
+        // `null`, never the (invalid-JSON) bare `NaN` the old f64::NAN
+        // sentinel produced.
+        let r = ExtResilience {
+            points: vec![ResiliencePoint {
+                procedure: "blocked".into(),
+                loss_rate: 1.0,
+                decay_fraction: 0.0,
+                completion_rate: 0.0,
+                mean_latency_ms: None,
+                mean_transmissions: 4.0,
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"mean_latency_ms\":null"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+        // And the real run never emits NaN either.
+        let json = serde_json::to_string(cached()).unwrap();
+        assert!(!json.contains("NaN"), "real results must be valid JSON");
+        // Rendering shows a dash for the empty cell.
+        assert!(render(&r).contains('-'));
     }
 
     #[test]

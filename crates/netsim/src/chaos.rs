@@ -1,0 +1,454 @@
+//! Deterministic chaos injection: sim-time-ordered failure timelines.
+//!
+//! The static [`NodeFailures`] snapshot answers "what if these satellites
+//! were already dead when the procedure started?" — the Figure 13a decay
+//! regime. This module answers the harder §3.3 question: what happens
+//! when a satellite dies *mid-procedure*, a laser link flaps while a
+//! message is in flight, or a radio-link loss burst (Fig. 13b) opens
+//! right as a signaling exchange begins. A [`FailureTimeline`] is a
+//! seeded, time-ordered schedule of such events; [`crate::sim::ProcedureSim`]
+//! consults it as the DES clock advances, re-resolving paths per attempt
+//! so routing reroutes around nodes that died after the procedure
+//! started.
+//!
+//! Everything is deterministic: the schedule is fixed up front, burst
+//! loss draws come from a seeded [`Xorshift64`] owned by the replay
+//! cursor, and event application order is (time, insertion order) — so
+//! chaos runs replay bit-identically, the property the `ext_chaos`
+//! experiment's byte-stability checks enforce.
+
+use crate::failure::{NodeFailures, Xorshift64};
+use crate::topo::NodeId;
+use sc_obs::{FieldValue, Recorder};
+use std::collections::HashSet;
+
+/// One chaos action, applied at a scheduled simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// Node (satellite or ground station) fails: it blocks routing and
+    /// cannot source or sink messages.
+    Crash(NodeId),
+    /// Node comes back (replacement satellite slots in, reboot, …).
+    Recover(NodeId),
+    /// Undirected link becomes unusable (laser misalignment, §3.2).
+    LinkDown(NodeId, NodeId),
+    /// Undirected link realigns.
+    LinkUp(NodeId, NodeId),
+    /// A loss-burst window opens: every transmission additionally
+    /// suffers Bernoulli(`p_loss`) loss — the bad state of a
+    /// Gilbert–Elliott process (Fig. 13b), scheduled explicitly.
+    BurstStart {
+        /// Extra per-transmission loss probability while the window is open.
+        p_loss: f64,
+    },
+    /// The most recent open burst window closes (LIFO on overlap).
+    BurstEnd,
+}
+
+/// An action bound to its simulated time (ms, the DES unit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosEvent {
+    /// Simulated time the action takes effect, ms.
+    pub time_ms: f64,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+/// A sim-time-ordered schedule of failure events.
+///
+/// Build one with the fluent methods ([`Self::crash`],
+/// [`Self::link_flap`], [`Self::loss_burst`], …) or generate a seeded
+/// random schedule with [`Self::random_crashes`]. A static
+/// [`NodeFailures`] snapshot embeds as the trivial timeline
+/// ([`Self::from_static`]): dead from t = 0, no events — replays of it
+/// are outcome-identical to the static path (property-tested in
+/// `tests/chaos_props.rs`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailureTimeline {
+    /// Sorted by `time_ms` (stable: ties keep insertion order).
+    events: Vec<ChaosEvent>,
+    /// Nodes dead from t = 0 (the static-snapshot embedding).
+    initial_dead: Vec<NodeId>,
+    /// Seed for the replay cursor's burst-loss draws.
+    seed: u64,
+}
+
+impl FailureTimeline {
+    /// The empty timeline: nothing ever fails.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Embed a static failure snapshot: every dead node is dead from
+    /// t = 0 and never recovers. Replaying this timeline is equivalent
+    /// to running against the snapshot itself.
+    pub fn from_static(failures: &NodeFailures) -> Self {
+        Self {
+            initial_dead: failures.dead_nodes(),
+            ..Self::default()
+        }
+    }
+
+    /// Seeded random crash schedule over `num_nodes` nodes: each node
+    /// independently crashes with probability `p_crash`, at a uniform
+    /// time in `[0, horizon_ms)`; with `recover_after_ms = Some(d)` it
+    /// recovers `d` ms after crashing (satellite replacement), with
+    /// `None` it stays down.
+    pub fn random_crashes(
+        num_nodes: usize,
+        p_crash: f64,
+        horizon_ms: f64,
+        recover_after_ms: Option<f64>,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&p_crash));
+        assert!(horizon_ms >= 0.0 && horizon_ms.is_finite());
+        let mut rng = Xorshift64::new(seed);
+        let mut tl = Self {
+            seed,
+            ..Self::default()
+        };
+        for node in 0..num_nodes {
+            if rng.chance(p_crash) {
+                let t = rng.next_f64() * horizon_ms;
+                tl = tl.crash(t, node);
+                if let Some(d) = recover_after_ms {
+                    tl = tl.recover(t + d, node);
+                }
+            }
+        }
+        tl
+    }
+
+    /// Seed for burst-loss draws (deterministic per timeline).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Schedule a node crash at `t_ms`. `t_ms = 0.0` is equivalent to
+    /// the node being in the initial dead set.
+    pub fn crash(self, t_ms: f64, node: NodeId) -> Self {
+        self.push(t_ms, ChaosAction::Crash(node))
+    }
+
+    /// Schedule a node recovery at `t_ms`.
+    pub fn recover(self, t_ms: f64, node: NodeId) -> Self {
+        self.push(t_ms, ChaosAction::Recover(node))
+    }
+
+    /// Take the undirected link `a`–`b` down over `[t_down_ms, t_up_ms)`.
+    pub fn link_flap(self, t_down_ms: f64, t_up_ms: f64, a: NodeId, b: NodeId) -> Self {
+        assert!(t_down_ms <= t_up_ms, "link flap must end after it starts");
+        self.push(t_down_ms, ChaosAction::LinkDown(a, b))
+            .push(t_up_ms, ChaosAction::LinkUp(a, b))
+    }
+
+    /// Open a loss-burst window over `[t_start_ms, t_end_ms)` during
+    /// which every transmission additionally suffers Bernoulli(`p_loss`)
+    /// loss. Overlapping windows nest LIFO; the innermost probability
+    /// applies.
+    pub fn loss_burst(self, t_start_ms: f64, t_end_ms: f64, p_loss: f64) -> Self {
+        assert!(t_start_ms <= t_end_ms, "burst must end after it starts");
+        assert!((0.0..=1.0).contains(&p_loss));
+        self.push(t_start_ms, ChaosAction::BurstStart { p_loss })
+            .push(t_end_ms, ChaosAction::BurstEnd)
+    }
+
+    /// Strip every event touching `node` (and remove it from the initial
+    /// dead set) — used to protect an endpoint the scenario requires
+    /// alive, e.g. the satellite the UE re-establishes to.
+    pub fn without_node(mut self, node: NodeId) -> Self {
+        self.events.retain(|e| match e.action {
+            ChaosAction::Crash(n) | ChaosAction::Recover(n) => n != node,
+            ChaosAction::LinkDown(a, b) | ChaosAction::LinkUp(a, b) => a != node && b != node,
+            ChaosAction::BurstStart { .. } | ChaosAction::BurstEnd => true,
+        });
+        self.initial_dead.retain(|&n| n != node);
+        self
+    }
+
+    /// The scheduled events, in replay order.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// Nodes dead from t = 0.
+    pub fn initial_dead(&self) -> &[NodeId] {
+        &self.initial_dead
+    }
+
+    /// No events and no initially-dead nodes?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.initial_dead.is_empty()
+    }
+
+    /// Start a replay cursor at t = 0.
+    pub fn cursor(&self) -> ChaosCursor<'_> {
+        let mut dead: HashSet<NodeId> = HashSet::new();
+        dead.extend(self.initial_dead.iter().copied());
+        ChaosCursor {
+            timeline: self,
+            next: 0,
+            dead,
+            links_down: HashSet::new(),
+            bursts: Vec::new(),
+            rng: Xorshift64::new(self.seed.wrapping_add(0x051C_4A05)),
+        }
+    }
+
+    fn push(mut self, t_ms: f64, action: ChaosAction) -> Self {
+        assert!(t_ms >= 0.0 && t_ms.is_finite(), "bad chaos time {t_ms}");
+        self.events.push(ChaosEvent {
+            time_ms: t_ms,
+            action,
+        });
+        // Stable sort: ties keep insertion order, so replay order is a
+        // pure function of the build sequence.
+        self.events.sort_by(|a, b| a.time_ms.total_cmp(&b.time_ms));
+        self
+    }
+}
+
+/// Monotone replay cursor over a [`FailureTimeline`].
+///
+/// [`Self::advance_to`] applies every event scheduled at or before the
+/// given time (the DES pops events in time order, so the cursor only
+/// moves forward); the query methods then answer for "now". Chaos
+/// telemetry (`netsim.chaos.*` counters, `chaos.crash` /
+/// `chaos.recover` events stamped with the *scheduled* sim-time) is
+/// emitted as events are applied.
+#[derive(Debug, Clone)]
+pub struct ChaosCursor<'a> {
+    timeline: &'a FailureTimeline,
+    /// Next unapplied event index.
+    next: usize,
+    dead: HashSet<NodeId>,
+    /// Normalized (min, max) undirected down links.
+    links_down: HashSet<(NodeId, NodeId)>,
+    /// LIFO stack of open burst-window probabilities.
+    bursts: Vec<f64>,
+    rng: Xorshift64,
+}
+
+impl ChaosCursor<'_> {
+    /// Apply every event with `time_ms <= t_ms`.
+    pub fn advance_to(&mut self, t_ms: f64, obs: &Recorder) {
+        while let Some(ev) = self.timeline.events.get(self.next) {
+            if ev.time_ms > t_ms {
+                break;
+            }
+            match ev.action {
+                ChaosAction::Crash(n) => {
+                    if self.dead.insert(n) {
+                        obs.inc("netsim.chaos.crashes", 1);
+                        obs.event(ev.time_ms, "chaos.crash", vec![("node", FieldValue::from(n))]);
+                    }
+                }
+                ChaosAction::Recover(n) => {
+                    if self.dead.remove(&n) {
+                        obs.inc("netsim.chaos.recoveries", 1);
+                        obs.event(
+                            ev.time_ms,
+                            "chaos.recover",
+                            vec![("node", FieldValue::from(n))],
+                        );
+                    }
+                }
+                ChaosAction::LinkDown(a, b) => {
+                    if self.links_down.insert((a.min(b), a.max(b))) {
+                        obs.inc("netsim.chaos.link_downs", 1);
+                    }
+                }
+                ChaosAction::LinkUp(a, b) => {
+                    if self.links_down.remove(&(a.min(b), a.max(b))) {
+                        obs.inc("netsim.chaos.link_ups", 1);
+                    }
+                }
+                ChaosAction::BurstStart { p_loss } => {
+                    self.bursts.push(p_loss);
+                    obs.inc("netsim.chaos.burst_windows", 1);
+                }
+                ChaosAction::BurstEnd => {
+                    self.bursts.pop();
+                }
+            }
+            self.next += 1;
+        }
+    }
+
+    /// Is `node` dead right now?
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.contains(&node)
+    }
+
+    /// Is the undirected link `a`–`b` down right now?
+    pub fn link_down(&self, a: NodeId, b: NodeId) -> bool {
+        !self.links_down.is_empty() && self.links_down.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Number of currently-dead nodes.
+    pub fn dead_count(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Draw one burst loss for a transmission happening now. Consumes
+    /// cursor randomness only while a burst window is open, so runs
+    /// without bursts never touch the RNG.
+    pub fn burst_loss(&mut self, obs: &Recorder) -> bool {
+        let Some(&p) = self.bursts.last() else {
+            return false;
+        };
+        let lost = self.rng.chance(p);
+        if lost {
+            obs.inc("netsim.chaos.burst_losses", 1);
+        }
+        lost
+    }
+
+    /// Is a loss-burst window currently open?
+    pub fn in_burst(&self) -> bool {
+        !self.bursts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_blocks_nothing() {
+        let tl = FailureTimeline::none();
+        assert!(tl.is_empty());
+        let mut c = tl.cursor();
+        let obs = Recorder::disabled();
+        c.advance_to(1e9, &obs);
+        assert!(!c.is_dead(0));
+        assert!(!c.link_down(0, 1));
+        assert!(!c.burst_loss(&obs));
+    }
+
+    #[test]
+    fn static_embedding_is_dead_from_time_zero() {
+        let mut nf = NodeFailures::none();
+        nf.fail(3);
+        nf.fail(7);
+        let tl = FailureTimeline::from_static(&nf);
+        assert_eq!(tl.initial_dead(), &[3, 7]);
+        let mut c = tl.cursor();
+        c.advance_to(0.0, &Recorder::disabled());
+        assert!(c.is_dead(3) && c.is_dead(7) && !c.is_dead(4));
+        // Never recovers.
+        c.advance_to(1e12, &Recorder::disabled());
+        assert!(c.is_dead(3));
+    }
+
+    #[test]
+    fn crash_then_recover_applies_in_order() {
+        let tl = FailureTimeline::none().crash(100.0, 5).recover(400.0, 5);
+        let obs = Recorder::new();
+        let mut c = tl.cursor();
+        c.advance_to(99.9, &obs);
+        assert!(!c.is_dead(5));
+        c.advance_to(100.0, &obs);
+        assert!(c.is_dead(5));
+        assert_eq!(c.dead_count(), 1);
+        c.advance_to(400.0, &obs);
+        assert!(!c.is_dead(5));
+        let s = obs.snapshot();
+        assert_eq!(s.counter("netsim.chaos.crashes"), 1);
+        assert_eq!(s.counter("netsim.chaos.recoveries"), 1);
+        // Events are stamped with the scheduled time, not the query time.
+        let kinds: Vec<(f64, &str)> = s
+            .events
+            .iter()
+            .map(|e| (e.t, e.kind))
+            .collect();
+        assert_eq!(kinds, vec![(100.0, "chaos.crash"), (400.0, "chaos.recover")]);
+    }
+
+    #[test]
+    fn link_flap_window() {
+        let tl = FailureTimeline::none().link_flap(10.0, 20.0, 8, 2);
+        let mut c = tl.cursor();
+        let obs = Recorder::disabled();
+        c.advance_to(9.0, &obs);
+        assert!(!c.link_down(2, 8));
+        c.advance_to(10.0, &obs);
+        assert!(c.link_down(2, 8));
+        assert!(c.link_down(8, 2), "undirected");
+        assert!(!c.link_down(2, 9));
+        c.advance_to(20.0, &obs);
+        assert!(!c.link_down(2, 8));
+    }
+
+    #[test]
+    fn burst_window_draws_only_while_open() {
+        let tl = FailureTimeline::none()
+            .loss_burst(50.0, 150.0, 1.0)
+            .with_seed(9);
+        let obs = Recorder::new();
+        let mut c = tl.cursor();
+        c.advance_to(0.0, &obs);
+        assert!(!c.in_burst());
+        assert!(!c.burst_loss(&obs));
+        c.advance_to(60.0, &obs);
+        assert!(c.in_burst());
+        assert!(c.burst_loss(&obs), "p = 1.0 always loses");
+        c.advance_to(150.0, &obs);
+        assert!(!c.in_burst());
+        assert!(!c.burst_loss(&obs));
+        assert_eq!(obs.snapshot().counter("netsim.chaos.burst_losses"), 1);
+    }
+
+    #[test]
+    fn random_crashes_seeded_and_recovering() {
+        let tl = FailureTimeline::random_crashes(1000, 0.1, 5_000.0, Some(2_000.0), 7);
+        let again = FailureTimeline::random_crashes(1000, 0.1, 5_000.0, Some(2_000.0), 7);
+        assert_eq!(tl, again, "same seed, same schedule");
+        let other = FailureTimeline::random_crashes(1000, 0.1, 5_000.0, Some(2_000.0), 8);
+        assert_ne!(tl, other, "different seed, different schedule");
+        let crashes = tl
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, ChaosAction::Crash(_)))
+            .count();
+        let recoveries = tl
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, ChaosAction::Recover(_)))
+            .count();
+        assert_eq!(crashes, recoveries, "every crash schedules a recovery");
+        assert!((50..=150).contains(&crashes), "{crashes} crashes at p=0.1");
+        // Fully replayed, everything has recovered.
+        let mut c = tl.cursor();
+        c.advance_to(f64::MAX, &Recorder::disabled());
+        assert_eq!(c.dead_count(), 0);
+    }
+
+    #[test]
+    fn without_node_protects_it() {
+        let tl = FailureTimeline::random_crashes(100, 1.0, 1_000.0, None, 3);
+        let mut c = tl.cursor();
+        c.advance_to(1_000.0, &Recorder::disabled());
+        assert!(c.is_dead(42));
+        let protected = tl.without_node(42);
+        let mut c = protected.cursor();
+        c.advance_to(1_000.0, &Recorder::disabled());
+        assert!(!c.is_dead(42));
+        assert_eq!(c.dead_count(), 99);
+    }
+
+    #[test]
+    fn events_sorted_by_time_stable_on_ties() {
+        let tl = FailureTimeline::none()
+            .crash(200.0, 1)
+            .crash(100.0, 2)
+            .recover(200.0, 2);
+        let times: Vec<f64> = tl.events().iter().map(|e| e.time_ms).collect();
+        assert_eq!(times, vec![100.0, 200.0, 200.0]);
+        // Tie at 200: crash(1) was inserted before recover(2).
+        assert_eq!(tl.events()[1].action, ChaosAction::Crash(1));
+        assert_eq!(tl.events()[2].action, ChaosAction::Recover(2));
+    }
+}

@@ -183,6 +183,14 @@ impl NodeFailures {
         self.dead.len()
     }
 
+    /// The dead nodes, sorted (deterministic embedding into a
+    /// [`crate::chaos::FailureTimeline`]).
+    pub fn dead_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.dead.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Closure usable as the `blocked` predicate of
     /// [`crate::topo::Graph::shortest_path`].
     pub fn blocker(&self) -> impl Fn(usize) -> bool + '_ {

@@ -17,7 +17,11 @@
 //! * [`failure`] — Bernoulli and Gilbert–Elliott (bursty) loss processes
 //!   matching the radio-link failure traces of Figure 13b, satellite
 //!   decay (Fig. 13a), plus hijack and man-in-the-middle attack markers
-//!   for the Figure 19 leakage experiments.
+//!   for the Figure 19 leakage experiments,
+//! * [`chaos`] — dynamic fault timelines: seeded, sim-time-ordered
+//!   schedules of node crash/recover, link flaps, and loss-burst windows
+//!   that [`sim::ProcedureSim`] replays as its DES clock advances, so a
+//!   satellite can die (and recover) *mid-procedure*.
 //!
 //! The DES and the message-level procedure simulator carry an optional
 //! `sc-obs` recorder: [`des::EventQueue`] counts scheduled/processed
@@ -28,6 +32,7 @@
 //! never touches the wall clock, so instrumented runs stay bit-identical.
 
 pub mod capacity;
+pub mod chaos;
 pub mod des;
 pub mod failure;
 pub mod flow;
@@ -37,6 +42,7 @@ pub mod sim;
 pub mod topo;
 
 pub use capacity::CapacityModel;
+pub use chaos::{ChaosAction, ChaosCursor, ChaosEvent, FailureTimeline};
 pub use des::{EventQueue, ScheduledEvent};
 pub use flow::{handover_scenario, TcpFlow, TcpPhase};
 pub use failure::{AttackInjector, GilbertElliott, LossProcess, NodeFailures};

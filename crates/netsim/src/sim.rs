@@ -17,6 +17,7 @@
 //! behind the "any signaling loss/error can block the entire procedure"
 //! claim of §3.3.
 
+use crate::chaos::{ChaosCursor, FailureTimeline};
 use crate::des::EventQueue;
 use crate::failure::{LossProcess, NodeFailures};
 use crate::topo::{Graph, NodeId};
@@ -56,16 +57,40 @@ pub struct SimOutcome {
 }
 
 /// Simulator configuration.
+///
+/// The chaos-hardening knobs (`backoff_factor`, `rto_cap_ms`,
+/// `retry_on_partition`, `total_deadline_ms`) all default to the legacy
+/// behavior — fixed RTO, abort on partition, no deadline — so existing
+/// experiments replay byte-identically unless a caller opts in.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Per-hop processing delay already included in edge weights; this
     /// is the additional endpoint processing per message, ms.
     pub endpoint_processing_ms: f64,
-    /// Retransmission timeout, ms (NAS timers are seconds; signaling
-    /// over LEO uses tighter timers).
+    /// Base retransmission timeout, ms (NAS timers are seconds;
+    /// signaling over LEO uses tighter timers).
     pub rto_ms: f64,
     /// Maximum transmissions per step before declaring failure.
     pub max_attempts: u32,
+    /// Multiplier applied to the RTO per retransmission (exponential
+    /// backoff). `1.0` keeps the fixed legacy RTO.
+    pub backoff_factor: f64,
+    /// Upper bound on the backed-off RTO, ms (`f64::INFINITY` = no cap).
+    pub rto_cap_ms: f64,
+    /// Treat a routing partition as transient: wait a backoff and
+    /// re-resolve instead of aborting the procedure — what a chaos run
+    /// needs when an intermediate satellite crashes mid-procedure and
+    /// recovers (or routing heals around it) moments later.
+    pub retry_on_partition: bool,
+    /// Total simulated-time budget for the procedure, ms. Sends past
+    /// the deadline abort the run (`f64::INFINITY` = unbounded).
+    pub total_deadline_ms: f64,
+    /// Draw the ambient loss process once per *hop* instead of once per
+    /// transmission: every ISL hop is an independent frame-error
+    /// opportunity, so long (and chaos-detoured) paths lose more. The
+    /// legacy default draws once per transmission regardless of path
+    /// length.
+    pub loss_per_hop: bool,
 }
 
 impl Default for SimConfig {
@@ -74,14 +99,39 @@ impl Default for SimConfig {
             endpoint_processing_ms: 1.0,
             rto_ms: 400.0,
             max_attempts: 4,
+            backoff_factor: 1.0,
+            rto_cap_ms: f64::INFINITY,
+            retry_on_partition: false,
+            total_deadline_ms: f64::INFINITY,
+            loss_per_hop: false,
         }
     }
+}
+
+impl SimConfig {
+    /// The (capped, backed-off) RTO armed for transmission `attempt`
+    /// (1-based). With the default `backoff_factor = 1.0` this is
+    /// exactly `rto_ms` for every attempt.
+    pub fn rto_for(&self, attempt: u32) -> f64 {
+        (self.rto_ms * self.backoff_factor.powi(attempt.saturating_sub(1) as i32))
+            .min(self.rto_cap_ms)
+    }
+}
+
+/// Where the simulator reads its failure state from.
+enum FailureSource<'a> {
+    /// A static pre-run snapshot (the legacy API): the routing view
+    /// never changes during the run.
+    Static(&'a NodeFailures),
+    /// A dynamic [`FailureTimeline`]: the view evolves as the DES clock
+    /// advances, so a node can die (and recover) mid-procedure.
+    Timeline(&'a FailureTimeline),
 }
 
 /// Message-level procedure simulator.
 pub struct ProcedureSim<'a> {
     graph: &'a Graph,
-    failures: &'a NodeFailures,
+    failures: FailureSource<'a>,
     cfg: SimConfig,
     /// Telemetry (disabled by default): `netsim.sim.*` counters, the
     /// per-procedure latency histogram, and one `netsim.delivery` event
@@ -103,7 +153,22 @@ impl<'a> ProcedureSim<'a> {
     pub fn new(graph: &'a Graph, failures: &'a NodeFailures, cfg: SimConfig) -> Self {
         Self {
             graph,
-            failures,
+            failures: FailureSource::Static(failures),
+            cfg,
+            obs: Recorder::disabled(),
+        }
+    }
+
+    /// Simulate against a dynamic [`FailureTimeline`] instead of a
+    /// static snapshot: the timeline is replayed as the DES clock
+    /// advances, every transmission re-resolves its path against the
+    /// *current* dead-node/link set, and open loss-burst windows add
+    /// their own per-transmission losses. An empty timeline is
+    /// outcome-identical to [`Self::new`] with [`NodeFailures::none`].
+    pub fn with_timeline(graph: &'a Graph, timeline: &'a FailureTimeline, cfg: SimConfig) -> Self {
+        Self {
+            graph,
+            failures: FailureSource::Timeline(timeline),
             cfg,
             obs: Recorder::disabled(),
         }
@@ -122,8 +187,21 @@ impl<'a> ProcedureSim<'a> {
         self.obs.inc("netsim.sim.procedures", 1);
         let mut q: EventQueue<Ev> = EventQueue::new();
         q.attach_recorder(self.obs.clone());
+        // Dynamic-failure view, replayed as the DES clock advances
+        // (absent for the legacy static snapshot).
+        let mut cursor: Option<ChaosCursor<'_>> = match &self.failures {
+            FailureSource::Timeline(tl) => Some(tl.cursor()),
+            FailureSource::Static(_) => None,
+        };
         let mut deliveries: Vec<(String, f64)> = Vec::new();
         let mut delivered = vec![false; steps.len()];
+        // Attempt number of the transmission currently on the wire (its
+        // delivery is scheduled), per step; `None` while nothing is in
+        // flight. Lets the RTO distinguish "lost" from "merely slower
+        // than the timer" and stay silent for the latter.
+        let mut in_flight: Vec<Option<u32>> = vec![None; steps.len()];
+        // Partition retries taken so far, per step (drives their backoff).
+        let mut partition_retries = vec![0u32; steps.len()];
         let mut transmissions = 0u32;
         let mut completed = true;
         let mut last_time = 0.0f64;
@@ -143,10 +221,17 @@ impl<'a> ProcedureSim<'a> {
         while let Some(ev) = q.pop() {
             let now = ev.time;
             last_time = now;
+            if let Some(c) = cursor.as_mut() {
+                c.advance_to(now, &self.obs);
+            }
             match ev.event {
                 Ev::Send { idx, attempt } => {
                     if delivered[idx] {
                         continue;
+                    }
+                    if now > self.cfg.total_deadline_ms {
+                        completed = false;
+                        break; // procedure deadline budget exhausted
                     }
                     if attempt > self.cfg.max_attempts {
                         completed = false;
@@ -158,33 +243,71 @@ impl<'a> ProcedureSim<'a> {
                         self.obs.inc("netsim.sim.retransmissions", 1);
                     }
                     let step = &steps[idx];
-                    let path = self
-                        .graph
-                        .shortest_path(step.from, step.to, self.failures.blocker());
+                    // Per-attempt path resolution: a chaos run reroutes
+                    // around nodes that died after the procedure started.
+                    let path = if let Some(c) = cursor.as_ref() {
+                        self.graph.shortest_path_avoiding(
+                            step.from,
+                            step.to,
+                            |n| c.is_dead(n),
+                            |a, b| c.link_down(a, b),
+                        )
+                    } else if let FailureSource::Static(nf) = &self.failures {
+                        self.graph.shortest_path(step.from, step.to, nf.blocker())
+                    } else {
+                        None // timeline source always has a cursor
+                    };
                     match path {
+                        None if self.cfg.retry_on_partition => {
+                            // Partition-as-transient: wait a backoff and
+                            // re-resolve, bounded by the deadline budget
+                            // (or, unbounded budgets, the attempt cap).
+                            partition_retries[idx] += 1;
+                            let backoff = self.cfg.rto_for(partition_retries[idx]);
+                            let within = if self.cfg.total_deadline_ms.is_finite() {
+                                now + backoff <= self.cfg.total_deadline_ms
+                            } else {
+                                partition_retries[idx] < self.cfg.max_attempts
+                            };
+                            if !within {
+                                completed = false;
+                                break; // partition outlasted the budget
+                            }
+                            self.obs.inc("netsim.sim.partition_retries", 1);
+                            q.schedule(now + backoff, Ev::Send { idx, attempt });
+                        }
                         None => {
                             completed = false;
                             break; // endpoints partitioned
                         }
                         Some(p) => {
-                            if loss.lost() {
+                            let mut lost = if self.cfg.loss_per_hop {
+                                // First lossy hop kills the transmission.
+                                (0..p.hops()).any(|_| loss.lost())
+                            } else {
+                                loss.lost()
+                            };
+                            if !lost {
+                                if let Some(c) = cursor.as_mut() {
+                                    // Open Fig. 13b-style burst window?
+                                    lost = c.burst_loss(&self.obs);
+                                }
+                            }
+                            let rto = self.cfg.rto_for(attempt);
+                            if lost {
                                 self.obs.inc("netsim.sim.losses", 1);
+                                in_flight[idx] = None;
                                 // Lost somewhere en route: only the RTO
                                 // recovers it.
-                                q.schedule(
-                                    now + self.cfg.rto_ms,
-                                    Ev::Timeout { idx, attempt },
-                                );
+                                q.schedule(now + rto, Ev::Timeout { idx, attempt });
                             } else {
                                 let delay = p.cost + self.cfg.endpoint_processing_ms;
+                                in_flight[idx] = Some(attempt);
                                 q.schedule(now + delay, Ev::Delivered { idx });
-                                // Timeout still armed in case a later
-                                // model adds reordering; it is ignored
-                                // once delivered.
-                                q.schedule(
-                                    now + self.cfg.rto_ms,
-                                    Ev::Timeout { idx, attempt },
-                                );
+                                // Timeout still armed; a delivery that
+                                // merely outlasts it is recognized as in
+                                // flight and not retransmitted.
+                                q.schedule(now + rto, Ev::Timeout { idx, attempt });
                             }
                         }
                     }
@@ -213,12 +336,21 @@ impl<'a> ProcedureSim<'a> {
                     }
                 }
                 Ev::Timeout { idx, attempt } => {
-                    if !delivered[idx] {
-                        q.schedule(now, Ev::Send {
-                            idx,
-                            attempt: attempt + 1,
-                        });
+                    if delivered[idx] {
+                        continue;
                     }
+                    if in_flight[idx] == Some(attempt) {
+                        // The transmission is still on the wire — its
+                        // delivery delay simply exceeds the RTO. A naive
+                        // timer would duplicate an in-flight message
+                        // here; suppress it.
+                        self.obs.inc("netsim.sim.spurious_rto", 1);
+                        continue;
+                    }
+                    q.schedule(now, Ev::Send {
+                        idx,
+                        attempt: attempt + 1,
+                    });
                 }
             }
         }
@@ -408,6 +540,227 @@ mod tests {
                 .and_then(|h| h.max()),
             Some(o.latency_ms)
         );
+    }
+
+    #[test]
+    fn slow_delivery_does_not_trigger_spurious_rto() {
+        // Regression: path delay (3 × 200 ms) far exceeds the RTO
+        // (50 ms). The armed Timeout fires while the transmission is
+        // still in flight; it must be suppressed, not duplicated.
+        let mut g = Graph::new(4);
+        g.add_bidirectional(0, 1, 200.0);
+        g.add_bidirectional(1, 2, 200.0);
+        g.add_bidirectional(2, 3, 200.0);
+        let nf = no_failures();
+        let rec = Recorder::new();
+        let cfg = SimConfig {
+            rto_ms: 50.0,
+            ..SimConfig::default()
+        };
+        let sim = ProcedureSim::new(&g, &nf, cfg).with_recorder(rec.clone());
+        let steps = steps_from_pairs(&[("slow", 0, 3)]);
+        let o = sim.run(&steps, &mut LossProcess::new(0.0, 1));
+        assert!(o.completed);
+        assert_eq!(o.transmissions, 1, "in-flight delivery must not retransmit");
+        assert!((o.latency_ms - 601.0).abs() < 1e-9, "{}", o.latency_ms);
+        let s = rec.snapshot();
+        assert_eq!(s.counter("netsim.sim.spurious_rto"), 1);
+        assert_eq!(s.counter("netsim.sim.retransmissions"), 0);
+    }
+
+    #[test]
+    fn per_hop_loss_scales_with_path_length() {
+        let g = line();
+        let nf = no_failures();
+        // Self-addressed step (0 hops): per-hop ambient loss can never
+        // touch it, even at p = 1.0.
+        let cfg = SimConfig {
+            loss_per_hop: true,
+            ..SimConfig::default()
+        };
+        let sim = ProcedureSim::new(&g, &nf, cfg);
+        let steps = steps_from_pairs(&[("local", 2, 2)]);
+        let o = sim.run(&steps, &mut LossProcess::new(1.0, 1));
+        assert!(o.completed);
+        assert_eq!(o.transmissions, 1);
+        // Longer paths lose more (1 hop vs 3 hops, no retries).
+        let cfg1 = SimConfig {
+            loss_per_hop: true,
+            max_attempts: 1,
+            ..SimConfig::default()
+        };
+        let sim = ProcedureSim::new(&g, &nf, cfg1);
+        let short = steps_from_pairs(&[("s", 0, 1)]);
+        let long = steps_from_pairs(&[("l", 0, 3)]);
+        let mut short_ok = 0;
+        let mut long_ok = 0;
+        for seed in 0..400 {
+            if sim.run(&short, &mut LossProcess::new(0.3, seed)).completed {
+                short_ok += 1;
+            }
+            if sim.run(&long, &mut LossProcess::new(0.3, seed + 1000)).completed {
+                long_ok += 1;
+            }
+        }
+        // P(short) = 0.7 vs P(long) = 0.7^3 ≈ 0.34.
+        assert!(short_ok > long_ok + 40, "short {short_ok} long {long_ok}");
+    }
+
+    #[test]
+    fn rto_backoff_grows_and_caps() {
+        let cfg = SimConfig {
+            rto_ms: 100.0,
+            backoff_factor: 2.0,
+            rto_cap_ms: 350.0,
+            ..SimConfig::default()
+        };
+        assert_eq!(cfg.rto_for(1), 100.0);
+        assert_eq!(cfg.rto_for(2), 200.0);
+        assert_eq!(cfg.rto_for(3), 350.0); // capped from 400
+        assert_eq!(cfg.rto_for(9), 350.0);
+        // Legacy defaults: fixed RTO, bit-exact.
+        let legacy = SimConfig::default();
+        for a in 1..10 {
+            assert_eq!(legacy.rto_for(a), legacy.rto_ms);
+        }
+    }
+
+    #[test]
+    fn backoff_stretches_recovery_time() {
+        let g = line();
+        let nf = no_failures();
+        let steps = steps_from_pairs(&[("a", 0, 3)]);
+        // Seeded so the first few transmissions are lost.
+        let fixed = ProcedureSim::new(&g, &nf, SimConfig {
+            max_attempts: 8,
+            ..SimConfig::default()
+        });
+        let backed = ProcedureSim::new(&g, &nf, SimConfig {
+            max_attempts: 8,
+            backoff_factor: 2.0,
+            ..SimConfig::default()
+        });
+        let o_fixed = fixed.run(&steps, &mut LossProcess::new(0.9, 3));
+        let o_backed = backed.run(&steps, &mut LossProcess::new(0.9, 3));
+        // Identical loss draws (same seed): completion parity, but the
+        // backed-off run waits longer between its retries.
+        assert_eq!(o_fixed.completed, o_backed.completed);
+        assert_eq!(o_fixed.transmissions, o_backed.transmissions);
+        if o_fixed.transmissions > 1 {
+            assert!(o_backed.latency_ms > o_fixed.latency_ms);
+        }
+    }
+
+    #[test]
+    fn total_deadline_aborts_late_sends() {
+        let g = line();
+        let nf = no_failures();
+        let cfg = SimConfig {
+            max_attempts: 100,
+            total_deadline_ms: 900.0, // two 400 ms RTOs fit, not many more
+            ..SimConfig::default()
+        };
+        let sim = ProcedureSim::new(&g, &nf, cfg);
+        let steps = steps_from_pairs(&[("a", 0, 3)]);
+        let o = sim.run(&steps, &mut LossProcess::new(1.0, 1));
+        assert!(!o.completed);
+        assert!(o.latency_ms <= 1300.0, "{}", o.latency_ms);
+        assert!(o.transmissions <= 3, "{}", o.transmissions);
+    }
+
+    #[test]
+    fn partition_retry_survives_crash_then_recover() {
+        // 0—1—3 only (no detour): node 1 dead from t=0, recovers at
+        // t=1000 ms. Legacy behavior aborts immediately; with
+        // retry_on_partition the run waits out the outage and completes.
+        let mut g = Graph::new(4);
+        g.add_bidirectional(0, 1, 10.0);
+        g.add_bidirectional(1, 3, 10.0);
+        let tl = FailureTimeline::none().crash(0.0, 1).recover(1000.0, 1);
+        let abort = ProcedureSim::with_timeline(&g, &tl, SimConfig::default());
+        let steps = steps_from_pairs(&[("a", 0, 3)]);
+        let o = abort.run(&steps, &mut LossProcess::new(0.0, 1));
+        assert!(!o.completed, "legacy semantics abort on partition");
+
+        let rec = Recorder::new();
+        let retry = ProcedureSim::with_timeline(&g, &tl, SimConfig {
+            retry_on_partition: true,
+            total_deadline_ms: 5000.0,
+            ..SimConfig::default()
+        })
+        .with_recorder(rec.clone());
+        let o = retry.run(&steps, &mut LossProcess::new(0.0, 1));
+        assert!(o.completed, "partition-as-transient rides out the crash");
+        assert!(o.latency_ms >= 1000.0, "{}", o.latency_ms);
+        let s = rec.snapshot();
+        assert!(s.counter("netsim.sim.partition_retries") >= 1);
+        assert_eq!(s.counter("netsim.chaos.crashes"), 1);
+        assert_eq!(s.counter("netsim.chaos.recoveries"), 1);
+    }
+
+    #[test]
+    fn partition_retry_respects_deadline_budget() {
+        // Node 1 never recovers: the retry loop must terminate at the
+        // deadline instead of spinning forever.
+        let mut g = Graph::new(4);
+        g.add_bidirectional(0, 1, 10.0);
+        g.add_bidirectional(1, 3, 10.0);
+        let tl = FailureTimeline::none().crash(0.0, 1);
+        let sim = ProcedureSim::with_timeline(&g, &tl, SimConfig {
+            retry_on_partition: true,
+            total_deadline_ms: 2000.0,
+            ..SimConfig::default()
+        });
+        let steps = steps_from_pairs(&[("a", 0, 3)]);
+        let o = sim.run(&steps, &mut LossProcess::new(0.0, 1));
+        assert!(!o.completed);
+        assert!(o.latency_ms <= 2000.0, "{}", o.latency_ms);
+    }
+
+    #[test]
+    fn chaos_reroute_mid_procedure() {
+        // Diamond: fast 0-1-3 and slow 0-2-3. Node 1 dies at t=20 ms —
+        // after step "a" (which uses the fast path) but before step "b"
+        // resolves, so "b" reroutes onto the slow path dynamically.
+        let mut g = Graph::new(4);
+        g.add_bidirectional(0, 1, 5.0);
+        g.add_bidirectional(1, 3, 5.0);
+        g.add_bidirectional(0, 2, 20.0);
+        g.add_bidirectional(2, 3, 20.0);
+        let tl = FailureTimeline::none().crash(20.0, 1);
+        let sim = ProcedureSim::with_timeline(&g, &tl, SimConfig::default());
+        let steps = steps_from_pairs(&[("a", 0, 3), ("b", 3, 0)]);
+        let o = sim.run(&steps, &mut LossProcess::new(0.0, 1));
+        assert!(o.completed);
+        // Leg a: 10 + 1 = 11 ms (fast). Leg b starts at 11 < 20 … but
+        // resolves at its own Send pop at t = 11 — still fast? No: the
+        // cursor has only advanced to 11, node 1 alive, so leg b also
+        // takes the fast path and delivers at 22. Crash at 20 happens
+        // while b is in flight — delivery already scheduled, unaffected
+        // (the message left node 1 before the crash reached routing).
+        assert!((o.latency_ms - 22.0).abs() < 1e-9, "{}", o.latency_ms);
+
+        // Crash earlier (t = 5 ms): leg a is in flight on the fast path,
+        // leg b (resolved at t = 11) must reroute onto the slow path.
+        let tl2 = FailureTimeline::none().crash(5.0, 1);
+        let sim2 = ProcedureSim::with_timeline(&g, &tl2, SimConfig::default());
+        let o2 = sim2.run(&steps, &mut LossProcess::new(0.0, 1));
+        assert!(o2.completed);
+        // Leg a delivers at 11, leg b reroutes: 40 + 1 = 41 → total 52.
+        assert!((o2.latency_ms - 52.0).abs() < 1e-9, "{}", o2.latency_ms);
+    }
+
+    #[test]
+    fn empty_timeline_matches_static_run() {
+        let g = line();
+        let nf = no_failures();
+        let tl = FailureTimeline::none();
+        let steps = steps_from_pairs(&[("a", 0, 3), ("b", 3, 0)]);
+        let o_static = ProcedureSim::new(&g, &nf, SimConfig::default())
+            .run(&steps, &mut LossProcess::new(0.3, 42));
+        let o_tl = ProcedureSim::with_timeline(&g, &tl, SimConfig::default())
+            .run(&steps, &mut LossProcess::new(0.3, 42));
+        assert_eq!(o_static, o_tl);
     }
 
     #[test]

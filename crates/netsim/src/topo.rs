@@ -101,6 +101,21 @@ impl Graph {
         dst: NodeId,
         blocked: impl Fn(NodeId) -> bool,
     ) -> Option<PathResult> {
+        self.shortest_path_avoiding(src, dst, blocked, |_, _| false)
+    }
+
+    /// [`Self::shortest_path`] with an additional undirected-edge filter:
+    /// edges for which `blocked_edge(a, b)` is true are skipped — the
+    /// routing view of a flapped inter-satellite laser link
+    /// (`sc-netsim::chaos`), where both endpoints are alive but the link
+    /// between them is not.
+    pub fn shortest_path_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        blocked: impl Fn(NodeId) -> bool,
+        blocked_edge: impl Fn(NodeId, NodeId) -> bool,
+    ) -> Option<PathResult> {
         if blocked(src) || blocked(dst) {
             return None;
         }
@@ -138,7 +153,7 @@ impl Graph {
                 continue;
             }
             for e in &self.adj[node] {
-                if blocked(e.to) {
+                if blocked(e.to) || blocked_edge(node, e.to) {
                     continue;
                 }
                 let nd = d + e.weight;
@@ -222,6 +237,19 @@ mod tests {
         let r = g.shortest_path(0, 3, |n| n == 1).unwrap();
         assert_eq!(r.path, vec![0, 2, 3]);
         assert!((r.cost - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routes_around_blocked_edge() {
+        let g = diamond();
+        // Cut the cheap 1—3 edge (undirected semantics: either order).
+        let cut = |a: NodeId, b: NodeId| (a.min(b), a.max(b)) == (1, 3);
+        let r = g.shortest_path_avoiding(0, 3, |_| false, cut).unwrap();
+        assert_eq!(r.path, vec![0, 2, 3]);
+        assert!((r.cost - 10.0).abs() < 1e-12);
+        // Cut everything into 3: unreachable, nodes all alive.
+        let r = g.shortest_path_avoiding(0, 3, |_| false, |a, b| a.max(b) == 3);
+        assert!(r.is_none());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property-based tests for the chaos-injection layer (`sc-netsim::chaos`).
+//!
+//! The properties the `ext_chaos` experiment's byte-stability checks
+//! lean on: identical seed + timeline ⇒ bit-identical outcomes, the
+//! empty/static-embedding timelines reproduce the legacy static-failure
+//! results exactly, and partition-as-transient retries recover runs a
+//! legacy abort-on-partition simulator loses.
+
+use proptest::prelude::*;
+use sc_netsim::chaos::FailureTimeline;
+use sc_netsim::failure::{LossProcess, NodeFailures};
+use sc_netsim::sim::{steps_from_pairs, ProcedureSim, SimConfig, SimStep};
+use sc_netsim::topo::Graph;
+
+/// A small ring-with-chords topology: every node reachable over at least
+/// two disjoint routes, so single crashes reroute rather than partition.
+fn ring_with_chords(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_bidirectional(i, (i + 1) % n, 5.0 + (i % 3) as f64);
+    }
+    for i in 0..n / 2 {
+        g.add_bidirectional(i, i + n / 2, 17.0);
+    }
+    g
+}
+
+fn procedure(n: usize, legs: usize) -> Vec<SimStep> {
+    let pairs: Vec<(&str, usize, usize)> = (0..legs)
+        .map(|i| {
+            if i % 2 == 0 {
+                ("fwd", 0usize, n / 2)
+            } else {
+                ("bwd", n / 2, 0usize)
+            }
+        })
+        .collect();
+    steps_from_pairs(&pairs)
+}
+
+proptest! {
+    /// Identical seed and timeline ⇒ bit-identical `SimOutcome`
+    /// sequences, including every delivery timestamp.
+    #[test]
+    fn same_seed_same_timeline_bit_identical(
+        seed in any::<u64>(),
+        p_crash in 0.0f64..0.3,
+        p_loss in 0.0f64..0.3,
+        legs in 1usize..6,
+    ) {
+        let n = 12;
+        let g = ring_with_chords(n);
+        let tl = FailureTimeline::random_crashes(n, p_crash, 300.0, Some(150.0), seed)
+            .without_node(0)
+            .without_node(n / 2)
+            .loss_burst(50.0, 200.0, 0.2)
+            .with_seed(seed ^ 0xABCD);
+        let steps = procedure(n, legs);
+        let cfg = SimConfig {
+            retry_on_partition: true,
+            total_deadline_ms: 5_000.0,
+            backoff_factor: 1.5,
+            rto_cap_ms: 1_000.0,
+            ..SimConfig::default()
+        };
+        let run = || {
+            let sim = ProcedureSim::with_timeline(&g, &tl, cfg.clone());
+            (0..4)
+                .map(|i| sim.run(&steps, &mut LossProcess::new(p_loss, seed ^ i)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The empty timeline and the static embedding of a `NodeFailures`
+    /// snapshot reproduce the legacy static-failure results exactly.
+    #[test]
+    fn static_embedding_matches_legacy(
+        seed in any::<u64>(),
+        p_dead in 0.0f64..0.4,
+        p_loss in 0.0f64..0.4,
+        legs in 1usize..6,
+    ) {
+        let n = 12;
+        let g = ring_with_chords(n);
+        let mut nf = NodeFailures::random(n, p_dead, seed);
+        nf.recover(0);
+        nf.recover(n / 2);
+        let tl = FailureTimeline::from_static(&nf);
+        let steps = procedure(n, legs);
+        let cfg = SimConfig::default();
+        let legacy = ProcedureSim::new(&g, &nf, cfg.clone())
+            .run(&steps, &mut LossProcess::new(p_loss, seed ^ 1));
+        let replay = ProcedureSim::with_timeline(&g, &tl, cfg.clone())
+            .run(&steps, &mut LossProcess::new(p_loss, seed ^ 1));
+        prop_assert_eq!(&legacy, &replay);
+
+        // And the empty timeline matches a no-failure legacy run.
+        let none = NodeFailures::none();
+        let empty = FailureTimeline::none();
+        let legacy0 = ProcedureSim::new(&g, &none, cfg.clone())
+            .run(&steps, &mut LossProcess::new(p_loss, seed ^ 2));
+        let replay0 = ProcedureSim::with_timeline(&g, &empty, cfg)
+            .run(&steps, &mut LossProcess::new(p_loss, seed ^ 2));
+        prop_assert_eq!(&legacy0, &replay0);
+    }
+
+    /// A crash-then-recover of the only transit node defeats the legacy
+    /// abort-on-partition run but not a backoff-enabled retry run.
+    #[test]
+    fn retry_rides_out_crash_where_abort_fails(
+        down_ms in 50.0f64..2_000.0,
+        weight in 1.0f64..50.0,
+    ) {
+        // Line 0—1—2: node 1 is the only transit; dead from t = 0,
+        // back at `down_ms`.
+        let mut g = Graph::new(3);
+        g.add_bidirectional(0, 1, weight);
+        g.add_bidirectional(1, 2, weight);
+        let tl = FailureTimeline::none().crash(0.0, 1).recover(down_ms, 1);
+        let steps = steps_from_pairs(&[("req", 0, 2), ("rsp", 2, 0)]);
+        let mut loss = LossProcess::new(0.0, 1);
+
+        let abort = ProcedureSim::with_timeline(&g, &tl, SimConfig::default())
+            .run(&steps, &mut loss.clone());
+        prop_assert!(!abort.completed, "legacy semantics must abort");
+
+        let retry_cfg = SimConfig {
+            retry_on_partition: true,
+            backoff_factor: 2.0,
+            rto_cap_ms: 800.0,
+            total_deadline_ms: 20_000.0,
+            ..SimConfig::default()
+        };
+        let retry = ProcedureSim::with_timeline(&g, &tl, retry_cfg)
+            .run(&steps, &mut loss);
+        prop_assert!(retry.completed, "retry must ride out the outage");
+        prop_assert!(retry.latency_ms >= down_ms);
+    }
+}

@@ -16,6 +16,9 @@
 //!   agreement, rollback to the legacy home-routed path on failure,
 //! * [`mobility`] — geospatial mobility management (§4.3): which events
 //!   require signaling under SpaceCore vs. the legacy design,
+//! * [`recovery`] — crash-recovery semantics per solution (§3.3): how a
+//!   session comes back when the *serving* satellite dies mid-session,
+//!   and whether it can survive at all,
 //! * [`solutions`] — the five evaluated systems behind one trait:
 //!   **SpaceCore**, **5G NTN**, **SkyCore**, **Baoyun**, **DPCM** —
 //!   with per-procedure signaling/latency/CPU cost profiles and the
@@ -48,6 +51,7 @@ pub mod home;
 pub mod integration;
 pub mod mobility;
 pub mod paging;
+pub mod recovery;
 pub mod relay;
 pub mod satellite;
 pub mod solutions;
@@ -60,6 +64,7 @@ pub mod prelude {
     pub use crate::integration::{Access, AccessSelector, SwitchOutcome};
     pub use crate::paging::{deliver_downlink, PagingOutcome};
     pub use crate::mobility::{MobilityEvent, MobilityManager, MobilityOutcome};
+    pub use crate::recovery::RecoveryPlan;
     pub use crate::relay::{GeoRelay, RelayDecision, RelayTrace};
     pub use crate::satellite::{SessionOutcome, SpaceCoreSatellite};
     pub use crate::solutions::{Solution, SolutionKind};

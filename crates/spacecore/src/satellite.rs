@@ -227,6 +227,25 @@ impl SpaceCoreSatellite {
         Ok(o)
     }
 
+    /// §3.3 / Fig. 13 — the UE's *previous* serving satellite crashed
+    /// mid-session and this satellite is the next one visible. Because
+    /// the session state is self-carried by the UE, recovery is just the
+    /// localized establishment of Fig. 16a replayed here: 4 messages, no
+    /// home round-trip, and the geospatial IP (never bound to the dead
+    /// satellite) survives. Stateful baselines have no equivalent — they
+    /// redo the full home-routed registration
+    /// (see [`crate::recovery::RecoveryPlan`]).
+    pub fn recover_session(
+        &self,
+        home: &HomeNetwork,
+        ue: &mut UeDevice,
+        now: f64,
+    ) -> Result<SessionOutcome, LocalPathFailure> {
+        let o = self.try_local_establishment(home, ue, now)?;
+        self.obs.inc("spacecore.satellite.crash_recoveries", 1);
+        Ok(o)
+    }
+
     /// Release a session (UE left coverage / inactivity): the satellite
     /// forgets everything about the UE.
     pub fn release(&self, supi: Supi) -> bool {
@@ -334,6 +353,26 @@ mod tests {
         assert!(sat1.release(ue.supi));
         assert_eq!(sat1.active_sessions(), 0);
         assert_eq!(sat1.hijack_exposure().len(), 0);
+    }
+
+    #[test]
+    fn crash_recovery_is_local_and_counted() {
+        // Serving satellite dies mid-session; the next visible satellite
+        // recovers the session from the UE's replica alone.
+        let (home, old_sat, mut ue) = setup();
+        old_sat.establish_session(&home, &mut ue, 1.0);
+        let mut new_sat = SpaceCoreSatellite::provision(&home, SatId::new(4, 7));
+        let rec = sc_obs::Recorder::new();
+        new_sat.attach_recorder(rec.clone());
+        // (old_sat is "dead": it is simply never consulted again.)
+        let o = new_sat.recover_session(&home, &mut ue, 5.0).unwrap();
+        assert!(o.local);
+        assert_eq!(o.signaling_messages, 4);
+        assert_eq!(o.home_round_trips, 0);
+        assert_eq!(new_sat.active_sessions(), 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("spacecore.satellite.crash_recoveries"), 1);
+        assert_eq!(snap.counter("spacecore.satellite.local_establishments"), 1);
     }
 
     #[test]

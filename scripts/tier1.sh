@@ -46,6 +46,25 @@ if [ "${SC_OBS:-0}" != "0" ] && [ -n "${SC_OBS:-}" ]; then
             echo "== tier-1: FAIL — $exp telemetry differs across thread counts" >&2; exit 1; }
         echo "== tier-1: $exp telemetry byte-stable (reruns, threads 1 vs 4)" >&2
     done
+
+    # Chaos experiment: the result JSON and the telemetry sidecar must
+    # both be byte-identical across thread counts (the timeline replay,
+    # burst draws, and per-cell recorders are all seeded + slot-merged).
+    echo "== tier-1: ext_chaos result/telemetry byte-stability (threads 1 vs 4)" >&2
+    ( cd "$OBS_TMP" && \
+      SC_EMU_THREADS=1 cargo run -q --release --offline \
+          --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin ext_chaos -- \
+          --obs-out "$OBS_TMP/ext_chaos.t1.json" >/dev/null && \
+      cp results/ext_chaos.json ext_chaos.r1.json && \
+      SC_EMU_THREADS=4 cargo run -q --release --offline \
+          --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin ext_chaos -- \
+          --obs-out "$OBS_TMP/ext_chaos.t4.json" >/dev/null && \
+      cp results/ext_chaos.json ext_chaos.r4.json )
+    cmp "$OBS_TMP/ext_chaos.r1.json" "$OBS_TMP/ext_chaos.r4.json" || {
+        echo "== tier-1: FAIL — ext_chaos results differ across thread counts" >&2; exit 1; }
+    cmp "$OBS_TMP/ext_chaos.t1.json" "$OBS_TMP/ext_chaos.t4.json" || {
+        echo "== tier-1: FAIL — ext_chaos telemetry differs across thread counts" >&2; exit 1; }
+    echo "== tier-1: ext_chaos byte-stable (results + telemetry, threads 1 vs 4)" >&2
 fi
 
 echo "== tier-1: OK" >&2
