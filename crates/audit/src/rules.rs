@@ -249,8 +249,9 @@ fn rule_timing(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Findin
                 message: format!(
                     "`{}::now()` outside the timing allowlist breaks byte-identical \
                      results; thread simulated time through instead (telemetry \
-                     belongs in sc-obs, whose `Recorder::event` and histograms \
-                     take sim-time, never wall-clock)",
+                     belongs in sc-obs, whose `Recorder::event`, histograms, and \
+                     `span_open`/`span_close` spans all take sim-time, never \
+                     wall-clock)",
                     t.text
                 ),
             });

@@ -1,17 +1,12 @@
 //! Extension experiment: anchor-gateway bottleneck.
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("ext_anchor");
-    obs.recorder().inc("emu.ext_anchor.runs", 1);
-    let (r, timing) = sc_emu::report::timed("ext_anchor", sc_emu::ext_anchor::run);
-    timing.eprint();
-    println!("{}", sc_emu::ext_anchor::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(
-        "results/ext_anchor.json",
-        serde_json::to_string_pretty(&r).expect("serialize"),
-    )
-    .expect("write json");
-    eprintln!("wrote results/ext_anchor.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "ext_anchor",
+        |rec| {
+            rec.inc("emu.ext_anchor.runs", 1);
+            sc_emu::ext_anchor::run()
+        },
+        sc_emu::ext_anchor::render,
+    );
 }

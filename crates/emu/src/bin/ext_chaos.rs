@@ -2,18 +2,5 @@
 //! crashes (chaos injection).
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("ext_chaos");
-    let (r, timing) = sc_emu::report::timed("ext_chaos", || {
-        sc_emu::ext_chaos::run_obs(&obs.recorder())
-    });
-    timing.eprint();
-    println!("{}", sc_emu::ext_chaos::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(
-        "results/ext_chaos.json",
-        serde_json::to_string_pretty(&r).expect("serialize"),
-    )
-    .expect("write json");
-    eprintln!("wrote results/ext_chaos.json");
-    obs.write();
+    sc_emu::obs::run_cli("ext_chaos", sc_emu::ext_chaos::run_obs, sc_emu::ext_chaos::render);
 }

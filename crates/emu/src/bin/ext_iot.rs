@@ -1,17 +1,12 @@
 //! Extension experiment: traffic-mix sensitivity (massive IoT).
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("ext_iot");
-    obs.recorder().inc("emu.ext_iot.runs", 1);
-    let (r, timing) = sc_emu::report::timed("ext_iot", sc_emu::ext_iot::run);
-    timing.eprint();
-    println!("{}", sc_emu::ext_iot::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(
-        "results/ext_iot.json",
-        serde_json::to_string_pretty(&r).expect("serialize"),
-    )
-    .expect("write json");
-    eprintln!("wrote results/ext_iot.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "ext_iot",
+        |rec| {
+            rec.inc("emu.ext_iot.runs", 1);
+            sc_emu::ext_iot::run()
+        },
+        sc_emu::ext_iot::render,
+    );
 }

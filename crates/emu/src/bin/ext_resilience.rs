@@ -1,17 +1,12 @@
 //! Extension experiment: message-level procedure resilience.
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("ext_resilience");
-    obs.recorder().inc("emu.ext_resilience.runs", 1);
-    let (r, timing) = sc_emu::report::timed("ext_resilience", sc_emu::ext_resilience::run);
-    timing.eprint();
-    println!("{}", sc_emu::ext_resilience::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(
-        "results/ext_resilience.json",
-        serde_json::to_string_pretty(&r).expect("serialize"),
-    )
-    .expect("write json");
-    eprintln!("wrote results/ext_resilience.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "ext_resilience",
+        |rec| {
+            rec.inc("emu.ext_resilience.runs", 1);
+            sc_emu::ext_resilience::run()
+        },
+        sc_emu::ext_resilience::render,
+    );
 }

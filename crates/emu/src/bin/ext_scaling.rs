@@ -1,17 +1,12 @@
 //! Extension experiment: advantage vs. constellation scale.
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("ext_scaling");
-    obs.recorder().inc("emu.ext_scaling.runs", 1);
-    let (r, timing) = sc_emu::report::timed("ext_scaling", sc_emu::ext_scaling::run);
-    timing.eprint();
-    println!("{}", sc_emu::ext_scaling::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(
-        "results/ext_scaling.json",
-        serde_json::to_string_pretty(&r).expect("serialize"),
-    )
-    .expect("write json");
-    eprintln!("wrote results/ext_scaling.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "ext_scaling",
+        |rec| {
+            rec.inc("emu.ext_scaling.runs", 1);
+            sc_emu::ext_scaling::run()
+        },
+        sc_emu::ext_scaling::render,
+    );
 }

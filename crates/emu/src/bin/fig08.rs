@@ -1,15 +1,14 @@
 //! Regenerates fig08 of the paper. Prints the table and writes
-//! `results/fig08.json`.
+//! `results/fig08.json` (plus a telemetry sidecar when `--obs-out` or
+//! `SC_OBS=1` is given — see docs/TELEMETRY.md).
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("fig08");
-    obs.recorder().inc("emu.fig08.runs", 1);
-    let (r, timing) = sc_emu::report::timed("fig08", sc_emu::fig08::run);
-    timing.eprint();
-    println!("{}", sc_emu::fig08::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    let json = serde_json::to_string_pretty(&r).expect("serialize");
-    std::fs::write("results/fig08.json", json).expect("write json");
-    eprintln!("wrote results/fig08.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "fig08",
+        |rec| {
+            rec.inc("emu.fig08.runs", 1);
+            sc_emu::fig08::run()
+        },
+        sc_emu::fig08::render,
+    );
 }

@@ -3,14 +3,5 @@
 //! `SC_OBS=1` is given — see docs/TELEMETRY.md).
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("fig10");
-    let rec = obs.recorder();
-    let (r, timing) = sc_emu::report::timed("fig10", || sc_emu::fig10::run_obs(&rec));
-    timing.eprint();
-    println!("{}", sc_emu::fig10::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    let json = serde_json::to_string_pretty(&r).expect("serialize");
-    std::fs::write("results/fig10.json", json).expect("write json");
-    eprintln!("wrote results/fig10.json");
-    obs.write();
+    sc_emu::obs::run_cli("fig10", sc_emu::fig10::run_obs, sc_emu::fig10::render);
 }

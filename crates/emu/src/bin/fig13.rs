@@ -2,17 +2,12 @@
 //! `results/fig13.json`.
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("fig13");
-    obs.recorder().inc("emu.fig13.runs", 1);
-    let (r, timing) = sc_emu::report::timed("fig13", sc_emu::fig13::run);
-    timing.eprint();
-    println!("{}", sc_emu::fig13::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(
-        "results/fig13.json",
-        serde_json::to_string_pretty(&r).expect("serialize"),
-    )
-    .expect("write json");
-    eprintln!("wrote results/fig13.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "fig13",
+        |rec| {
+            rec.inc("emu.fig13.runs", 1);
+            sc_emu::fig13::run()
+        },
+        sc_emu::fig13::render,
+    );
 }

@@ -1,15 +1,14 @@
 //! Regenerates fig17 of the paper. Prints the table and writes
-//! `results/fig17.json`.
+//! `results/fig17.json` (plus a telemetry sidecar when `--obs-out` or
+//! `SC_OBS=1` is given — see docs/TELEMETRY.md).
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("fig17");
-    obs.recorder().inc("emu.fig17.runs", 1);
-    let (r, timing) = sc_emu::report::timed("fig17", sc_emu::fig17::run);
-    timing.eprint();
-    println!("{}", sc_emu::fig17::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    let json = serde_json::to_string_pretty(&r).expect("serialize");
-    std::fs::write("results/fig17.json", json).expect("write json");
-    eprintln!("wrote results/fig17.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "fig17",
+        |rec| {
+            rec.inc("emu.fig17.runs", 1);
+            sc_emu::fig17::run()
+        },
+        sc_emu::fig17::render,
+    );
 }

@@ -4,14 +4,5 @@
 //! wall-clock panel-(a) timings; see docs/TELEMETRY.md).
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("fig18");
-    let rec = obs.recorder();
-    let (r, timing) = sc_emu::report::timed("fig18", || sc_emu::fig18::run_obs(&rec));
-    timing.eprint();
-    println!("{}", sc_emu::fig18::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    let json = serde_json::to_string_pretty(&r).expect("serialize");
-    std::fs::write("results/fig18.json", json).expect("write json");
-    eprintln!("wrote results/fig18.json");
-    obs.write();
+    sc_emu::obs::run_cli("fig18", sc_emu::fig18::run_obs, sc_emu::fig18::render);
 }

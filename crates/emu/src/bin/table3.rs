@@ -1,15 +1,14 @@
 //! Regenerates table3 of the paper. Prints the table and writes
-//! `results/table3.json`.
+//! `results/table3.json` (plus a telemetry sidecar when `--obs-out` or
+//! `SC_OBS=1` is given — see docs/TELEMETRY.md).
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("table3");
-    obs.recorder().inc("emu.table3.runs", 1);
-    let (r, timing) = sc_emu::report::timed("table3", sc_emu::table3::run);
-    timing.eprint();
-    println!("{}", sc_emu::table3::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    let json = serde_json::to_string_pretty(&r).expect("serialize");
-    std::fs::write("results/table3.json", json).expect("write json");
-    eprintln!("wrote results/table3.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "table3",
+        |rec| {
+            rec.inc("emu.table3.runs", 1);
+            sc_emu::table3::run()
+        },
+        sc_emu::table3::render,
+    );
 }

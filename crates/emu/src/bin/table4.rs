@@ -1,15 +1,14 @@
 //! Regenerates table4 of the paper. Prints the table and writes
-//! `results/table4.json`.
+//! `results/table4.json` (plus a telemetry sidecar when `--obs-out` or
+//! `SC_OBS=1` is given — see docs/TELEMETRY.md).
 
 fn main() {
-    let obs = sc_emu::obs::ObsSink::from_env("table4");
-    obs.recorder().inc("emu.table4.runs", 1);
-    let (r, timing) = sc_emu::report::timed("table4", sc_emu::table4::run);
-    timing.eprint();
-    println!("{}", sc_emu::table4::render(&r));
-    std::fs::create_dir_all("results").expect("create results dir");
-    let json = serde_json::to_string_pretty(&r).expect("serialize");
-    std::fs::write("results/table4.json", json).expect("write json");
-    eprintln!("wrote results/table4.json");
-    obs.write();
+    sc_emu::obs::run_cli(
+        "table4",
+        |rec| {
+            rec.inc("emu.table4.runs", 1);
+            sc_emu::table4::run()
+        },
+        sc_emu::table4::render,
+    );
 }

@@ -114,7 +114,9 @@ fn record_telemetry(obs: &sc_obs::Recorder, r: &Fig05) {
         );
     }
     // The C1 the pipe serializes, replayed over UE(0)—satellite(1)—
-    // gateway(2) with one-way GEO delay per leg.
+    // gateway(2) with one-way GEO delay per leg, traced under a
+    // `fiveg.proc.c1_initial_registration` root span (route "geo-pipe")
+    // so `sctrace` can decompose which legs the bent pipe serializes.
     let c1 = sc_fiveg::messages::Procedure::build_obs(
         sc_fiveg::messages::ProcedureKind::InitialRegistration,
         obs,
@@ -126,7 +128,14 @@ fn record_telemetry(obs: &sc_obs::Recorder, r: &Fig05) {
     let sim = sc_netsim::sim::ProcedureSim::new(&g, &nf, sc_netsim::sim::SimConfig::default())
         .with_recorder(obs.clone());
     let steps = crate::obs::replay_steps(&c1);
-    let outcome = sim.run(&steps, &mut sc_netsim::failure::LossProcess::new(0.0, 1));
+    let outcome = crate::obs::replay_traced(
+        obs,
+        &sim,
+        &c1,
+        &steps,
+        "geo-pipe",
+        &mut sc_netsim::failure::LossProcess::new(0.0, 1),
+    );
     obs.set_gauge("emu.fig05.pipe_replay_latency_ms", outcome.latency_ms);
 }
 
@@ -209,6 +218,21 @@ mod tests {
         assert_eq!(snap.counter("fiveg.procedures.c1_initial_registration"), 1);
         assert_eq!(snap.counter("netsim.sim.completed"), 1);
         assert!(snap.gauge("emu.fig05.pipe_replay_latency_ms").unwrap_or(0.0) > 1000.0);
+        // The replay is traced: a C1 root span tagged "geo-pipe" with
+        // the netsim tree hanging off it.
+        let root = snap
+            .spans
+            .iter()
+            .find(|s| s.kind == "fiveg.proc.c1_initial_registration")
+            .expect("traced replay root span");
+        assert!(root
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "route" && *v == sc_obs::FieldValue::from("geo-pipe")));
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.kind == "netsim.sim.procedure" && s.parent == Some(root.id)));
         // Deterministic: a second run emits the same bytes.
         let rec2 = sc_obs::Recorder::new();
         run_obs(&rec2);

@@ -130,7 +130,10 @@ pub fn run_obs_with(threads: usize, obs: &sc_obs::Recorder) -> Fig10 {
 /// session at the SMF, context transfer to the next AMF) that the
 /// figure's rates aggregate; one UE takes the stateless satellite-local
 /// path (Algorithm 2) for contrast; and one C2 is replayed
-/// message-by-message over a UE—satellite—ground topology.
+/// message-by-message over both a ground-routed UE—satellite—ground
+/// topology and a satellite-local UE—satellite one, each traced under a
+/// route-tagged `fiveg.proc.*` root span (the `sctrace critical-path`
+/// contrast in docs/TELEMETRY.md).
 fn storm_miniature(obs: &sc_obs::Recorder) {
     use sc_fiveg::amf::Amf;
     use sc_fiveg::ids::{PlmnId, SessionId};
@@ -173,7 +176,11 @@ fn storm_miniature(obs: &sc_obs::Recorder) {
     let mut ue = home.register_ue(1, &sc_geo::sphere::GeoPoint::from_degrees(39.9, 116.4));
     sat.establish_session(&home, &mut ue, 1.0);
 
-    // One C2 at message level: UE(0) — satellite(1) — ground(2).
+    // One C2 at message level over each architecture, traced under a
+    // `fiveg.proc.c2_session_establishment` root span tagged with its
+    // route — the pair `sctrace critical-path` contrasts. Ground-routed:
+    // UE(0) — satellite(1) — ground(2), with the 30 ms feeder link
+    // dominating every core-bound leg.
     let mut g = sc_netsim::topo::Graph::new(3);
     g.add_bidirectional(0, 1, 2.0);
     g.add_bidirectional(1, 2, 30.0);
@@ -182,7 +189,32 @@ fn storm_miniature(obs: &sc_obs::Recorder) {
         .with_recorder(obs.clone());
     let c2 = Procedure::build_obs(ProcedureKind::SessionEstablishment, obs);
     let steps = crate::obs::replay_steps(&c2);
-    sim.run(&steps, &mut sc_netsim::failure::LossProcess::new(0.0, 1));
+    crate::obs::replay_traced(
+        obs,
+        &sim,
+        &c2,
+        &steps,
+        "ground",
+        &mut sc_netsim::failure::LossProcess::new(0.0, 1),
+    );
+
+    // Satellite-local contrast: the same C2 with the core on the
+    // serving satellite — UE(0) — satellite(1), radio leg only. Its
+    // critical path is all 2 ms UE↔satellite hops.
+    let mut g_local = sc_netsim::topo::Graph::new(2);
+    g_local.add_bidirectional(0, 1, 2.0);
+    let sim_local =
+        sc_netsim::sim::ProcedureSim::new(&g_local, &nf, sc_netsim::sim::SimConfig::default())
+            .with_recorder(obs.clone());
+    let local_steps = crate::obs::replay_steps_local(&c2);
+    crate::obs::replay_traced(
+        obs,
+        &sim_local,
+        &c2,
+        &local_steps,
+        "local",
+        &mut sc_netsim::failure::LossProcess::new(0.0, 1),
+    );
 }
 
 /// Text rendering.
@@ -262,8 +294,25 @@ mod tests {
         assert_eq!(snap.counter("fiveg.amf.registrations"), 8);
         assert_eq!(snap.counter("fiveg.smf.establishments"), 8);
         assert_eq!(snap.counter("crypto.suci.concealments"), 8);
-        assert_eq!(snap.counter("netsim.sim.procedures"), 1);
+        assert_eq!(snap.counter("netsim.sim.procedures"), 2);
         assert!(snap.metric_names().len() >= 10, "{:?}", snap.metric_names());
+
+        // The storm's traced C2 replays: one ground-routed root, one
+        // satellite-local, and the ground route's longest hop chain runs
+        // through the 30 ms satellite↔ground feeder legs while the local
+        // one never exceeds the 2 ms radio leg.
+        let routes: Vec<&str> = snap
+            .spans
+            .iter()
+            .filter(|s| s.kind == "fiveg.proc.c2_session_establishment")
+            .filter_map(|s| {
+                s.fields.iter().find_map(|(k, v)| match (k, v) {
+                    (&"route", sc_obs::FieldValue::Str(r)) => Some(r.as_str()),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert_eq!(routes, vec!["ground", "local"]);
         Ok(())
     }
 

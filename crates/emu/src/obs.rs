@@ -20,6 +20,33 @@
 use sc_obs::Recorder;
 use std::path::PathBuf;
 
+/// The whole `main` of an experiment binary: resolve the telemetry
+/// sink, time the run, print the rendered table, write
+/// `results/<experiment>.json`, and flush the sidecar. Every
+/// `crates/emu/src/bin/*.rs` delegates here so the sidecar plumbing and
+/// result-file layout live in exactly one place.
+///
+/// `run` receives the sink's recorder (disabled unless `--obs-out` /
+/// `SC_OBS` asked for a sidecar), so plain experiments can ignore it
+/// and telemetered ones thread it through.
+pub fn run_cli<R: serde::Serialize>(
+    experiment: &'static str,
+    run: impl FnOnce(&Recorder) -> R,
+    render: impl FnOnce(&R) -> String,
+) {
+    let sink = ObsSink::from_env(experiment);
+    let rec = sink.recorder();
+    let (r, timing) = crate::report::timed(experiment, || run(&rec));
+    timing.eprint();
+    println!("{}", render(&r));
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&r).expect("serialize");
+    let path = format!("results/{experiment}.json");
+    std::fs::write(&path, json).expect("write json");
+    eprintln!("wrote {path}");
+    sink.write();
+}
+
 /// Where (and whether) one experiment binary writes its telemetry.
 #[derive(Debug, Clone)]
 pub struct ObsSink {
@@ -129,6 +156,50 @@ pub fn replay_steps(p: &sc_fiveg::messages::Procedure) -> Vec<sc_netsim::sim::Si
         .collect()
 }
 
+/// Map a procedure onto the 2-node *satellite-local* replay topology —
+/// UE = node 0, everything else (radio and core, co-located on the
+/// serving satellite) = node 1. The stateless contrast to
+/// [`replay_steps`]: no leg ever touches the ground segment, so the
+/// only hop spans a traced replay emits are UE↔satellite.
+pub fn replay_steps_local(p: &sc_fiveg::messages::Procedure) -> Vec<sc_netsim::sim::SimStep> {
+    fn node(e: sc_fiveg::messages::Entity) -> usize {
+        match e {
+            sc_fiveg::messages::Entity::Ue => 0,
+            _ => 1,
+        }
+    }
+    p.steps
+        .iter()
+        .filter(|s| node(s.from) != node(s.to))
+        .map(|s| sc_netsim::sim::SimStep {
+            label: s.label.to_string(),
+            from: node(s.from),
+            to: node(s.to),
+        })
+        .collect()
+}
+
+/// Replay `steps` of `proc` through `sim` under one causal root span:
+/// opens the procedure's `fiveg.proc.*` span (tagged with the `route`
+/// it takes — e.g. `"ground"` vs `"local"` vs `"geo-pipe"`), threads it
+/// as the parent of the `netsim.sim.procedure` span
+/// ([`sc_netsim::sim::ProcedureSim::run_traced`]), and closes it at the
+/// outcome latency. With telemetry disabled this is exactly
+/// `sim.run(steps, loss)`.
+pub fn replay_traced(
+    obs: &Recorder,
+    sim: &sc_netsim::sim::ProcedureSim,
+    proc: &sc_fiveg::messages::Procedure,
+    steps: &[sc_netsim::sim::SimStep],
+    route: &'static str,
+    loss: &mut sc_netsim::failure::LossProcess,
+) -> sc_netsim::sim::SimOutcome {
+    let root = proc.open_span(obs, 0.0, vec![("route", sc_obs::FieldValue::from(route))]);
+    let outcome = sim.run_traced(steps, loss, Some(root));
+    obs.span_close(root, outcome.latency_ms);
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +238,69 @@ mod tests {
         );
         assert!(!ObsSink::from_args("fig05", args(&[]), Some("0".into())).enabled());
         assert!(!ObsSink::from_args("fig05", args(&[]), Some(String::new())).enabled());
+    }
+
+    #[test]
+    fn local_replay_never_leaves_the_satellite() {
+        let c2 = sc_fiveg::messages::Procedure::build(
+            sc_fiveg::messages::ProcedureKind::SessionEstablishment,
+        );
+        let local = replay_steps_local(&c2);
+        assert!(!local.is_empty());
+        for s in &local {
+            assert!(s.from <= 1 && s.to <= 1, "{s:?}");
+            assert_ne!(s.from, s.to);
+        }
+        // Strictly fewer cross-node legs than the ground-routed replay:
+        // the RAN↔core messages collapse onto the satellite node.
+        assert!(local.len() < replay_steps(&c2).len());
+    }
+
+    #[test]
+    fn replay_traced_roots_the_whole_exchange() -> Result<(), String> {
+        let obs = Recorder::new();
+        let c2 = sc_fiveg::messages::Procedure::build(
+            sc_fiveg::messages::ProcedureKind::SessionEstablishment,
+        );
+        let steps = replay_steps_local(&c2);
+        let mut g = sc_netsim::topo::Graph::new(2);
+        g.add_bidirectional(0, 1, 2.0);
+        let nf = sc_netsim::failure::NodeFailures::none();
+        let sim =
+            sc_netsim::sim::ProcedureSim::new(&g, &nf, sc_netsim::sim::SimConfig::default())
+                .with_recorder(obs.clone());
+        let mut loss = sc_netsim::failure::LossProcess::new(0.0, 1);
+        let outcome = replay_traced(&obs, &sim, &c2, &steps, "local", &mut loss);
+        assert!(outcome.completed);
+
+        let snap = obs.snapshot();
+        let root = snap
+            .spans
+            .iter()
+            .find(|s| s.kind == "fiveg.proc.c2_session_establishment")
+            .ok_or("missing fiveg root span")?;
+        assert_eq!(root.parent, None);
+        assert_eq!(root.end, Some(outcome.latency_ms));
+        assert!(root
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "route" && *v == sc_obs::FieldValue::from("local")));
+        let proc = snap
+            .spans
+            .iter()
+            .find(|s| s.kind == "netsim.sim.procedure")
+            .ok_or("missing netsim procedure span")?;
+        assert_eq!(proc.parent, Some(root.id), "sim tree hangs off the 5G root");
+
+        // Disabled recorder: same outcome, zero telemetry.
+        let off = Recorder::disabled();
+        let sim_off =
+            sc_netsim::sim::ProcedureSim::new(&g, &nf, sc_netsim::sim::SimConfig::default());
+        let mut loss2 = sc_netsim::failure::LossProcess::new(0.0, 1);
+        let plain = replay_traced(&off, &sim_off, &c2, &steps, "local", &mut loss2);
+        assert_eq!(plain.latency_ms, outcome.latency_ms);
+        assert!(off.snapshot().is_empty());
+        Ok(())
     }
 
     #[test]

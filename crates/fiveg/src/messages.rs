@@ -174,6 +174,18 @@ impl ProcedureKind {
             ProcedureKind::Paging => "fiveg.procedures.paging",
         }
     }
+
+    /// Root-span kind for a traced run of this procedure (the static
+    /// name `sctrace` groups critical paths by; see docs/TELEMETRY.md).
+    pub fn span_kind(self) -> &'static str {
+        match self {
+            ProcedureKind::InitialRegistration => "fiveg.proc.c1_initial_registration",
+            ProcedureKind::SessionEstablishment => "fiveg.proc.c2_session_establishment",
+            ProcedureKind::Handover => "fiveg.proc.c3_handover",
+            ProcedureKind::MobilityRegistration => "fiveg.proc.c4_mobility_registration",
+            ProcedureKind::Paging => "fiveg.proc.paging",
+        }
+    }
 }
 
 /// A full signaling procedure: ordered steps.
@@ -229,6 +241,27 @@ impl Procedure {
         obs.inc(kind.counter_name(), 1);
         obs.observe("fiveg.procedure.messages", p.message_count() as f64);
         p
+    }
+
+    /// Open this procedure's root span at sim-time `t` (ms), tagged
+    /// with the procedure kind ([`ProcedureKind::span_kind`]) and its
+    /// message count, plus any caller `fields` (e.g. the replay route).
+    /// Pass the returned id as the parent of the transport-level run
+    /// (`ProcedureSim::run_traced` in sc-netsim) and close it at the
+    /// outcome time — the whole signaling exchange then reads as one
+    /// tree in `sctrace`. Returns the disabled sentinel (a no-op to
+    /// close) when telemetry is off.
+    pub fn open_span(
+        &self,
+        obs: &sc_obs::Recorder,
+        t: f64,
+        mut fields: Vec<(&'static str, sc_obs::FieldValue)>,
+    ) -> sc_obs::SpanId {
+        if !obs.enabled() {
+            return sc_obs::SpanId::DISABLED;
+        }
+        fields.insert(0, ("messages", sc_obs::FieldValue::from(self.message_count())));
+        obs.span_open(None, self.kind.span_kind(), t, fields)
     }
 
     /// Total message count.
@@ -629,6 +662,44 @@ mod tests {
         let h = snap.histogram("fiveg.procedure.messages");
         assert_eq!(h.map(|h| h.count()), Some(3));
         assert_eq!(h.and_then(|h| h.max()), Some(24.0));
+    }
+
+    #[test]
+    fn open_span_tags_kind_and_messages() {
+        let rec = sc_obs::Recorder::new();
+        let p = Procedure::build_obs(ProcedureKind::SessionEstablishment, &rec);
+        let span = p.open_span(
+            &rec,
+            0.0,
+            vec![("route", sc_obs::FieldValue::from("ground"))],
+        );
+        rec.span_close(span, 62.0);
+        let s = rec.snapshot();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].kind, "fiveg.proc.c2_session_establishment");
+        assert_eq!(s.spans[0].parent, None);
+        assert_eq!(s.spans[0].end, Some(62.0));
+        let keys: Vec<&str> = s.spans[0].fields.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["messages", "route"]);
+        // Disabled recorder: sentinel id, nothing recorded.
+        let off = sc_obs::Recorder::disabled();
+        assert_eq!(p.open_span(&off, 0.0, vec![]), sc_obs::SpanId::DISABLED);
+    }
+
+    #[test]
+    fn span_kinds_are_distinct_and_prefixed() {
+        let kinds = [
+            ProcedureKind::InitialRegistration,
+            ProcedureKind::SessionEstablishment,
+            ProcedureKind::Handover,
+            ProcedureKind::MobilityRegistration,
+            ProcedureKind::Paging,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.span_kind()).collect();
+        assert!(names.iter().all(|n| n.starts_with("fiveg.proc.")));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::chaos::{ChaosCursor, FailureTimeline};
 use crate::des::EventQueue;
 use crate::failure::{LossProcess, NodeFailures};
 use crate::topo::{Graph, NodeId};
-use sc_obs::{FieldValue, Recorder};
+use sc_obs::{FieldValue, Recorder, SpanId};
 
 /// Where each abstract entity of a procedure lives in the network.
 #[derive(Debug, Clone)]
@@ -184,7 +184,48 @@ impl<'a> ProcedureSim<'a> {
 
     /// Run a serialized step list; `loss` draws per-transmission losses.
     pub fn run(&self, steps: &[SimStep], loss: &mut LossProcess) -> SimOutcome {
+        self.run_traced(steps, loss, None)
+    }
+
+    /// [`Self::run`], with the procedure's root span parented on
+    /// `parent` (e.g. a fiveg procedure span), so the caller's causal
+    /// context and this run's hop/retransmission spans form one tree.
+    ///
+    /// Span shapes (all sim-time ms, recorded only when telemetry is
+    /// enabled — outcomes are bit-identical either way):
+    /// * `netsim.sim.procedure` — root, one per run; `steps` field, and
+    ///   `completed` (0/1) attached on close.
+    /// * `netsim.sim.step` — child of the root, opened at the step's
+    ///   first transmission, closed at delivery (left open when the
+    ///   procedure blocks mid-step).
+    /// * `netsim.sim.tx` — child of its step, one per transmission;
+    ///   `attempt` and `hops` fields. A lost transmission is emitted
+    ///   closed over `[send, send+rto]` with `lost=1` — the time the
+    ///   loss cost before its timeout recovered it. Spurious-RTO
+    ///   suppressions emit a zero-width `netsim.sim.spurious_rto` child
+    ///   of the step, and partition waits a `netsim.sim.partition_retry`
+    ///   spanning the backoff — so chaos-rerouted retries stay linked to
+    ///   the procedure they delayed.
+    pub fn run_traced(
+        &self,
+        steps: &[SimStep],
+        loss: &mut LossProcess,
+        parent: Option<SpanId>,
+    ) -> SimOutcome {
         self.obs.inc("netsim.sim.procedures", 1);
+        // Spans allocate field vectors; skip all of it when disabled so
+        // the hot path stays an Option check.
+        let traced = self.obs.enabled();
+        let root = if traced {
+            self.obs.span_open(
+                parent,
+                "netsim.sim.procedure",
+                0.0,
+                vec![("steps", FieldValue::from(steps.len()))],
+            )
+        } else {
+            SpanId::DISABLED
+        };
         let mut q: EventQueue<Ev> = EventQueue::new();
         q.attach_recorder(self.obs.clone());
         // Dynamic-failure view, replayed as the DES clock advances
@@ -209,6 +250,10 @@ impl<'a> ProcedureSim<'a> {
         if steps.is_empty() {
             self.obs.inc("netsim.sim.completed", 1);
             self.obs.observe("netsim.sim.procedure_latency_ms", 0.0);
+            if traced {
+                self.obs
+                    .span_close_with(root, 0.0, vec![("completed", FieldValue::from(1u64))]);
+            }
             return SimOutcome {
                 completed: true,
                 latency_ms: 0.0,
@@ -216,6 +261,12 @@ impl<'a> ProcedureSim<'a> {
                 transmissions: 0,
             };
         }
+        // Per-step span handles: the step span opens at the step's first
+        // transmission; the tx span tracks the attempt currently on the
+        // wire. DISABLED doubles as "not opened yet" — an enabled
+        // recorder never returns it.
+        let mut step_spans: Vec<SpanId> = vec![SpanId::DISABLED; steps.len()];
+        let mut tx_spans: Vec<SpanId> = vec![SpanId::DISABLED; steps.len()];
         q.schedule(0.0, Ev::Send { idx: 0, attempt: 1 });
 
         while let Some(ev) = q.pop() {
@@ -241,6 +292,17 @@ impl<'a> ProcedureSim<'a> {
                     self.obs.inc("netsim.sim.transmissions", 1);
                     if attempt > 1 {
                         self.obs.inc("netsim.sim.retransmissions", 1);
+                    }
+                    if traced && step_spans[idx] == SpanId::DISABLED {
+                        step_spans[idx] = self.obs.span_open(
+                            Some(root),
+                            "netsim.sim.step",
+                            now,
+                            vec![
+                                ("idx", FieldValue::from(idx)),
+                                ("label", FieldValue::from(steps[idx].label.as_str())),
+                            ],
+                        );
                     }
                     let step = &steps[idx];
                     // Per-attempt path resolution: a chaos run reroutes
@@ -274,6 +336,15 @@ impl<'a> ProcedureSim<'a> {
                                 break; // partition outlasted the budget
                             }
                             self.obs.inc("netsim.sim.partition_retries", 1);
+                            if traced {
+                                self.obs.span(
+                                    Some(step_spans[idx]),
+                                    "netsim.sim.partition_retry",
+                                    now,
+                                    now + backoff,
+                                    vec![],
+                                );
+                            }
                             q.schedule(now + backoff, Ev::Send { idx, attempt });
                         }
                         None => {
@@ -296,12 +367,36 @@ impl<'a> ProcedureSim<'a> {
                             let rto = self.cfg.rto_for(attempt);
                             if lost {
                                 self.obs.inc("netsim.sim.losses", 1);
+                                if traced {
+                                    self.obs.span(
+                                        Some(step_spans[idx]),
+                                        "netsim.sim.tx",
+                                        now,
+                                        now + rto,
+                                        vec![
+                                            ("attempt", FieldValue::from(attempt as u64)),
+                                            ("hops", FieldValue::from(p.hops())),
+                                            ("lost", FieldValue::from(1u64)),
+                                        ],
+                                    );
+                                }
                                 in_flight[idx] = None;
                                 // Lost somewhere en route: only the RTO
                                 // recovers it.
                                 q.schedule(now + rto, Ev::Timeout { idx, attempt });
                             } else {
                                 let delay = p.cost + self.cfg.endpoint_processing_ms;
+                                if traced {
+                                    tx_spans[idx] = self.obs.span_open(
+                                        Some(step_spans[idx]),
+                                        "netsim.sim.tx",
+                                        now,
+                                        vec![
+                                            ("attempt", FieldValue::from(attempt as u64)),
+                                            ("hops", FieldValue::from(p.hops())),
+                                        ],
+                                    );
+                                }
                                 in_flight[idx] = Some(attempt);
                                 q.schedule(now + delay, Ev::Delivered { idx });
                                 // Timeout still armed; a delivery that
@@ -317,6 +412,10 @@ impl<'a> ProcedureSim<'a> {
                         continue;
                     }
                     delivered[idx] = true;
+                    if traced {
+                        self.obs.span_close(tx_spans[idx], now);
+                        self.obs.span_close(step_spans[idx], now);
+                    }
                     self.obs.event(
                         now,
                         "netsim.delivery",
@@ -345,6 +444,15 @@ impl<'a> ProcedureSim<'a> {
                         // timer would duplicate an in-flight message
                         // here; suppress it.
                         self.obs.inc("netsim.sim.spurious_rto", 1);
+                        if traced {
+                            self.obs.span(
+                                Some(step_spans[idx]),
+                                "netsim.sim.spurious_rto",
+                                now,
+                                now,
+                                vec![("attempt", FieldValue::from(attempt as u64))],
+                            );
+                        }
                         continue;
                     }
                     q.schedule(now, Ev::Send {
@@ -366,6 +474,13 @@ impl<'a> ProcedureSim<'a> {
             1,
         );
         self.obs.observe("netsim.sim.procedure_latency_ms", last_time);
+        if traced {
+            self.obs.span_close_with(
+                root,
+                last_time,
+                vec![("completed", FieldValue::from(u64::from(completed)))],
+            );
+        }
         SimOutcome {
             completed,
             latency_ms: last_time,
@@ -540,6 +655,99 @@ mod tests {
                 .and_then(|h| h.max()),
             Some(o.latency_ms)
         );
+    }
+
+    #[test]
+    fn spans_form_a_procedure_tree() {
+        let g = line();
+        let nf = no_failures();
+        let rec = Recorder::new();
+        let sim =
+            ProcedureSim::new(&g, &nf, SimConfig::default()).with_recorder(rec.clone());
+        let steps = steps_from_pairs(&[("req", 0, 3), ("rsp", 3, 0)]);
+        let o = sim.run(&steps, &mut LossProcess::new(0.0, 1));
+        assert!(o.completed);
+        let s = rec.snapshot();
+        // Root + 2 steps + 2 transmissions.
+        let kinds: Vec<&str> = s.spans.iter().map(|sp| sp.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "netsim.sim.procedure",
+                "netsim.sim.step",
+                "netsim.sim.tx",
+                "netsim.sim.step",
+                "netsim.sim.tx",
+            ]
+        );
+        let root = &s.spans[0];
+        assert_eq!(root.parent, None);
+        assert_eq!(root.end, Some(o.latency_ms));
+        // Steps parent on the root; transmissions on their step.
+        assert_eq!(s.spans[1].parent, Some(root.id));
+        assert_eq!(s.spans[2].parent, Some(s.spans[1].id));
+        assert_eq!(s.spans[3].parent, Some(root.id));
+        assert_eq!(s.spans[4].parent, Some(s.spans[3].id));
+        // Second step starts when the first delivers.
+        assert_eq!(s.spans[1].end, Some(s.spans[3].start));
+        // Outcomes are identical with telemetry off.
+        let plain = ProcedureSim::new(&g, &nf, SimConfig::default());
+        let o2 = plain.run(&steps, &mut LossProcess::new(0.0, 1));
+        assert_eq!(o, o2);
+    }
+
+    #[test]
+    fn lost_transmission_span_carries_rto_width() {
+        let g = line();
+        let nf = no_failures();
+        let rec = Recorder::new();
+        let cfg = SimConfig {
+            max_attempts: 8,
+            ..SimConfig::default()
+        };
+        let sim = ProcedureSim::new(&g, &nf, cfg.clone()).with_recorder(rec.clone());
+        let steps = steps_from_pairs(&[("a", 0, 3)]);
+        // Seed 3 loses the first transmissions (see backoff test above).
+        let o = sim.run(&steps, &mut LossProcess::new(0.9, 3));
+        let s = rec.snapshot();
+        let lost: Vec<_> = s
+            .spans
+            .iter()
+            .filter(|sp| {
+                sp.kind == "netsim.sim.tx"
+                    && sp.fields.iter().any(|(k, _)| *k == "lost")
+            })
+            .collect();
+        assert_eq!(lost.len() as u64, s.counter("netsim.sim.losses"));
+        for sp in &lost {
+            assert_eq!(sp.duration(), Some(cfg.rto_ms));
+        }
+        // Blocked procedures leave their current step span open.
+        if !o.completed {
+            let open_steps = s
+                .spans
+                .iter()
+                .filter(|sp| sp.kind == "netsim.sim.step" && sp.end.is_none())
+                .count();
+            assert_eq!(open_steps, 1);
+        }
+    }
+
+    #[test]
+    fn run_traced_parents_root_on_caller_span() {
+        let g = line();
+        let nf = no_failures();
+        let rec = Recorder::new();
+        let outer = rec.span_open(None, "fiveg.proc.test", 0.0, vec![]);
+        let sim =
+            ProcedureSim::new(&g, &nf, SimConfig::default()).with_recorder(rec.clone());
+        let steps = steps_from_pairs(&[("a", 0, 3)]);
+        let o = sim.run_traced(&steps, &mut LossProcess::new(0.0, 1), Some(outer));
+        rec.span_close(outer, o.latency_ms);
+        let s = rec.snapshot();
+        assert_eq!(s.spans[0].kind, "fiveg.proc.test");
+        assert_eq!(s.spans[1].kind, "netsim.sim.procedure");
+        assert_eq!(s.spans[1].parent, Some(s.spans[0].id));
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! `sctrace` — analyze sc-obs telemetry sidecars.
+//!
+//! ```text
+//! sctrace tree <telemetry.json>            indented span tree
+//! sctrace critical-path <telemetry.json>   per-kind p50/p95/p99 + slowest chains
+//! sctrace folded <telemetry.json>          flamegraph-compatible folded stacks
+//! sctrace diff <a.json> <b.json> [--fail-on-regress <pct>]
+//! ```
+//!
+//! `diff` exits 2 when any counter or histogram statistic increased by
+//! more than `<pct>` percent from A to B — scripts/tier1.sh uses it as
+//! a telemetry regression gate (a sidecar diffed against its own rerun
+//! must report zero regressions). All other failures exit 1. Output is
+//! a pure function of the input bytes, so reports are as byte-stable
+//! as the sidecars themselves.
+
+use sc_obs::sidecar::Sidecar;
+use sc_obs::trace::{render_diff, TraceForest};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sctrace <tree|critical-path|folded> <telemetry.json>\n       sctrace diff <a.json> <b.json> [--fail-on-regress <pct>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sctrace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let cmd = args.first().map(String::as_str).ok_or(USAGE)?;
+    match cmd {
+        "tree" | "critical-path" | "folded" => {
+            let path = args.get(1).map(String::as_str).ok_or(USAGE)?;
+            if args.len() > 2 {
+                return Err(USAGE.to_string());
+            }
+            let sc = load(path)?;
+            let forest = TraceForest::build(&sc.spans);
+            let report = match cmd {
+                "tree" => forest.render_tree(),
+                "critical-path" => forest.render_critical_paths(),
+                _ => forest.render_folded(),
+            };
+            print!("{report}");
+            if sc.spans_dropped > 0 {
+                eprintln!(
+                    "sctrace: note: {} spans were shed by the bounded ring; the tree is partial",
+                    sc.spans_dropped
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let a = args.get(1).map(String::as_str).ok_or(USAGE)?;
+            let b = args.get(2).map(String::as_str).ok_or(USAGE)?;
+            let gate = match args.get(3).map(String::as_str) {
+                None => None,
+                Some("--fail-on-regress") => Some(
+                    args.get(4)
+                        .ok_or(USAGE)?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --fail-on-regress value: {e}"))?,
+                ),
+                Some(_) => return Err(USAGE.to_string()),
+            };
+            if args.len() > 5 {
+                return Err(USAGE.to_string());
+            }
+            let (sa, sb) = (load(a)?, load(b)?);
+            let report = render_diff(&sa, &sb, gate.unwrap_or(f64::INFINITY));
+            print!("{}", report.text);
+            if gate.is_some() && !report.regressions.is_empty() {
+                eprintln!(
+                    "sctrace: {} regression(s) beyond the gate: {}",
+                    report.regressions.len(),
+                    report.regressions.join(", ")
+                );
+                return Ok(ExitCode::from(2));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn load(path: &str) -> Result<Sidecar, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Sidecar::parse(&text).map_err(|e| format!("{path}: {e}"))
+}

@@ -115,6 +115,65 @@ impl Histogram {
             .map(|(i, c)| (BUCKET_BOUNDS.get(i).copied(), *c))
             .collect()
     }
+
+    /// Bucket-interpolated quantile `q ∈ [0, 1]` (`0.5` = p50), `None`
+    /// when the histogram is empty or `q` is out of range. See
+    /// [`percentile_from_buckets`] for the estimation rule.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        percentile_from_buckets(&self.nonzero_buckets(), self.count, self.min(), self.max(), q)
+    }
+}
+
+/// Quantile estimate from a sparse `(upper_bound, count)` bucket list —
+/// the form histograms take both in [`Histogram::nonzero_buckets`] and
+/// in parsed telemetry sidecars ([`crate::sidecar`]), so `sctrace` and
+/// in-process callers share one rule.
+///
+/// The target rank is `q * (count - 1)` (nearest-rank on the sample
+/// index line). Within the bucket holding that rank the estimate
+/// interpolates linearly between the previous bucket's upper bound (or
+/// `min` for the first bucket) and the bucket's own upper bound (or
+/// `max` for the overflow bucket, whose bound is `None`), then clamps to
+/// the exact `[min, max]` sidecars. Exact for the endpoints `q = 0` and
+/// `q = 1`; at most one bucket wide off anywhere else.
+pub fn percentile_from_buckets(
+    buckets: &[(Option<f64>, u64)],
+    count: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+    q: f64,
+) -> Option<f64> {
+    if count == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let (min, max) = (min?, max?);
+    let rank = q * (count - 1) as f64;
+    if rank <= 0.0 {
+        return Some(min);
+    }
+    if rank >= (count - 1) as f64 {
+        return Some(max);
+    }
+    let mut seen = 0u64;
+    let mut lower = min;
+    for (bound, c) in buckets {
+        let upper = bound.unwrap_or(max).min(max).max(lower);
+        let hi = (seen + c) as f64 - 1.0;
+        if rank <= hi {
+            // Fraction of this bucket's samples at or below the rank; a
+            // single-sample bucket pins the estimate to its upper bound.
+            let within = if *c > 1 {
+                (rank - seen as f64) / (*c - 1) as f64
+            } else {
+                1.0
+            };
+            let est = lower + (upper - lower) * within.clamp(0.0, 1.0);
+            return Some(est.clamp(min, max));
+        }
+        seen += c;
+        lower = upper;
+    }
+    Some(max)
 }
 
 #[cfg(test)]
@@ -183,6 +242,83 @@ mod tests {
         }
         left.merge(&right);
         assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3.0, 7.0, 42.0, 180.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(3.0));
+        assert_eq!(h.percentile(1.0), Some(180.0));
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bucket() {
+        let mut h = Histogram::new();
+        // 100 samples all in the (0.5, 1.0] bucket.
+        for i in 0..100 {
+            h.observe(0.51 + 0.0049 * i as f64);
+        }
+        let p50 = h.percentile(0.5);
+        // Interpolated between min (bucket entry) and the 1.0 bound.
+        assert!(p50.is_some());
+        if let Some(p) = p50 {
+            assert!((0.51..=1.0).contains(&p), "{p}");
+        }
+        let p95 = h.percentile(0.95);
+        assert!(p95 >= p50, "{p95:?} vs {p50:?}");
+    }
+
+    #[test]
+    fn percentile_single_sample_and_empty() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        h.observe(30.0);
+        assert_eq!(h.percentile(0.0), Some(30.0));
+        assert_eq!(h.percentile(0.5), Some(30.0));
+        assert_eq!(h.percentile(0.99), Some(30.0));
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range_q() {
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        assert_eq!(h.percentile(-0.1), None);
+        assert_eq!(h.percentile(1.5), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_overflow_bucket_clamps_to_max() {
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        for _ in 0..9 {
+            h.observe(5e9); // overflow bucket (bound = null)
+        }
+        // The overflow bucket's missing bound substitutes the exact max,
+        // so estimates inside it stay within [last bound, max].
+        let p95 = h.percentile(0.95);
+        assert!(p95 > Some(1e9) && p95 <= Some(5e9), "{p95:?}");
+        assert_eq!(h.percentile(1.0), Some(5e9));
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let mut h = Histogram::new();
+        for v in [0.002, 0.4, 0.4, 3.0, 18.0, 95.0, 400.0, 2.5e3, 8e4, 2e12] {
+            h.observe(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = f64::NEG_INFINITY;
+        for q in qs {
+            if let Some(p) = h.percentile(q) {
+                assert!(p >= prev, "p({q}) = {p} < {prev}");
+                prev = p;
+            }
+        }
+        assert_eq!(h.percentile(1.0), Some(2e12));
     }
 
     #[test]

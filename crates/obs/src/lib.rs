@@ -2,8 +2,10 @@
 //!
 //! The measurement substrate for the SpaceCore reproduction: counters,
 //! gauges, and fixed-bucket histograms keyed by `&'static str` names,
-//! plus a bounded ring of structured events stamped with **simulated
-//! time** — never wall clock. Every figure in EXPERIMENTS.md regenerates
+//! plus bounded rings of structured events and causal [`span::Span`]s
+//! (parent-linked, so a procedure and its hops form a trace tree the
+//! `sctrace` binary can analyze), all stamped with **simulated time** —
+//! never wall clock. Every figure in EXPERIMENTS.md regenerates
 //! byte-for-byte, and telemetry must not be the thing that breaks that:
 //! snapshots emit in sorted order with a stable float format, so the
 //! same run always produces the same bytes, across reruns and across
@@ -43,13 +45,19 @@ pub mod events;
 pub mod hist;
 mod json;
 pub mod recorder;
+pub mod sidecar;
 pub mod snapshot;
+pub mod span;
+pub mod trace;
 
 pub use events::{Event, EventRing, FieldValue};
 pub use hist::{Histogram, BUCKET_BOUNDS};
-pub use recorder::{Recorder, DEFAULT_EVENT_CAPACITY};
+pub use recorder::{Recorder, DEFAULT_EVENT_CAPACITY, DEFAULT_SPAN_CAPACITY};
+pub use sidecar::Sidecar;
 pub use snapshot::Snapshot;
+pub use span::{Span, SpanId, SpanRing};
 
 /// Schema identifier written into every emitted snapshot, bumped when
 /// the JSON layout changes shape (documented in docs/TELEMETRY.md).
-pub const SCHEMA: &str = "sc-obs/1";
+/// `sc-obs/2` added the causal `"spans"` section; readers accept both.
+pub const SCHEMA: &str = "sc-obs/2";

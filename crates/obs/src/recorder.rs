@@ -3,6 +3,7 @@
 use crate::events::{Event, EventRing, FieldValue};
 use crate::hist::Histogram;
 use crate::snapshot::Snapshot;
+use crate::span::{SpanId, SpanRing};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -11,21 +12,28 @@ use std::sync::{Arc, Mutex};
 /// events and count the loss.
 pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
+/// Default bound on the causal-span ring, sized like the event ring:
+/// every per-figure replay fits; heavier traces shed oldest spans and
+/// count the loss ([`Snapshot::spans_dropped`]).
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
 #[derive(Debug)]
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     hists: BTreeMap<&'static str, Histogram>,
     events: EventRing,
+    spans: SpanRing,
 }
 
 impl Inner {
-    fn new(event_capacity: usize) -> Self {
+    fn new(event_capacity: usize, span_capacity: usize) -> Self {
         Self {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             hists: BTreeMap::new(),
             events: EventRing::new(event_capacity),
+            spans: SpanRing::new(span_capacity),
         }
     }
 }
@@ -44,15 +52,25 @@ pub struct Recorder {
 }
 
 impl Recorder {
-    /// An enabled recorder with the default event-ring capacity.
+    /// An enabled recorder with the default event- and span-ring
+    /// capacities.
     pub fn new() -> Self {
-        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+        Self::with_capacities(DEFAULT_EVENT_CAPACITY, DEFAULT_SPAN_CAPACITY)
     }
 
-    /// An enabled recorder with an explicit event-ring capacity.
+    /// An enabled recorder with an explicit event-ring capacity (and the
+    /// default span-ring capacity).
     pub fn with_event_capacity(event_capacity: usize) -> Self {
+        Self::with_capacities(event_capacity, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled recorder with explicit event- and span-ring capacities.
+    pub fn with_capacities(event_capacity: usize, span_capacity: usize) -> Self {
         Self {
-            inner: Some(Arc::new(Mutex::new(Inner::new(event_capacity)))),
+            inner: Some(Arc::new(Mutex::new(Inner::new(
+                event_capacity,
+                span_capacity,
+            )))),
         }
     }
 
@@ -107,20 +125,71 @@ impl Recorder {
         });
     }
 
+    /// Open a causal span at simulated time `start`. Returns
+    /// [`SpanId::DISABLED`] (a harmless sentinel: closing it is a no-op,
+    /// parenting on it records a root) when the recorder is disabled.
+    /// Pass `parent = None` for a root span — procedure attempts are
+    /// roots; their steps, transmissions, and relay hops parent on them.
+    pub fn span_open(
+        &self,
+        parent: Option<SpanId>,
+        kind: &'static str,
+        start: f64,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> SpanId {
+        self.with_inner(|i| i.spans.open(parent, kind, start, fields))
+            .unwrap_or(SpanId::DISABLED)
+    }
+
+    /// Close span `id` at simulated time `end`. No-op for a disabled
+    /// recorder, the [`SpanId::DISABLED`] sentinel, or a shed id; a
+    /// non-finite `end` leaves the span open (serialized as `null`).
+    pub fn span_close(&self, id: SpanId, end: f64) {
+        self.span_close_with(id, end, vec![]);
+    }
+
+    /// Close span `id` at `end`, attaching `extra` fields (e.g. the
+    /// outcome only known at completion time).
+    pub fn span_close_with(&self, id: SpanId, end: f64, extra: Vec<(&'static str, FieldValue)>) {
+        if id == SpanId::DISABLED {
+            return;
+        }
+        self.with_inner(|i| i.spans.close(id, end, extra));
+    }
+
+    /// Record an already-complete span (open + close in one call), for
+    /// instants whose duration is known up front, like a relay hop.
+    pub fn span(
+        &self,
+        parent: Option<SpanId>,
+        kind: &'static str,
+        start: f64,
+        end: f64,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> SpanId {
+        self.with_inner(|i| {
+            let id = i.spans.open(parent, kind, start, fields);
+            i.spans.close(id, end, vec![]);
+            id
+        })
+        .unwrap_or(SpanId::DISABLED)
+    }
+
     /// A fresh, independent recorder for one parallel cell: enabled
-    /// (with the parent's event capacity) iff the parent is. Merge it
+    /// (with the parent's ring capacities) iff the parent is. Merge it
     /// back with [`Recorder::absorb`] in input-slot order.
     pub fn child(&self) -> Recorder {
-        match self.with_inner(|i| i.events.capacity()) {
-            Some(cap) => Recorder::with_event_capacity(cap),
+        match self.with_inner(|i| (i.events.capacity(), i.spans.capacity())) {
+            Some((ev_cap, sp_cap)) => Recorder::with_capacities(ev_cap, sp_cap),
             None => Recorder::disabled(),
         }
     }
 
     /// Merge a child's series into this recorder: counters and histogram
     /// buckets add, gauges take the child's value, events append in the
-    /// child's order. A no-op when either side is disabled or both are
-    /// the same registry.
+    /// child's order, and spans are remapped onto this recorder's id
+    /// space (parent links preserved). A no-op when either side is
+    /// disabled or both are the same registry.
     pub fn absorb(&self, child: &Recorder) {
         let (Some(mine), Some(theirs)) = (&self.inner, &child.inner) else {
             return;
@@ -144,6 +213,8 @@ impl Recorder {
             }
             // Events the child already shed stay shed; keep the count.
             i.events.note_dropped(snap.events_dropped);
+            i.spans
+                .absorb(&snap.spans, snap.span_ids_allocated, snap.spans_dropped);
         });
     }
 
@@ -155,6 +226,9 @@ impl Recorder {
             histograms: i.hists.clone(),
             events: i.events.iter().cloned().collect(),
             events_dropped: i.events.dropped(),
+            spans: i.spans.iter().cloned().collect(),
+            spans_dropped: i.spans.dropped(),
+            span_ids_allocated: i.spans.ids_allocated(),
         })
         .unwrap_or_default()
     }
@@ -171,6 +245,10 @@ mod tests {
         r.set_gauge("b", 2.0);
         r.observe("c", 3.0);
         r.event(0.0, "d", vec![]);
+        let sp = r.span_open(None, "e", 0.0, vec![]);
+        assert_eq!(sp, SpanId::DISABLED);
+        r.span_close(sp, 1.0);
+        r.span(Some(sp), "f", 0.0, 1.0, vec![]);
         assert!(!r.enabled());
         assert!(r.snapshot().is_empty());
     }
@@ -252,6 +330,60 @@ mod tests {
     }
 
     #[test]
+    fn spans_round_trip_through_snapshot() {
+        let r = Recorder::new();
+        let root = r.span_open(None, "proc", 0.0, vec![("kind", FieldValue::from("c2"))]);
+        let hop = r.span(Some(root), "hop", 0.0, 2.0, vec![]);
+        r.span_close_with(root, 5.0, vec![("completed", FieldValue::from(1u64))]);
+        let s = r.snapshot();
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.spans[0].parent, None);
+        assert_eq!(s.spans[0].end, Some(5.0));
+        assert_eq!(s.spans[0].fields.len(), 2);
+        assert_eq!(s.spans[1].id, hop.0);
+        assert_eq!(s.spans[1].parent, Some(root.0));
+        assert_eq!(s.spans[1].duration(), Some(2.0));
+        assert_eq!(s.spans_dropped, 0);
+        assert_eq!(s.span_ids_allocated, 2);
+    }
+
+    #[test]
+    fn absorb_remaps_child_span_ids_in_slot_order() {
+        let parent = Recorder::new();
+        let a = parent.child();
+        let b = parent.child();
+        // Both children allocate ids starting at 0; the merge must keep
+        // them distinct and keep each tree's parent links intact.
+        let ra = a.span_open(None, "proc", 0.0, vec![]);
+        a.span(Some(ra), "step", 0.0, 1.0, vec![]);
+        a.span_close(ra, 1.0);
+        let rb = b.span_open(None, "proc", 10.0, vec![]);
+        b.span(Some(rb), "step", 10.0, 12.0, vec![]);
+        b.span_close(rb, 12.0);
+        parent.absorb(&a);
+        parent.absorb(&b);
+        let s = parent.snapshot();
+        let ids: Vec<u64> = s.spans.iter().map(|sp| sp.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(s.spans[1].parent, Some(0));
+        assert_eq!(s.spans[3].parent, Some(2));
+        assert_eq!(s.span_ids_allocated, 4);
+    }
+
+    #[test]
+    fn child_inherits_span_capacity() {
+        let parent = Recorder::with_capacities(8, 1);
+        let c = parent.child();
+        c.span(None, "a", 0.0, 1.0, vec![]);
+        c.span(None, "b", 1.0, 2.0, vec![]); // sheds "a" in the child
+        parent.absorb(&c);
+        let s = parent.snapshot();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans_dropped, 1);
+        assert_eq!(s.span_ids_allocated, 2);
+    }
+
+    #[test]
     fn merged_snapshot_is_thread_count_invariant() {
         // The property the emu engine relies on: N children merged in
         // slot order produce the same snapshot regardless of which
@@ -265,6 +397,9 @@ mod tests {
                     c.inc("work", (i + 1) as u64);
                     c.observe("cost", i as f64);
                     c.event(i as f64, "done", vec![("cell", FieldValue::from(i))]);
+                    let root = c.span_open(None, "cell", i as f64, vec![]);
+                    c.span(Some(root), "work", i as f64, (i + 1) as f64, vec![]);
+                    c.span_close(root, (i + 2) as f64);
                 }
             }
             // …but the merge is always slot order.

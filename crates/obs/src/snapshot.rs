@@ -3,6 +3,7 @@
 use crate::events::{Event, FieldValue};
 use crate::hist::Histogram;
 use crate::json::{push_f64, push_str_literal};
+use crate::span::Span;
 use std::collections::BTreeMap;
 
 /// Everything a [`crate::Recorder`] has collected, frozen.
@@ -20,6 +21,15 @@ pub struct Snapshot {
     pub events: Vec<Event>,
     /// Events shed by the bounded ring.
     pub events_dropped: u64,
+    /// Causal spans in recording/merge order (ascending id, parents
+    /// before children).
+    pub spans: Vec<Span>,
+    /// Spans shed by the bounded ring.
+    pub spans_dropped: u64,
+    /// Span ids handed out so far, shed spans included. Not serialized;
+    /// [`crate::Recorder::absorb`] uses it to offset a child's ids onto
+    /// the parent's id space.
+    pub span_ids_allocated: u64,
 }
 
 impl Snapshot {
@@ -59,6 +69,9 @@ impl Snapshot {
             && self.histograms.is_empty()
             && self.events.is_empty()
             && self.events_dropped == 0
+            && self.spans.is_empty()
+            && self.spans_dropped == 0
+            && self.span_ids_allocated == 0
     }
 
     /// Serialize to the documented telemetry JSON (docs/TELEMETRY.md):
@@ -130,9 +143,56 @@ impl Snapshot {
 
         out.push_str(",\n  \"events_dropped\": ");
         out.push_str(&self.events_dropped.to_string());
+
+        out.push_str(",\n  \"spans\": [");
+        for (i, sp) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_span(&mut out, sp);
+        }
+        out.push_str(if self.spans.is_empty() { "]" } else { "\n  ]" });
+
+        out.push_str(",\n  \"spans_dropped\": ");
+        out.push_str(&self.spans_dropped.to_string());
         out.push_str("\n}\n");
         out
     }
+}
+
+fn push_span(out: &mut String, sp: &Span) {
+    out.push_str("{\"id\": ");
+    out.push_str(&sp.id.to_string());
+    out.push_str(", \"parent\": ");
+    match sp.parent {
+        Some(p) => out.push_str(&p.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"kind\": ");
+    push_str_literal(out, sp.kind);
+    out.push_str(", \"start\": ");
+    push_f64(out, sp.start);
+    out.push_str(", \"end\": ");
+    match sp.end {
+        // push_f64 writes null for a non-finite end; an open span's
+        // missing end takes the same spelling.
+        Some(e) => push_f64(out, e),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"fields\": {");
+    let mut fields: Vec<&(&'static str, FieldValue)> = sp.fields.iter().collect();
+    fields.sort_by_key(|(k, _)| *k);
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_str_literal(out, k);
+        out.push_str(": ");
+        match v {
+            FieldValue::U64(n) => out.push_str(&n.to_string()),
+            FieldValue::F64(f) => push_f64(out, *f),
+            FieldValue::Str(s) => push_str_literal(out, s),
+        }
+    }
+    out.push_str("}}");
 }
 
 fn push_event(out: &mut String, ev: &Event) {
@@ -176,13 +236,16 @@ mod tests {
             "net.step",
             vec![("name", FieldValue::from("rrc")), ("idx", FieldValue::from(0usize))],
         );
+        let root = r.span_open(None, "net.proc", 0.0, vec![("route", FieldValue::from("ground"))]);
+        r.span(Some(root), "net.hop", 0.0, 1.25, vec![]);
+        r.span_close(root, 1.25);
         r.snapshot()
     }
 
     #[test]
     fn json_is_sorted_and_complete() {
         let j = sample().to_json("unit");
-        assert!(j.contains("\"schema\": \"sc-obs/1\""));
+        assert!(j.contains("\"schema\": \"sc-obs/2\""));
         assert!(j.contains("\"experiment\": \"unit\""));
         // Counters in sorted order.
         let a = j.find("a.count");
@@ -208,6 +271,33 @@ mod tests {
         assert!(j.contains("\"histograms\": {}"));
         assert!(j.contains("\"events\": []"));
         assert!(j.contains("\"events_dropped\": 0"));
+        assert!(j.contains("\"spans\": []"));
+        assert!(j.contains("\"spans_dropped\": 0"));
+    }
+
+    #[test]
+    fn span_emission_shape() {
+        let j = sample().to_json("unit");
+        assert!(
+            j.contains(
+                "{\"id\": 0, \"parent\": null, \"kind\": \"net.proc\", \"start\": 0.0, \"end\": 1.25, \"fields\": {\"route\": \"ground\"}}"
+            ),
+            "{j}"
+        );
+        assert!(
+            j.contains("{\"id\": 1, \"parent\": 0, \"kind\": \"net.hop\""),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn open_span_emits_null_end() {
+        let r = Recorder::new();
+        let s = r.span_open(None, "open", 1.0, vec![]);
+        // A non-finite close is refused, so the span stays open.
+        r.span_close(s, f64::INFINITY);
+        let j = r.snapshot().to_json("unit");
+        assert!(j.contains("\"start\": 1.0, \"end\": null"), "{j}");
     }
 
     #[test]

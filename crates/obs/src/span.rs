@@ -1,0 +1,297 @@
+//! Bounded causal-span ring.
+//!
+//! A span is one timed, named piece of causal structure: a procedure
+//! attempt, one step of it, a single transmission, a relay hop. Spans
+//! carry **simulated-time** start/end stamps (the emitting module's
+//! time base, like events), a static kind, an optional parent link, and
+//! a small key/value payload. Parent links turn a flat telemetry stream
+//! into a navigable trace tree: `sctrace` (this crate's analysis
+//! binary) rebuilds the tree from the serialized `"spans"` section and
+//! answers "which hop on which procedure's critical path dominated".
+//!
+//! Determinism rules match the event ring: ids are allocated in
+//! recording order, merged child rings are remapped onto the parent's
+//! id space in input-slot order ([`crate::Recorder::absorb`]), and the
+//! ring keeps the most recent `capacity` spans while counting what it
+//! sheds. A span's parent is always allocated before the span itself,
+//! so emission order is parent-first — the invariant the workspace
+//! proptests pin down.
+
+use crate::events::FieldValue;
+use std::collections::VecDeque;
+
+/// Identifier of a span within one recorder's id space.
+///
+/// Ids are dense and allocated in recording order; a child recorder's
+/// ids are offset onto the parent's space when absorbed, so they stay
+/// unique and parent-first within the merged snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Sentinel returned by a **disabled** recorder's
+    /// [`crate::Recorder::span_open`]; closing it is a no-op and using
+    /// it as a parent records a root span.
+    pub const DISABLED: SpanId = SpanId(u64::MAX);
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Dense id in the snapshot's id space (allocation order).
+    pub id: u64,
+    /// Causal parent, `None` for a root span.
+    pub parent: Option<u64>,
+    /// Static span kind, e.g. `netsim.sim.procedure`.
+    pub kind: &'static str,
+    /// Simulated start time (emitting module's time base).
+    pub start: f64,
+    /// Simulated end time; `None` while the span is open (serialized as
+    /// `null` — a procedure blocked mid-flight leaves its step spans
+    /// visibly unclosed).
+    pub end: Option<f64>,
+    /// Field key/value pairs; keys are sorted at emission time.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span {
+    /// `end - start` for a closed span with finite stamps.
+    pub fn duration(&self) -> Option<f64> {
+        match self.end {
+            Some(e) if self.start.is_finite() && e.is_finite() => Some(e - self.start),
+            _ => None,
+        }
+    }
+}
+
+/// Keep-last ring of spans with a shed counter and an id allocator.
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    capacity: usize,
+    spans: VecDeque<Span>,
+    dropped: u64,
+    next_id: u64,
+}
+
+impl SpanRing {
+    /// An empty ring bounded at `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            spans: VecDeque::new(),
+            dropped: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Allocate an id and record an open span. The id is allocated even
+    /// when the ring is full (and the span shed), so parent links stay
+    /// dense and parent-first.
+    pub fn open(
+        &mut self,
+        parent: Option<SpanId>,
+        kind: &'static str,
+        start: f64,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> SpanId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.push(Span {
+            id,
+            parent: parent.filter(|p| *p != SpanId::DISABLED).map(|p| p.0),
+            kind,
+            start,
+            end: None,
+            fields,
+        });
+        SpanId(id)
+    }
+
+    /// Close span `id` at `end`, appending `extra` fields. A non-finite
+    /// `end` leaves the span open (it serializes as `null`); closing a
+    /// shed or unknown id is a no-op.
+    pub fn close(&mut self, id: SpanId, end: f64, extra: Vec<(&'static str, FieldValue)>) {
+        // Recent spans close most often: scan from the back.
+        if let Some(s) = self.spans.iter_mut().rev().find(|s| s.id == id.0) {
+            if end.is_finite() {
+                s.end = Some(end);
+            }
+            s.fields.extend(extra);
+        }
+    }
+
+    fn push(&mut self, span: Span) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.spans.len() >= self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Merge a child ring's snapshot: every span (and its parent link)
+    /// is offset by this ring's allocation watermark, so merged ids stay
+    /// unique and keep parent-before-child order. `ids_allocated` is the
+    /// child's allocation count (shed spans included), `dropped` its
+    /// shed count.
+    pub fn absorb(&mut self, spans: &[Span], ids_allocated: u64, dropped: u64) {
+        let base = self.next_id;
+        for s in spans {
+            let mut s2 = s.clone();
+            s2.id += base;
+            s2.parent = s2.parent.map(|p| p + base);
+            self.push(s2);
+        }
+        self.next_id = base + ids_allocated;
+        self.dropped += dropped;
+    }
+
+    /// Spans currently retained.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans shed because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Ids handed out so far (shed spans included).
+    pub fn ids_allocated(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Configured capacity (children inherit it).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained spans in recording order (= ascending id order).
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_round_trip() {
+        let mut r = SpanRing::new(8);
+        let root = r.open(None, "proc", 0.0, vec![]);
+        let child = r.open(Some(root), "step", 1.0, vec![("idx", FieldValue::from(0u64))]);
+        r.close(child, 3.0, vec![]);
+        r.close(root, 4.0, vec![("completed", FieldValue::from(1u64))]);
+        let spans: Vec<&Span> = r.iter().collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].id, 0);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].end, Some(4.0));
+        assert_eq!(spans[0].fields.len(), 1);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].duration(), Some(2.0));
+    }
+
+    #[test]
+    fn wraparound_sheds_oldest_and_counts() {
+        let mut r = SpanRing::new(2);
+        for i in 0..5 {
+            r.open(None, "s", i as f64, vec![]);
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.ids_allocated(), 5);
+        let ids: Vec<u64> = r.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_allocates_ids_but_stores_nothing() {
+        let mut r = SpanRing::new(0);
+        let a = r.open(None, "s", 0.0, vec![]);
+        let b = r.open(Some(a), "s", 1.0, vec![]);
+        assert_eq!((a, b), (SpanId(0), SpanId(1)));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+        r.close(a, 2.0, vec![]); // no-op, no panic
+    }
+
+    #[test]
+    fn non_finite_close_leaves_span_open() {
+        let mut r = SpanRing::new(4);
+        let s = r.open(None, "s", 0.0, vec![]);
+        r.close(s, f64::NAN, vec![("note", FieldValue::from("kept"))]);
+        let got: Vec<&Span> = r.iter().collect();
+        assert_eq!(got[0].end, None);
+        assert_eq!(got[0].duration(), None);
+        // Extra fields still attach.
+        assert_eq!(got[0].fields.len(), 1);
+    }
+
+    #[test]
+    fn disabled_parent_sentinel_records_a_root() {
+        let mut r = SpanRing::new(4);
+        r.open(Some(SpanId::DISABLED), "s", 0.0, vec![]);
+        let got: Vec<&Span> = r.iter().collect();
+        assert_eq!(got[0].parent, None);
+    }
+
+    #[test]
+    fn absorb_remaps_ids_and_parents() {
+        let mut parent = SpanRing::new(16);
+        parent.open(None, "pre", 0.0, vec![]); // id 0
+        let mut child = SpanRing::new(16);
+        let c_root = child.open(None, "proc", 0.0, vec![]);
+        child.open(Some(c_root), "step", 1.0, vec![]);
+        let spans: Vec<Span> = child.iter().cloned().collect();
+        parent.absorb(&spans, child.ids_allocated(), child.dropped());
+        let got: Vec<&Span> = parent.iter().collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].id, 1); // remapped root
+        assert_eq!(got[1].parent, None);
+        assert_eq!(got[2].id, 2);
+        assert_eq!(got[2].parent, Some(1));
+        assert_eq!(parent.ids_allocated(), 3);
+        // A span opened after the merge lands above the child's range.
+        let later = parent.open(None, "post", 5.0, vec![]);
+        assert_eq!(later, SpanId(3));
+    }
+
+    #[test]
+    fn absorb_carries_dropped_counts() {
+        let mut parent = SpanRing::new(16);
+        let mut child = SpanRing::new(1);
+        child.open(None, "a", 0.0, vec![]);
+        child.open(None, "b", 1.0, vec![]); // sheds "a"
+        let spans: Vec<Span> = child.iter().cloned().collect();
+        parent.absorb(&spans, child.ids_allocated(), child.dropped());
+        assert_eq!(parent.dropped(), 1);
+        assert_eq!(parent.len(), 1);
+        assert_eq!(parent.ids_allocated(), 2);
+    }
+
+    #[test]
+    fn ids_ascend_in_ring_order() {
+        let mut r = SpanRing::new(8);
+        let a = r.open(None, "a", 0.0, vec![]);
+        r.open(Some(a), "b", 1.0, vec![]);
+        let mut child = SpanRing::new(8);
+        child.open(None, "c", 2.0, vec![]);
+        let spans: Vec<Span> = child.iter().cloned().collect();
+        r.absorb(&spans, child.ids_allocated(), 0);
+        r.open(None, "d", 3.0, vec![]);
+        let ids: Vec<u64> = r.iter().map(|s| s.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,440 @@
+//! Trace-tree analysis over parsed sidecars.
+//!
+//! [`TraceForest`] rebuilds the span tree a sidecar serialized flat
+//! (parents always precede children — [`crate::span`] guarantees it)
+//! and renders the views the `sctrace` binary exposes: an indented
+//! `tree`, a `critical-path` table with the longest child chain per
+//! root, flamegraph-compatible `folded` stacks, and an A/B `diff` of
+//! two sidecars with a regression gate for CI.
+//!
+//! Every rendering is a pure function of its input sidecar(s), so the
+//! output inherits the telemetry byte-stability guarantee: identical
+//! sidecars → identical reports.
+
+use crate::hist::Histogram;
+use crate::sidecar::{Sidecar, SidecarSpan};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A span forest indexed for tree walks.
+pub struct TraceForest<'a> {
+    spans: &'a [SidecarSpan],
+    /// Child indices per parent id, in recording order.
+    children: BTreeMap<u64, Vec<usize>>,
+    /// Indices of root spans (no parent, or parent shed from the ring).
+    roots: Vec<usize>,
+}
+
+impl<'a> TraceForest<'a> {
+    /// Index `spans` into a forest. A span whose parent was shed by the
+    /// bounded ring is promoted to a root rather than dropped.
+    pub fn build(spans: &'a [SidecarSpan]) -> Self {
+        let present: BTreeMap<u64, usize> =
+            spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent.filter(|p| present.contains_key(p)) {
+                Some(p) => children.entry(p).or_default().push(i),
+                None => roots.push(i),
+            }
+        }
+        Self {
+            spans,
+            children,
+            roots,
+        }
+    }
+
+    /// Root spans in recording order.
+    pub fn roots(&self) -> impl Iterator<Item = &SidecarSpan> {
+        self.roots.iter().filter_map(|i| self.spans.get(*i))
+    }
+
+    fn child_indices(&self, id: u64) -> &[usize] {
+        self.children.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The critical path under span index `i`: at each level follow the
+    /// child whose subtree finishes last (ties: first recorded). That
+    /// child is what kept the parent open, so the chain explains the
+    /// root's latency.
+    pub fn critical_path(&self, i: usize) -> Vec<usize> {
+        let mut path = vec![i];
+        let mut cur = i;
+        while let Some(span) = self.spans.get(cur) {
+            let next = self
+                .child_indices(span.id)
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    let fa = self.finish(*a);
+                    let fb = self.finish(*b);
+                    // total_cmp, then prefer the EARLIER index on ties so
+                    // the walk is deterministic and recording-ordered.
+                    fa.total_cmp(&fb).then(b.cmp(a))
+                });
+            match next {
+                Some(n) => {
+                    path.push(n);
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        path
+    }
+
+    /// Latest finish time in the subtree under index `i` (the span's own
+    /// end, or start for an open span, maxed over descendants).
+    fn finish(&self, i: usize) -> f64 {
+        let Some(span) = self.spans.get(i) else {
+            return f64::NEG_INFINITY;
+        };
+        let mut best = span.end.unwrap_or(span.start);
+        for c in self.child_indices(span.id) {
+            best = best.max(self.finish(*c));
+        }
+        best
+    }
+
+    /// Indented tree listing with sim-time durations and fields.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        for r in &self.roots {
+            self.render_node(&mut out, *r, 0);
+        }
+        if self.roots.is_empty() {
+            out.push_str("(no spans)\n");
+        }
+        out
+    }
+
+    fn render_node(&self, out: &mut String, i: usize, depth: usize) {
+        self.render_line(out, i, depth);
+        if let Some(s) = self.spans.get(i) {
+            for c in self.child_indices(s.id) {
+                self.render_node(out, *c, depth + 1);
+            }
+        }
+    }
+
+    fn render_line(&self, out: &mut String, i: usize, depth: usize) {
+        let Some(s) = self.spans.get(i) else {
+            return;
+        };
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match s.end {
+            Some(e) => {
+                let _ = write!(out, "{} [{:.3}..{:.3}] +{:.3}", s.kind, s.start, e, e - s.start);
+            }
+            None => {
+                let _ = write!(out, "{} [{:.3}..open]", s.kind, s.start);
+            }
+        }
+        for (k, v) in &s.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+    }
+
+    /// The `critical-path` report: a per-root-kind percentile table of
+    /// root durations (bucket-interpolated p50/p95/p99), then the
+    /// longest chain under each kind's slowest root.
+    pub fn render_critical_paths(&self) -> String {
+        let mut out = String::new();
+        // Group roots by kind, keeping recording order of first sight.
+        let mut kinds: Vec<&str> = Vec::new();
+        let mut by_kind: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for i in &self.roots {
+            if let Some(s) = self.spans.get(*i) {
+                if !by_kind.contains_key(s.kind.as_str()) {
+                    kinds.push(&s.kind);
+                }
+                by_kind.entry(&s.kind).or_default().push(*i);
+            }
+        }
+        if kinds.is_empty() {
+            out.push_str("(no root spans)\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<44} {:>5} {:>10} {:>10} {:>10}",
+            "root kind", "n", "p50", "p95", "p99"
+        );
+        for kind in &kinds {
+            let idxs = by_kind.get(kind).map(Vec::as_slice).unwrap_or(&[]);
+            let mut h = Histogram::new();
+            for i in idxs {
+                if let Some(d) = self.spans.get(*i).and_then(SidecarSpan::duration) {
+                    h.observe(d);
+                }
+            }
+            let fmt = |q: f64| match h.percentile(q) {
+                Some(p) => format!("{p:.3}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>5} {:>10} {:>10} {:>10}",
+                kind,
+                idxs.len(),
+                fmt(0.5),
+                fmt(0.95),
+                fmt(0.99)
+            );
+        }
+        for kind in &kinds {
+            let idxs = by_kind.get(kind).map(Vec::as_slice).unwrap_or(&[]);
+            // Slowest root of this kind (ties: first recorded).
+            let slowest = idxs.iter().copied().max_by(|a, b| {
+                let da = self.spans.get(*a).and_then(SidecarSpan::duration).unwrap_or(-1.0);
+                let db = self.spans.get(*b).and_then(SidecarSpan::duration).unwrap_or(-1.0);
+                da.total_cmp(&db).then(b.cmp(a))
+            });
+            let Some(slowest) = slowest else {
+                continue;
+            };
+            let _ = writeln!(out, "\nslowest {kind}:");
+            for (depth, i) in self.critical_path(slowest).into_iter().enumerate() {
+                self.render_line(&mut out, i, depth + 1);
+            }
+        }
+        out
+    }
+
+    /// Flamegraph-compatible folded stacks: one line per distinct
+    /// root-to-node kind path, `kind;kind;kind <self-time>`, where
+    /// self-time is the span's duration minus its children's, clamped at
+    /// zero and scaled ×1000 to keep integer resolution (ms → µs for
+    /// the netsim/relay spans). Sorted by path for byte-stable output.
+    pub fn render_folded(&self) -> String {
+        let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+        for r in &self.roots {
+            self.fold_into(&mut agg, *r, String::new());
+        }
+        let mut out = String::new();
+        for (path, v) in agg {
+            let _ = writeln!(out, "{path} {v}");
+        }
+        out
+    }
+
+    fn fold_into(&self, agg: &mut BTreeMap<String, u64>, i: usize, prefix: String) {
+        let Some(s) = self.spans.get(i) else {
+            return;
+        };
+        let path = if prefix.is_empty() {
+            s.kind.clone()
+        } else {
+            format!("{prefix};{}", s.kind)
+        };
+        let own = s.duration().unwrap_or(0.0);
+        let child_sum: f64 = self
+            .child_indices(s.id)
+            .iter()
+            .filter_map(|c| self.spans.get(*c).and_then(SidecarSpan::duration))
+            .sum();
+        let self_time = ((own - child_sum).max(0.0) * 1000.0).round() as u64;
+        *agg.entry(path.clone()).or_insert(0) += self_time;
+        for c in self.child_indices(s.id) {
+            self.fold_into(agg, *c, path.clone());
+        }
+    }
+}
+
+/// The outcome of [`render_diff`].
+pub struct DiffReport {
+    /// Human-readable report, one line per differing series.
+    pub text: String,
+    /// Series whose value increased by more than the gate threshold.
+    pub regressions: Vec<String>,
+}
+
+/// Compare two sidecars series-by-series. A **regression** is any
+/// counter or histogram statistic (count, mean, p50, p95, p99) that
+/// *increased* from `a` to `b` by more than `fail_pct` percent — the
+/// gate direction suits cost-like series (transmissions, losses,
+/// latency percentiles), which is what the CI self-diff guards.
+/// Identical sidecars always produce zero regressions.
+pub fn render_diff(a: &Sidecar, b: &Sidecar, fail_pct: f64) -> DiffReport {
+    let mut text = String::new();
+    let mut regressions = Vec::new();
+    let mut compare = |name: String, va: Option<f64>, vb: Option<f64>| match (va, vb) {
+        (Some(x), Some(y)) if x != y => {
+            let pct = if x != 0.0 {
+                (y - x) / x.abs() * 100.0
+            } else {
+                100.0
+            };
+            let _ = writeln!(text, "{name}: {x} -> {y} ({pct:+.2}%)");
+            if pct > fail_pct {
+                regressions.push(name);
+            }
+        }
+        (Some(x), None) => {
+            let _ = writeln!(text, "{name}: {x} -> (absent)");
+        }
+        (None, Some(y)) => {
+            let _ = writeln!(text, "{name}: (absent) -> {y}");
+        }
+        _ => {}
+    };
+
+    let counter_names: std::collections::BTreeSet<&String> =
+        a.counters.keys().chain(b.counters.keys()).collect();
+    for name in counter_names {
+        compare(
+            format!("counter {name}"),
+            a.counters.get(name).map(|v| *v as f64),
+            b.counters.get(name).map(|v| *v as f64),
+        );
+    }
+    let hist_names: std::collections::BTreeSet<&String> =
+        a.histograms.keys().chain(b.histograms.keys()).collect();
+    for name in hist_names {
+        let ha = a.histograms.get(name);
+        let hb = b.histograms.get(name);
+        compare(
+            format!("hist {name} count"),
+            ha.map(|h| h.count as f64),
+            hb.map(|h| h.count as f64),
+        );
+        compare(
+            format!("hist {name} mean"),
+            ha.and_then(|h| h.mean()),
+            hb.and_then(|h| h.mean()),
+        );
+        for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            compare(
+                format!("hist {name} {label}"),
+                ha.and_then(|h| h.percentile(q)),
+                hb.and_then(|h| h.percentile(q)),
+            );
+        }
+    }
+    if text.is_empty() {
+        text.push_str("no differences\n");
+    }
+    DiffReport { text, regressions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sidecar::Sidecar;
+    use crate::Recorder;
+
+    fn traced_sidecar() -> Result<Sidecar, String> {
+        let r = Recorder::new();
+        // Ground-routed procedure: root kept open by a long hop.
+        let g = r.span_open(None, "proc.ground", 0.0, vec![]);
+        r.span(Some(g), "hop.sat_ground", 0.0, 30.0, vec![]);
+        r.span(Some(g), "hop.local", 30.0, 32.0, vec![]);
+        r.span_close(g, 32.0);
+        // Local procedure: short hops only.
+        let l = r.span_open(None, "proc.local", 0.0, vec![]);
+        r.span(Some(l), "hop.local", 0.0, 2.0, vec![]);
+        r.span_close(l, 2.0);
+        Sidecar::parse(&r.snapshot().to_json("unit")).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn forest_finds_roots_and_children() -> Result<(), String> {
+        let sc = traced_sidecar()?;
+        let f = TraceForest::build(&sc.spans);
+        let kinds: Vec<&str> = f.roots().map(|s| s.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["proc.ground", "proc.local"]);
+        Ok(())
+    }
+
+    #[test]
+    fn orphaned_span_promotes_to_root() -> Result<(), String> {
+        let r = Recorder::with_capacities(8, 2);
+        let root = r.span_open(None, "proc", 0.0, vec![]);
+        r.span(Some(root), "a", 0.0, 1.0, vec![]);
+        r.span(Some(root), "b", 1.0, 2.0, vec![]); // sheds "proc"
+        let sc =
+            Sidecar::parse(&r.snapshot().to_json("unit")).map_err(|e| e.to_string())?;
+        assert_eq!(sc.spans_dropped, 1);
+        let f = TraceForest::build(&sc.spans);
+        assert_eq!(f.roots().count(), 2);
+        Ok(())
+    }
+
+    #[test]
+    fn critical_path_follows_last_finisher() -> Result<(), String> {
+        let sc = traced_sidecar()?;
+        let f = TraceForest::build(&sc.spans);
+        // Root 0 is proc.ground (index 0); its critical path must run
+        // through hop.local (ends at 32.0), not hop.sat_ground (30.0).
+        let path = f.critical_path(0);
+        let kinds: Vec<&str> = path
+            .iter()
+            .filter_map(|i| sc.spans.get(*i))
+            .map(|s| s.kind.as_str())
+            .collect();
+        assert_eq!(kinds, vec!["proc.ground", "hop.local"]);
+        Ok(())
+    }
+
+    #[test]
+    fn tree_and_folded_render_are_stable() -> Result<(), String> {
+        let (a, b) = (traced_sidecar()?, traced_sidecar()?);
+        let fa = TraceForest::build(&a.spans);
+        let fb = TraceForest::build(&b.spans);
+        assert_eq!(fa.render_tree(), fb.render_tree());
+        assert_eq!(fa.render_folded(), fb.render_folded());
+        assert!(fa.render_tree().contains("proc.ground"));
+        // Folded stacks: ground root's self time is 0 (fully covered by
+        // hops); the sat-ground hop keeps its full 30 ms = 30000.
+        let folded = fa.render_folded();
+        assert!(folded.contains("proc.ground;hop.sat_ground 30000"), "{folded}");
+        Ok(())
+    }
+
+    #[test]
+    fn render_critical_paths_tables_per_kind() -> Result<(), String> {
+        let sc = traced_sidecar()?;
+        let out = TraceForest::build(&sc.spans).render_critical_paths();
+        assert!(out.contains("proc.ground"), "{out}");
+        assert!(out.contains("proc.local"), "{out}");
+        assert!(out.contains("slowest proc.ground:"), "{out}");
+        Ok(())
+    }
+
+    #[test]
+    fn diff_of_identical_sidecars_is_clean() -> Result<(), String> {
+        let (a, b) = (traced_sidecar()?, traced_sidecar()?);
+        let report = render_diff(&a, &b, 0.0);
+        assert_eq!(report.text, "no differences\n");
+        assert!(report.regressions.is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn diff_flags_increases_beyond_threshold() -> Result<(), String> {
+        let ra = Recorder::new();
+        ra.inc("net.tx", 100);
+        ra.observe("lat", 10.0);
+        let rb = Recorder::new();
+        rb.inc("net.tx", 120);
+        rb.observe("lat", 10.0);
+        let a = Sidecar::parse(&ra.snapshot().to_json("u")).map_err(|e| e.to_string())?;
+        let b = Sidecar::parse(&rb.snapshot().to_json("u")).map_err(|e| e.to_string())?;
+        // +20% over a 10% gate: regression.
+        let r = render_diff(&a, &b, 10.0);
+        assert_eq!(r.regressions, vec!["counter net.tx".to_string()]);
+        // Same diff under a 30% gate: reported but not failing.
+        let r = render_diff(&a, &b, 30.0);
+        assert!(r.regressions.is_empty());
+        assert!(r.text.contains("counter net.tx: 100 -> 120"));
+        // Improvements never regress.
+        let r = render_diff(&b, &a, 0.0);
+        assert!(r.regressions.is_empty());
+        Ok(())
+    }
+}

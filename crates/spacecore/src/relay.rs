@@ -140,6 +140,13 @@ impl GeoRelay {
     /// `per_hop_processing_ms` models switching latency at each
     /// satellite. Satellites move negligibly during a single packet's
     /// flight, so the whole trace uses the snapshot at `t`.
+    ///
+    /// When telemetry is enabled, each packet records a causal
+    /// `spacecore.relay.packet` root span (with the ingress grid
+    /// position; `delivered`/`hops` attached on close) and one
+    /// `spacecore.relay.hop` child per ISL hop, stamped with the
+    /// packet-relative cumulative delay (ms) — so `sctrace` can show
+    /// which leg of an Algorithm 1 route dominated.
     pub fn trace(
         &self,
         prop: &dyn Propagator,
@@ -150,6 +157,20 @@ impl GeoRelay {
     ) -> RelayTrace {
         let constellation = Constellation::new(prop.config().clone());
         self.obs.inc("spacecore.relay.packets", 1);
+        let traced = self.obs.enabled();
+        let packet_span = if traced {
+            self.obs.span_open(
+                None,
+                "spacecore.relay.packet",
+                0.0,
+                vec![
+                    ("plane", sc_obs::FieldValue::from(ingress.plane as u64)),
+                    ("slot", sc_obs::FieldValue::from(ingress.slot as u64)),
+                ],
+            )
+        } else {
+            sc_obs::SpanId::DISABLED
+        };
         let mut cur = ingress;
         let mut path = vec![cur];
         let mut delay = 0.0;
@@ -161,6 +182,16 @@ impl GeoRelay {
                     self.obs
                         .observe("spacecore.relay.hops", (path.len() - 1) as f64);
                     self.obs.observe("spacecore.relay.delay_ms", delay);
+                    if traced {
+                        self.obs.span_close_with(
+                            packet_span,
+                            delay,
+                            vec![
+                                ("delivered", sc_obs::FieldValue::from(1u64)),
+                                ("hops", sc_obs::FieldValue::from(path.len() - 1)),
+                            ],
+                        );
+                    }
                     return RelayTrace {
                         path,
                         delivered: true,
@@ -170,14 +201,37 @@ impl GeoRelay {
                 d => {
                     let next = Self::step(&constellation, cur, d);
                     let next_pos = prop.state(next, t).position;
-                    delay += propagation_delay_ms(st.position.distance_km(&next_pos))
+                    let hop_ms = propagation_delay_ms(st.position.distance_km(&next_pos))
                         + per_hop_processing_ms;
+                    if traced {
+                        self.obs.span(
+                            Some(packet_span),
+                            "spacecore.relay.hop",
+                            delay,
+                            delay + hop_ms,
+                            vec![
+                                ("plane", sc_obs::FieldValue::from(next.plane as u64)),
+                                ("slot", sc_obs::FieldValue::from(next.slot as u64)),
+                            ],
+                        );
+                    }
+                    delay += hop_ms;
                     cur = next;
                     path.push(cur);
                 }
             }
         }
         self.obs.inc("spacecore.relay.expired", 1);
+        if traced {
+            self.obs.span_close_with(
+                packet_span,
+                delay,
+                vec![
+                    ("delivered", sc_obs::FieldValue::from(0u64)),
+                    ("hops", sc_obs::FieldValue::from(path.len() - 1)),
+                ],
+            );
+        }
         RelayTrace {
             path,
             delivered: false,
@@ -443,6 +497,39 @@ mod tests {
         assert_eq!(hops.and_then(|h| h.max()), Some(tr.hops() as f64));
         let delay = snap.histogram("spacecore.relay.delay_ms");
         assert_eq!(delay.map(|h| h.sum()), Some(tr.delay_ms));
+    }
+
+    #[test]
+    fn packet_spans_decompose_the_route() {
+        let prop = starlink();
+        let rec = sc_obs::Recorder::new();
+        let relay = GeoRelay::for_shell(prop.config()).with_recorder(rec.clone());
+        let dst = prop.state(SatId::new(40, 10), 0.0).coord;
+        let tr = relay.trace(&prop, SatId::new(0, 0), dst, 0.0, 1.0);
+        assert!(tr.delivered);
+        let s = rec.snapshot();
+        let root = &s.spans[0];
+        assert_eq!(root.kind, "spacecore.relay.packet");
+        assert_eq!(root.parent, None);
+        assert_eq!(root.end, Some(tr.delay_ms));
+        // One hop span per ISL hop, all parented on the packet, and
+        // their widths add up to the trace's total delay.
+        let hops: Vec<_> = s
+            .spans
+            .iter()
+            .filter(|sp| sp.kind == "spacecore.relay.hop")
+            .collect();
+        assert_eq!(hops.len(), tr.hops());
+        let mut acc = 0.0;
+        for h in &hops {
+            assert_eq!(h.parent, Some(root.id));
+            assert!((h.start - acc).abs() < 1e-9);
+            acc = h.end.unwrap_or(f64::NAN);
+        }
+        assert!((acc - tr.delay_ms).abs() < 1e-9, "{acc} vs {}", tr.delay_ms);
+        // Tracing does not change the outcome.
+        let plain = GeoRelay::for_shell(prop.config());
+        assert_eq!(plain.trace(&prop, SatId::new(0, 0), dst, 0.0, 1.0), tr);
     }
 
     #[test]

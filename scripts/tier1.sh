@@ -47,6 +47,21 @@ if [ "${SC_OBS:-0}" != "0" ] && [ -n "${SC_OBS:-}" ]; then
         echo "== tier-1: $exp telemetry byte-stable (reruns, threads 1 vs 4)" >&2
     done
 
+    # Causal spans + cross-run diff gate: fig10's sidecar must carry the
+    # storm miniature's traced C2 replays (sc-obs/2 "spans" section), and
+    # `sctrace diff` of a byte-identical rerun pair must gate zero
+    # regressions at the tightest threshold.
+    grep -q '"spans"' "$OBS_TMP/fig10.t1.json" || {
+        echo "== tier-1: FAIL — fig10 sidecar has no spans section" >&2; exit 1; }
+    echo "== tier-1: sctrace critical-path (fig10)" >&2
+    cargo run -q --release --offline -p sc-obs --bin sctrace -- \
+        critical-path "$OBS_TMP/fig10.t1.json" >&2
+    cargo run -q --release --offline -p sc-obs --bin sctrace -- \
+        diff "$OBS_TMP/fig10.t1.json" "$OBS_TMP/fig10.t1b.json" --fail-on-regress 0 >&2 || {
+        echo "== tier-1: FAIL — sctrace diff gated a regression between identical reruns" >&2
+        exit 1; }
+    echo "== tier-1: sctrace diff gate clean (rerun pair, --fail-on-regress 0)" >&2
+
     # Chaos experiment: the result JSON and the telemetry sidecar must
     # both be byte-identical across thread counts (the timeline replay,
     # burst draws, and per-cell recorders are all seeded + slot-merged).

@@ -80,6 +80,74 @@ fn fig10_telemetry_spans_layers_with_ten_plus_metrics() {
     assert!(snap.counter("netsim.sim.procedures") >= 1);
 }
 
+/// The acceptance contrast from docs/TELEMETRY.md: in fig10's sidecar,
+/// the ground-routed C2 replay's critical path runs through a ≥ 30 ms
+/// satellite↔ground transmission, while the satellite-local contrast
+/// replay never waits on anything longer than its 2 ms radio leg —
+/// exactly the asymmetry Figure 10 aggregates into rates.
+#[test]
+fn fig10_critical_path_contrasts_ground_vs_local_routes() {
+    let rec = Recorder::new();
+    let _ = sc_emu::fig10::run_obs_with(1, &rec);
+    let json = rec.snapshot().to_json("fig10");
+    let side = sc_obs::Sidecar::parse(&json).expect("sidecar parses");
+    assert_eq!(side.schema, sc_obs::SCHEMA);
+    assert_eq!(side.spans_dropped, 0, "storm miniature fits the span ring");
+    assert!(!side.spans.is_empty());
+
+    let forest = sc_obs::trace::TraceForest::build(&side.spans);
+    let root_idx = |route: &str| {
+        side.spans
+            .iter()
+            .position(|s| {
+                s.kind == "fiveg.proc.c2_session_establishment"
+                    && s.field("route") == Some(route)
+            })
+            .unwrap_or_else(|| panic!("no C2 root with route={route}"))
+    };
+    let longest_tx = |path: &[usize]| {
+        path.iter()
+            .filter_map(|i| side.spans.get(*i))
+            .filter(|s| s.kind == "netsim.sim.tx")
+            .filter_map(sc_obs::sidecar::SidecarSpan::duration)
+            .fold(0.0f64, f64::max)
+    };
+
+    let ground = forest.critical_path(root_idx("ground"));
+    let local = forest.critical_path(root_idx("local"));
+    assert!(
+        longest_tx(&ground) >= 30.0,
+        "ground route's critical path should cross the 30 ms feeder link: {ground:?}"
+    );
+    let local_tx = longest_tx(&local);
+    assert!(
+        local_tx > 0.0 && local_tx <= 4.0,
+        "local route should resolve over 2 ms radio hops, got {local_tx}"
+    );
+
+    let root_latency = |i: usize| side.spans[i].duration().unwrap_or(0.0);
+    assert!(
+        root_latency(root_idx("ground")) > root_latency(root_idx("local")),
+        "ground-routed C2 must take longer end-to-end than the local one"
+    );
+
+    // The analyzer's renderings agree: the per-kind table lists the C2
+    // roots and the folded stacks contain a ground-routed tx frame.
+    let paths = forest.render_critical_paths();
+    assert!(
+        paths.contains("fiveg.proc.c2_session_establishment"),
+        "{paths}"
+    );
+    let folded = forest.render_folded();
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.contains("fiveg.proc.c2_session_establishment")
+                && l.contains("netsim.sim.tx")),
+        "{folded}"
+    );
+}
+
 /// A disabled recorder records nothing and costs nothing: the default
 /// (no `--obs-out`, no `SC_OBS`) path stays telemetry-free so regenerated
 /// `results/` files are byte-identical to the pre-instrumentation build.

@@ -106,6 +106,64 @@ proptest! {
         prop_assert!(sc_geo::angle::signed_delta(back.lon, st.subpoint.lon).abs() < 1e-9);
     }
 
+    /// Causal integrity of span traces: replaying any signaling
+    /// procedure under any loss process, every span's parent link
+    /// references a span that was emitted earlier (lower id AND earlier
+    /// position in the ring) — so a trace can always be read forward
+    /// without dangling references, whatever the retry churn.
+    #[test]
+    fn span_parents_reference_earlier_spans(
+        kind_idx in 0usize..5,
+        loss_pct in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        use sc_fiveg::messages::{Procedure, ProcedureKind};
+        let kind = [
+            ProcedureKind::InitialRegistration,
+            ProcedureKind::SessionEstablishment,
+            ProcedureKind::Handover,
+            ProcedureKind::MobilityRegistration,
+            ProcedureKind::Paging,
+        ][kind_idx];
+        let proc = Procedure::build(kind);
+        let rec = sc_obs::Recorder::new();
+        let mut g = sc_netsim::topo::Graph::new(3);
+        g.add_bidirectional(0, 1, 2.0);
+        g.add_bidirectional(1, 2, 30.0);
+        let nf = sc_netsim::failure::NodeFailures::none();
+        let sim = sc_netsim::sim::ProcedureSim::new(
+            &g,
+            &nf,
+            sc_netsim::sim::SimConfig::default(),
+        )
+        .with_recorder(rec.clone());
+        let steps = sc_emu::obs::replay_steps(&proc);
+        let mut loss = sc_netsim::failure::LossProcess::new(loss_pct, seed);
+        sc_emu::obs::replay_traced(&rec, &sim, &proc, &steps, "ground", &mut loss);
+
+        let snap = rec.snapshot();
+        prop_assert!(!snap.spans.is_empty());
+        prop_assert_eq!(snap.spans_dropped, 0);
+        let mut seen = std::collections::HashSet::new();
+        for s in &snap.spans {
+            if let Some(p) = s.parent {
+                prop_assert!(p < s.id, "parent {} not older than child {}", p, s.id);
+                prop_assert!(
+                    seen.contains(&p),
+                    "parent {} of {} not emitted earlier in the ring",
+                    p,
+                    s.id
+                );
+            }
+            seen.insert(s.id);
+        }
+        // Exactly one 5G root carrying the route tag, owning the one
+        // netsim procedure span.
+        let roots: Vec<_> = snap.spans.iter().filter(|s| s.parent.is_none()).collect();
+        prop_assert_eq!(roots.len(), 1);
+        prop_assert_eq!(roots[0].kind, kind.span_kind());
+    }
+
     /// The mobility decision table never requires the home for satellite
     /// sweeps under SpaceCore, at any connection state.
     #[test]
