@@ -6,7 +6,13 @@
 //!   forbidden in satellite-side modules unless carrying an explicit
 //!   `// sc-audit: allow(stateful, reason = "…")` justification. This is
 //!   the paper's S1–S5 claim (no per-UE state on the satellite) as a
-//!   mechanical check.
+//!   mechanical check. A second probe flags *retained lock-wrapped
+//!   collections* (`Mutex<Vec<…>>`, `RwLock<HashMap<…>>`, …) — ad-hoc
+//!   shared-mutable buffers that tend to grow into session state. The
+//!   arena API is the sanctioned way to pool encode buffers: types in
+//!   [`Config::pool_types`] (`MessageArena`, `BufId`) hold recycled,
+//!   content-free scratch space keyed by handle, never by subscriber, so
+//!   `Mutex<MessageArena>` (and pools of `BufId` handles) are exempt.
 //! * **R2 `timing`/`rng`/`unordered`/`float-cmp`** — determinism: no
 //!   wall-clock reads outside the timing allowlist, no unseeded RNG, no
 //!   direct iteration of hash-ordered collections into emitted results,
@@ -73,6 +79,12 @@ pub struct Config {
     pub timing_allowlist: Vec<String>,
     /// Type names treated as per-UE keys.
     pub per_ue_keys: Vec<String>,
+    /// Pooled-buffer types from the message arena API. These hold
+    /// recycled scratch space addressed by handle (`BufId`), never by
+    /// subscriber identity, so lock-wrapping them on the satellite is
+    /// not retained per-UE state and R1's retained-lock probe skips
+    /// them.
+    pub pool_types: Vec<String>,
 }
 
 impl Default for Config {
@@ -89,6 +101,10 @@ impl Default for Config {
                 "crates/bench/".into(),
             ],
             per_ue_keys: ["Supi", "Imsi", "UeId", "Suci", "Guti", "Tmsi"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            pool_types: ["MessageArena", "BufId"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
@@ -113,6 +129,7 @@ pub fn audit_tokens(rel_path: &str, lexed: &Lexed, cfg: &Config) -> (Vec<Finding
     let toks = &lexed.tokens;
 
     rule_stateful(rel_path, lexed, cfg, &mut findings);
+    rule_retained_lock(rel_path, lexed, cfg, &mut findings);
     rule_timing(rel_path, lexed, cfg, &mut findings);
     rule_rng(rel_path, lexed, &mut findings);
     rule_float_cmp(rel_path, lexed, &mut findings);
@@ -224,6 +241,83 @@ fn rule_stateful(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Find
                 ),
             });
         }
+    }
+}
+
+/// Growable collection types whose presence inside a lock wrapper marks
+/// retained mutable state (as opposed to, say, `Mutex<SuffixAllocator>`
+/// or a telemetry handle, which hold fixed-shape internals).
+const GROWABLE: &[&str] = &[
+    "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Vec", "VecDeque", "String",
+];
+
+/// R1 (retained-lock probe) — lock-wrapped growable collections in
+/// satellite-side scope. A `Mutex<Vec<u8>>` scratch buffer is how per-UE
+/// state sneaks back in by accretion; the arena API is the sanctioned
+/// pool (see [`Config::pool_types`]). Skips wrappers that
+///
+/// * mention a pool type (`Mutex<MessageArena>`, `Mutex<Vec<BufId>>`) —
+///   recycled handle-addressed scratch, not session state, or
+/// * mention a per-UE key — the keyed-map probe already reports those
+///   with the sharper message.
+fn rule_retained_lock(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+    if !path_matches(rel_path, &cfg.stateful_scope) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("Mutex") || t.is_ident("RwLock") || t.is_ident("RefCell")) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('<')) {
+            continue; // `Mutex::new(…)` expression etc. — type uses only
+        }
+        // Collect identifiers in the balanced angle region.
+        let mut angle = 0i32;
+        let mut inner: Vec<&Token> = Vec::new();
+        for tk in &toks[i + 1..] {
+            match tk.kind {
+                TokenKind::Punct => match tk.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            break;
+                        }
+                    }
+                    ";" => break, // malformed / end of item
+                    _ => {}
+                },
+                TokenKind::Ident if angle >= 1 => inner.push(tk),
+                _ => {}
+            }
+        }
+        let mentions = |names: &[String]| {
+            inner
+                .iter()
+                .any(|k| names.iter().any(|n| n == &k.text))
+        };
+        if mentions(&cfg.pool_types) || mentions(&cfg.per_ue_keys) {
+            continue;
+        }
+        if !inner
+            .iter()
+            .any(|k| GROWABLE.contains(&k.text.as_str()))
+        {
+            continue;
+        }
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "R1-stateful",
+            message: format!(
+                "lock-wrapped growable collection `{}<…>` retained in satellite-side \
+                 module; pool scratch buffers through the arena API (`MessageArena`/\
+                 `BufId`) or annotate with `// sc-audit: allow(stateful, reason = \"…\")`",
+                t.text
+            ),
+        });
     }
 }
 
@@ -538,6 +632,42 @@ mod tests {
     }
 
     #[test]
+    fn arena_pool_exempt_from_retained_lock() {
+        // The arena API is the sanctioned pool: a locked `MessageArena`
+        // (or a pool of `BufId` handles) is recycled scratch space, not
+        // per-UE state.
+        let src = "struct S {\n    arena: parking_lot::Mutex<sc_fiveg::arena::MessageArena>,\n    handles: Mutex<Vec<arena::BufId>>,\n}";
+        let (f, _) = run(SAT, src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn adhoc_locked_buffer_flagged() {
+        let src = "struct S { scratch: Mutex<Vec<Vec<u8>>>, }";
+        let (f, _) = run(SAT, src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "R1-stateful");
+        assert!(f[0].message.contains("MessageArena"), "{}", f[0].message);
+        // Out of satellite scope: fine.
+        let (f, _) = run("crates/emu/src/fig05.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        // Annotated: suppressed.
+        let src = "struct S {\n    // sc-audit: allow(stateful, reason = \"bounded reorder window\")\n    scratch: Mutex<Vec<Vec<u8>>>,\n}";
+        let (f, _) = run(SAT, src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn per_ue_locked_map_reported_once_by_keyed_probe() {
+        // `Mutex<HashMap<Supi, …>>` is the keyed-map probe's finding;
+        // the retained-lock probe must not double-report it.
+        let src = "struct S { active: Mutex<HashMap<Supi, ActiveSession>>, }";
+        let (f, _) = run(SAT, src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("per-UE keyed collection"), "{}", f[0].message);
+    }
+
+    #[test]
     fn instant_now_flagged_outside_allowlist() {
         let (f, _) = run(SAT, "fn f() { let t = Instant::now(); }");
         assert_eq!(f.len(), 1);
@@ -598,8 +728,10 @@ mod tests {
     fn iteration_through_lock_guard_flagged() {
         let src = "struct S { m: Mutex<HashMap<u32, f64>>, }\nfn f(s: &S) -> Vec<u32> { s.m.lock().keys().copied().collect() }";
         let (f, _) = run(SAT, src);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "R2-unordered");
+        // Two findings: the retained-lock probe on the field, and the
+        // unordered-iteration probe on the emission path under test.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "R2-unordered"), "{f:?}");
     }
 
     #[test]

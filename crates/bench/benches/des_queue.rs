@@ -1,0 +1,95 @@
+//! Criterion micro-benches for the DES scheduler hot paths: the
+//! calendar-queue [`EventQueue`] against the retained binary-heap
+//! [`ReferenceQueue`] (schedule/pop hold pattern), and the single-pop
+//! `run_until` against the peek-then-pop loop it replaced.
+//! `bench-report` measures the same shapes for `BENCH_*.json`.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sc_netsim::des::{reference::ReferenceQueue, EventQueue};
+
+const PENDING: u32 = 10_000;
+const CHURN: u64 = 50_000;
+
+/// Steady-state hold: `PENDING` events in flight, each pop reschedules
+/// one event further out, `CHURN` pops total.
+fn hold_calendar() -> u64 {
+    let mut q = EventQueue::new();
+    for v in 0..PENDING {
+        q.schedule(f64::from(v % 512) * 0.7, v);
+    }
+    let mut n = 0;
+    while n < CHURN {
+        let Some(e) = q.pop() else { break };
+        q.schedule(e.time + 0.3 + f64::from(e.event % 97) * 0.11, e.event);
+        n += 1;
+    }
+    n
+}
+
+fn hold_heap() -> u64 {
+    let mut q = ReferenceQueue::new();
+    for v in 0..PENDING {
+        q.schedule(f64::from(v % 512) * 0.7, v);
+    }
+    let mut n = 0;
+    while n < CHURN {
+        let Some(e) = q.pop() else { break };
+        q.schedule(e.time + 0.3 + f64::from(e.event % 97) * 0.11, e.event);
+        n += 1;
+    }
+    n
+}
+
+fn drain_run_until() -> u64 {
+    let mut q = EventQueue::new();
+    for v in 0..PENDING {
+        q.schedule(f64::from(v % 600) + f64::from(v % 7) * 0.01, v);
+    }
+    let mut horizon = 0.0;
+    let mut n = 0u64;
+    while !q.is_empty() {
+        horizon += 1.0;
+        n += q.run_until(horizon, |_, _, _| ()) as u64;
+    }
+    n
+}
+
+fn drain_peek_then_pop() -> u64 {
+    let mut q = ReferenceQueue::new();
+    for v in 0..PENDING {
+        q.schedule(f64::from(v % 600) + f64::from(v % 7) * 0.01, v);
+    }
+    let mut horizon = 0.0;
+    let mut n = 0u64;
+    while !q.is_empty() {
+        horizon += 1.0;
+        loop {
+            match q.peek() {
+                Some(ev) if ev.time <= horizon => {}
+                _ => break,
+            }
+            q.pop();
+            n += 1;
+        }
+    }
+    n
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("des_queue::hold/calendar", |b| {
+        b.iter(|| black_box(hold_calendar()))
+    });
+    c.bench_function("des_queue::hold/heap", |b| b.iter(|| black_box(hold_heap())));
+    c.bench_function("des_queue::run_until/single_pop", |b| {
+        b.iter(|| black_box(drain_run_until()))
+    });
+    c.bench_function("des_queue::run_until/peek_then_pop", |b| {
+        b.iter(|| black_box(drain_peek_then_pop()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -84,6 +84,16 @@ pub struct ChaosPoint {
 /// the new serving satellite; home-routed plans ping-pong between it and
 /// the gateway.
 fn recovery_steps(plan: &RecoveryPlan, new_serving: usize, gateway: usize) -> Vec<SimStep> {
+    // Static label table: `SimStep` labels are `&'static str` (no per-run
+    // allocation), and the exchange is at most the 13 messages of a full
+    // C2 re-run. Same "m<i>" strings the telemetry always carried.
+    const M_LABELS: [&str; 13] = [
+        "m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8", "m9", "m10", "m11", "m12", "m13",
+    ];
+    assert!(
+        plan.messages as usize <= M_LABELS.len(),
+        "recovery exchange exceeds label table"
+    );
     (0..plan.messages)
         .map(|i| {
             let (from, to) = if plan.local {
@@ -94,7 +104,7 @@ fn recovery_steps(plan: &RecoveryPlan, new_serving: usize, gateway: usize) -> Ve
                 (gateway, new_serving)
             };
             SimStep {
-                label: format!("m{}", i + 1),
+                label: M_LABELS[i as usize],
                 from,
                 to,
             }

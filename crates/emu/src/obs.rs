@@ -149,7 +149,7 @@ pub fn replay_steps(p: &sc_fiveg::messages::Procedure) -> Vec<sc_netsim::sim::Si
         .iter()
         .filter(|s| node(s.from) != node(s.to))
         .map(|s| sc_netsim::sim::SimStep {
-            label: s.label.to_string(),
+            label: s.label,
             from: node(s.from),
             to: node(s.to),
         })
@@ -172,7 +172,7 @@ pub fn replay_steps_local(p: &sc_fiveg::messages::Procedure) -> Vec<sc_netsim::s
         .iter()
         .filter(|s| node(s.from) != node(s.to))
         .map(|s| sc_netsim::sim::SimStep {
-            label: s.label.to_string(),
+            label: s.label,
             from: node(s.from),
             to: node(s.to),
         })

@@ -177,10 +177,7 @@ impl CoreNetwork {
         msgs += 2;
 
         // P6-P9 — first PDU session.
-        let pdu = self
-            .smf
-            .establish(ue.supi, SessionId(1), ran_node)?
-            .clone();
+        let pdu = self.smf.establish(ue.supi, SessionId(1), ran_node)?;
         session.id.uplink_tunnel = pdu.uplink_teid;
         session.id.downlink_tunnel = pdu.downlink_teid;
         session.location.ip = u128::from(pdu.ip);

@@ -108,7 +108,7 @@ impl NfCostTable {
         rate_per_s: f64,
     ) -> Vec<(NetworkFunction, f64)> {
         let mut acc: Vec<(NetworkFunction, f64)> = Vec::new();
-        for s in &proc.steps {
+        for s in proc.steps {
             let Some(f) = s.to.nf() else { continue };
             if split.placement(f) != Placement::Satellite {
                 continue;

@@ -24,9 +24,12 @@
 //!   `FutureExtensionField` used by SpaceCore to piggyback UE states
 //!   between UPFs (§5),
 //! * [`conn`] — the UE RRC/session connection state machine (idle ↔
-//!   connected, inactivity release).
+//!   connected, inactivity release),
+//! * [`arena`] — a reusable buffer arena so the NAS/NGAP hot paths
+//!   encode without per-message allocation.
 
 pub mod amf;
+pub mod arena;
 pub mod conn;
 pub mod corenet;
 pub mod cpu;
@@ -44,6 +47,7 @@ pub mod state;
 pub mod upf;
 
 pub use amf::{Amf, RmState, UeContext};
+pub use arena::{BufId, MessageArena};
 pub use corenet::{CoreNetwork, ProcedureReceipt, SimulatedUe};
 pub use pcf::{Pcf, PolicyDecision};
 pub use udm::{SubscriptionTier, Udm};

@@ -79,6 +79,11 @@ pub struct StateOp {
     pub category: StateCategory,
 }
 
+/// `StateOp` constructor usable in `const`/`static` step tables.
+const fn op(kind: StateOpKind, category: StateCategory) -> StateOp {
+    StateOp { kind, category }
+}
+
 /// What the step does to the state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StateOpKind {
@@ -90,14 +95,19 @@ pub enum StateOpKind {
 }
 
 /// One signaling message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Fully `'static`: the Figure 9 step tables are baked into the binary
+/// as `static` arrays, so building a [`Procedure`] never allocates —
+/// the capacity sweeps in fig10/fig12 construct procedures in their
+/// innermost loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SignalingStep {
     /// Figure 9 label, e.g. "P2: registration request".
     pub label: &'static str,
     pub from: Entity,
     pub to: Entity,
     /// State operations the step performs at the receiver.
-    pub ops: Vec<StateOp>,
+    pub ops: &'static [StateOp],
     /// Approximate wire size, bytes (NAS/NGAP messages are small).
     pub bytes: u32,
 }
@@ -188,45 +198,41 @@ impl ProcedureKind {
     }
 }
 
-/// A full signaling procedure: ordered steps.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A full signaling procedure: ordered steps (a view into the static
+/// Figure 9 tables — cheap to build and copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Procedure {
     pub kind: ProcedureKind,
-    pub steps: Vec<SignalingStep>,
+    pub steps: &'static [SignalingStep],
 }
 
-/// Step-construction helper.
-fn step(
+/// Step-construction helper, usable in `static` step tables.
+const fn step(
     label: &'static str,
     from: Entity,
     to: Entity,
-    ops: &[(StateOpKind, StateCategory)],
+    ops: &'static [StateOp],
     bytes: u32,
 ) -> SignalingStep {
     SignalingStep {
         label,
         from,
         to,
-        ops: ops
-            .iter()
-            .map(|&(kind, category)| StateOp { kind, category })
-            .collect(),
+        ops,
         bytes,
     }
 }
 
-use StateCategory::*;
-use StateOpKind::*;
-
 impl Procedure {
-    /// Build the step list for a procedure kind.
-    pub fn build(kind: ProcedureKind) -> Procedure {
-        let steps = match kind {
-            ProcedureKind::InitialRegistration => c1_initial_registration(),
-            ProcedureKind::SessionEstablishment => c2_session_establishment(),
-            ProcedureKind::Handover => c3_handover(),
-            ProcedureKind::MobilityRegistration => c4_mobility_registration(),
-            ProcedureKind::Paging => paging(),
+    /// Build the step list for a procedure kind. Allocation-free: the
+    /// step tables are `static` data.
+    pub const fn build(kind: ProcedureKind) -> Procedure {
+        let steps: &'static [SignalingStep] = match kind {
+            ProcedureKind::InitialRegistration => &tables::C1_INITIAL_REGISTRATION,
+            ProcedureKind::SessionEstablishment => &tables::C2_SESSION_ESTABLISHMENT,
+            ProcedureKind::Handover => &tables::C3_HANDOVER,
+            ProcedureKind::MobilityRegistration => &tables::C4_MOBILITY_REGISTRATION,
+            ProcedureKind::Paging => &tables::PAGING,
         };
         Procedure { kind, steps }
     }
@@ -302,7 +308,7 @@ impl Procedure {
     /// function receives (the unit of the Fig. 7 CPU breakdown).
     pub fn nf_workload(&self) -> Vec<(NetworkFunction, usize)> {
         let mut counts = std::collections::HashMap::new();
-        for s in &self.steps {
+        for s in self.steps {
             if let Some(f) = s.to.nf() {
                 *counts.entry(f).or_insert(0usize) += 1;
             }
@@ -313,227 +319,222 @@ impl Procedure {
     }
 }
 
-/// Fig. 9a — C1 initial registration.
-fn c1_initial_registration() -> Vec<SignalingStep> {
-    use Entity::*;
-    vec![
-        step("P0: rrc connection request", Ue, Ran, &[], 56),
-        step("P0: rrc connection setup", Ran, Ue, &[], 88),
-        step("P1: rrc setup complete", Ue, Ran, &[], 96),
-        step(
-            "P2: registration request",
-            Ran,
-            Amf,
-            &[(Copy, S1Identifiers), (Copy, S2Location)],
-            180,
-        ),
-        // P3: authentication and security (AKA + NAS security mode).
-        step("P3: ue authentication request", Amf, Ausf, &[(Copy, S1Identifiers)], 120),
-        step(
-            "P3: av generation request",
-            Ausf,
-            Udm,
-            &[(Create, S5Security)], // create S5 (5G HE AV)
-            120,
-        ),
-        step("P3: av generation response", Udm, Ausf, &[(Copy, S5Security)], 160),
-        step(
-            "P3: ue authentication response",
-            Ausf,
-            Amf,
-            &[(Create, S5Security)], // create S5 (5G SE AV)
-            160,
-        ),
-        step("P3: authentication challenge", Amf, Ue, &[(Copy, S5Security)], 140),
-        step("P3: authentication result", Ue, Amf, &[(Update, S5Security)], 120),
-        step("P3: security mode command", Amf, Ue, &[(Update, S5Security)], 100),
-        step("P3: security mode complete", Ue, Amf, &[], 90),
-        // P4: policy establishment.
-        step("P4: policy establishment", Amf, Pcf, &[(Copy, S1Identifiers)], 140),
-        step("P4: policy response", Pcf, Amf, &[(Create, S3Qos), (Create, S4Billing)], 200),
-        // P5: registration accept.
-        step("P5: registration accept", Amf, Ue, &[(Update, S1Identifiers)], 160), // update S1 (5G-GUTI)
-        step("P5: registration complete", Ue, Amf, &[], 80),
-        // P6-P9: first PDU session.
-        step(
-            "P6: session request",
-            Amf,
-            Smf,
-            &[(Copy, S1Identifiers), (Copy, S3Qos), (Copy, S4Billing)],
-            220,
-        ),
-        step("P7: session context create", Smf, Udm, &[(Copy, S1Identifiers)], 140),
-        step("P7: session context response", Udm, Smf, &[], 120),
-        step(
-            "P8: forwarding rule establishment",
-            Smf,
-            Upf,
-            &[(Create, S2Location), (Create, S3Qos), (Create, S4Billing)],
-            240,
-        ),
-        step("P8: forwarding rule ack", Upf, Smf, &[(Update, S2Location)], 120),
-        step(
-            "P9: session accept (to AMF)",
-            Smf,
-            Amf,
-            &[(Copy, S1Identifiers), (Copy, S2Location)],
-            200,
-        ),
-        step("P9: session accept (to RAN)", Amf, Ran, &[(Copy, S3Qos)], 180),
-        step("P9: session accept (to UE)", Ran, Ue, &[(Copy, S2Location)], 160),
-    ]
-}
+/// The Figure 9 step tables, baked into the binary. Scoped module so
+/// the `Entity` glob import stays local to the tables.
+mod tables {
+    use super::{op, step, SignalingStep};
+    use super::Entity::*;
+    use super::StateCategory::*;
+    use super::StateOpKind::*;
+
+    /// Fig. 9a — C1 initial registration.
+    pub(super) static C1_INITIAL_REGISTRATION: [SignalingStep; 24] = [
+    step("P0: rrc connection request", Ue, Ran, &[], 56),
+    step("P0: rrc connection setup", Ran, Ue, &[], 88),
+    step("P1: rrc setup complete", Ue, Ran, &[], 96),
+    step(
+        "P2: registration request",
+        Ran,
+        Amf,
+        &[op(Copy, S1Identifiers), op(Copy, S2Location)],
+        180,
+    ),
+    // P3: authentication and security (AKA + NAS security mode).
+    step("P3: ue authentication request", Amf, Ausf, &[op(Copy, S1Identifiers)], 120),
+    step(
+        "P3: av generation request",
+        Ausf,
+        Udm,
+        &[op(Create, S5Security)], // create S5 (5G HE AV)
+        120,
+    ),
+    step("P3: av generation response", Udm, Ausf, &[op(Copy, S5Security)], 160),
+    step(
+        "P3: ue authentication response",
+        Ausf,
+        Amf,
+        &[op(Create, S5Security)], // create S5 (5G SE AV)
+        160,
+    ),
+    step("P3: authentication challenge", Amf, Ue, &[op(Copy, S5Security)], 140),
+    step("P3: authentication result", Ue, Amf, &[op(Update, S5Security)], 120),
+    step("P3: security mode command", Amf, Ue, &[op(Update, S5Security)], 100),
+    step("P3: security mode complete", Ue, Amf, &[], 90),
+    // P4: policy establishment.
+    step("P4: policy establishment", Amf, Pcf, &[op(Copy, S1Identifiers)], 140),
+    step("P4: policy response", Pcf, Amf, &[op(Create, S3Qos), op(Create, S4Billing)], 200),
+    // P5: registration accept.
+    step("P5: registration accept", Amf, Ue, &[op(Update, S1Identifiers)], 160), // update S1 (5G-GUTI)
+    step("P5: registration complete", Ue, Amf, &[], 80),
+    // P6-P9: first PDU session.
+    step(
+        "P6: session request",
+        Amf,
+        Smf,
+        &[op(Copy, S1Identifiers), op(Copy, S3Qos), op(Copy, S4Billing)],
+        220,
+    ),
+    step("P7: session context create", Smf, Udm, &[op(Copy, S1Identifiers)], 140),
+    step("P7: session context response", Udm, Smf, &[], 120),
+    step(
+        "P8: forwarding rule establishment",
+        Smf,
+        Upf,
+        &[op(Create, S2Location), op(Create, S3Qos), op(Create, S4Billing)],
+        240,
+    ),
+    step("P8: forwarding rule ack", Upf, Smf, &[op(Update, S2Location)], 120),
+    step(
+        "P9: session accept (to AMF)",
+        Smf,
+        Amf,
+        &[op(Copy, S1Identifiers), op(Copy, S2Location)],
+        200,
+    ),
+    step("P9: session accept (to RAN)", Amf, Ran, &[op(Copy, S3Qos)], 180),
+    step("P9: session accept (to UE)", Ran, Ue, &[op(Copy, S2Location)], 160),
+];
 
 /// Fig. 9b — C2 session establishment (uplink service request).
-fn c2_session_establishment() -> Vec<SignalingStep> {
-    use Entity::*;
-    vec![
-        step("P0: rrc connection request", Ue, Ran, &[], 56),
-        step("P0: rrc connection setup", Ran, Ue, &[], 88),
-        step("P1: rrc setup complete (service request)", Ue, Ran, &[], 96),
-        step(
-            "P6: service request",
-            Ran,
-            Amf,
-            &[(Copy, S1Identifiers)], // copy S1 (Tunnel ID)
-            140,
-        ),
-        step(
-            "P7: session context create",
-            Amf,
-            Smf,
-            &[(Copy, S1Identifiers)], // copy S1 (SUPI, Tunnel ID)
-            160,
-        ),
-        step("P4: policy modification", Smf, Pcf, &[(Copy, S1Identifiers)], 130),
-        step("P4: policy response", Pcf, Smf, &[(Update, S3Qos)], 150),
-        step(
-            "P8: forwarding rule modification",
-            Smf,
-            Upf,
-            &[(Update, S2Location), (Update, S3Qos), (Update, S4Billing)],
-            220,
-        ),
-        step("P8: forwarding rule ack", Upf, Smf, &[], 110),
-        step(
-            "P9: session accept (to AMF)",
-            Smf,
-            Amf,
-            &[(Copy, S1Identifiers), (Copy, S2Location)],
-            190,
-        ),
-        step("P9: session accept (to UE)", Amf, Ue, &[(Copy, S1Identifiers)], 160),
-        step(
-            "P10: session context update request",
-            Amf,
-            Smf,
-            &[(Update, S1Identifiers)], // update S1 (Tunnel ID)
-            130,
-        ),
-        step("P11: session context update response", Smf, Amf, &[], 110),
-    ]
-}
+pub(super) static C2_SESSION_ESTABLISHMENT: [SignalingStep; 13] = [
+    step("P0: rrc connection request", Ue, Ran, &[], 56),
+    step("P0: rrc connection setup", Ran, Ue, &[], 88),
+    step("P1: rrc setup complete (service request)", Ue, Ran, &[], 96),
+    step(
+        "P6: service request",
+        Ran,
+        Amf,
+        &[op(Copy, S1Identifiers)], // copy S1 (Tunnel ID)
+        140,
+    ),
+    step(
+        "P7: session context create",
+        Amf,
+        Smf,
+        &[op(Copy, S1Identifiers)], // copy S1 (SUPI, Tunnel ID)
+        160,
+    ),
+    step("P4: policy modification", Smf, Pcf, &[op(Copy, S1Identifiers)], 130),
+    step("P4: policy response", Pcf, Smf, &[op(Update, S3Qos)], 150),
+    step(
+        "P8: forwarding rule modification",
+        Smf,
+        Upf,
+        &[op(Update, S2Location), op(Update, S3Qos), op(Update, S4Billing)],
+        220,
+    ),
+    step("P8: forwarding rule ack", Upf, Smf, &[], 110),
+    step(
+        "P9: session accept (to AMF)",
+        Smf,
+        Amf,
+        &[op(Copy, S1Identifiers), op(Copy, S2Location)],
+        190,
+    ),
+    step("P9: session accept (to UE)", Amf, Ue, &[op(Copy, S1Identifiers)], 160),
+    step(
+        "P10: session context update request",
+        Amf,
+        Smf,
+        &[op(Update, S1Identifiers)], // update S1 (Tunnel ID)
+        130,
+    ),
+    step("P11: session context update response", Smf, Amf, &[], 110),
+];
 
 /// Fig. 9c — C3 handover (source BS → target BS via AMF/direct tunnel).
-fn c3_handover() -> Vec<SignalingStep> {
-    use Entity::*;
-    vec![
-        step(
-            "P12: handover request",
-            Ran,
-            RanTarget,
-            &[(Copy, S2Location), (Copy, S4Billing), (Copy, S5Security)],
-            260,
-        ),
-        step("P12: handover ack", RanTarget, Ran, &[], 120),
-        step("P12: rrc reconfiguration (ho command)", Ran, Ue, &[], 140),
-        step("P12: ho confirm (sync to target)", Ue, RanTarget, &[], 100),
-        step(
-            "P13: path switch request",
-            RanTarget,
-            Amf,
-            &[(Copy, S2Location), (Copy, S5Security)],
-            200,
-        ),
-        step(
-            "P10: session context update",
-            Amf,
-            Smf,
-            &[(Copy, S2Location), (Copy, S3Qos)],
-            170,
-        ),
-        step("P10: forwarding path update", Smf, Upf, &[(Update, S2Location)], 150),
-        step("P10: forwarding path ack", Upf, Smf, &[], 100),
-        step("P10: session context ack", Smf, Amf, &[], 100),
-        step("P14: path switch response", Amf, RanTarget, &[(Update, S2Location)], 130),
-        step("P15: session release (source)", RanTarget, Ran, &[(Delete, S2Location)], 90),
-    ]
-}
+pub(super) static C3_HANDOVER: [SignalingStep; 11] = [
+    step(
+        "P12: handover request",
+        Ran,
+        RanTarget,
+        &[op(Copy, S2Location), op(Copy, S4Billing), op(Copy, S5Security)],
+        260,
+    ),
+    step("P12: handover ack", RanTarget, Ran, &[], 120),
+    step("P12: rrc reconfiguration (ho command)", Ran, Ue, &[], 140),
+    step("P12: ho confirm (sync to target)", Ue, RanTarget, &[], 100),
+    step(
+        "P13: path switch request",
+        RanTarget,
+        Amf,
+        &[op(Copy, S2Location), op(Copy, S5Security)],
+        200,
+    ),
+    step(
+        "P10: session context update",
+        Amf,
+        Smf,
+        &[op(Copy, S2Location), op(Copy, S3Qos)],
+        170,
+    ),
+    step("P10: forwarding path update", Smf, Upf, &[op(Update, S2Location)], 150),
+    step("P10: forwarding path ack", Upf, Smf, &[], 100),
+    step("P10: session context ack", Smf, Amf, &[], 100),
+    step("P14: path switch response", Amf, RanTarget, &[op(Update, S2Location)], 130),
+    step("P15: session release (source)", RanTarget, Ran, &[op(Delete, S2Location)], 90),
+];
 
 /// Fig. 9d — C4 mobility registration update (tracking-area change).
-fn c4_mobility_registration() -> Vec<SignalingStep> {
-    use Entity::*;
-    vec![
-        step("P12': rrc + registration request", Ue, RanTarget, &[], 120),
-        step(
-            "P12': registration request",
-            RanTarget,
-            Amf,
-            &[(Copy, S1Identifiers), (Copy, S2Location)], // S1 (5G-S-TMSI), S2 (PLMN ID)
-            180,
-        ),
-        step(
-            "P16: ue context transfer request",
-            Amf,
-            AmfOld,
-            &[(Copy, S1Identifiers)],
-            150,
-        ),
-        step(
-            "P16: ue context transfer",
-            AmfOld,
-            Amf,
-            &[
-                (Copy, S1Identifiers),
-                (Copy, S2Location),
-                (Copy, S3Qos),
-                (Copy, S5Security),
-            ],
-            320,
-        ),
-        step("P1-7: re-register to UDM", Amf, Udm, &[(Copy, S1Identifiers)], 140),
-        step("P1-7: subscription data", Udm, Amf, &[(Copy, S3Qos), (Copy, S4Billing)], 220),
-        step("P1-7: deregistration notify", Udm, AmfOld, &[(Delete, S1Identifiers)], 100),
-        step(
-            "P10: session context update",
-            Amf,
-            Smf,
-            &[(Copy, S1Identifiers)], // copy S1 (SUPI, Tunnel ID)
-            150,
-        ),
-        step("P10: session context ack", Smf, Amf, &[], 110),
-        step("P5: registration accept", Amf, Ue, &[(Update, S1Identifiers)], 160),
-        step("P5: registration complete", Ue, Amf, &[], 80),
-        step("P15: old context release", AmfOld, Ran, &[(Delete, S2Location)], 90),
-    ]
-}
+pub(super) static C4_MOBILITY_REGISTRATION: [SignalingStep; 12] = [
+    step("P12': rrc + registration request", Ue, RanTarget, &[], 120),
+    step(
+        "P12': registration request",
+        RanTarget,
+        Amf,
+        &[op(Copy, S1Identifiers), op(Copy, S2Location)], // S1 (5G-S-TMSI), S2 (PLMN ID)
+        180,
+    ),
+    step(
+        "P16: ue context transfer request",
+        Amf,
+        AmfOld,
+        &[op(Copy, S1Identifiers)],
+        150,
+    ),
+    step(
+        "P16: ue context transfer",
+        AmfOld,
+        Amf,
+        &[
+            op(Copy, S1Identifiers),
+            op(Copy, S2Location),
+            op(Copy, S3Qos),
+            op(Copy, S5Security),
+        ],
+        320,
+    ),
+    step("P1-7: re-register to UDM", Amf, Udm, &[op(Copy, S1Identifiers)], 140),
+    step("P1-7: subscription data", Udm, Amf, &[op(Copy, S3Qos), op(Copy, S4Billing)], 220),
+    step("P1-7: deregistration notify", Udm, AmfOld, &[op(Delete, S1Identifiers)], 100),
+    step(
+        "P10: session context update",
+        Amf,
+        Smf,
+        &[op(Copy, S1Identifiers)], // copy S1 (SUPI, Tunnel ID)
+        150,
+    ),
+    step("P10: session context ack", Smf, Amf, &[], 110),
+    step("P5: registration accept", Amf, Ue, &[op(Update, S1Identifiers)], 160),
+    step("P5: registration complete", Ue, Amf, &[], 80),
+    step("P15: old context release", AmfOld, Ran, &[op(Delete, S2Location)], 90),
+];
 
 /// Network-triggered paging before a downlink session establishment:
 /// the anchor UPF notifies SMF/AMF of data arrival; the RAN pages the UE.
-fn paging() -> Vec<SignalingStep> {
-    use Entity::*;
-    vec![
-        step("downlink data notification", Upf, Smf, &[], 100),
-        step("data notification forward", Smf, Amf, &[(Copy, S1Identifiers)], 110),
-        step("paging request", Amf, Ran, &[(Copy, S1Identifiers)], 100),
-        step("paging broadcast", Ran, Ue, &[], 60),
-    ]
+pub(super) static PAGING: [SignalingStep; 4] = [
+    step("downlink data notification", Upf, Smf, &[], 100),
+    step("data notification forward", Smf, Amf, &[op(Copy, S1Identifiers)], 110),
+    step("paging request", Amf, Ran, &[op(Copy, S1Identifiers)], 100),
+    step("paging broadcast", Ran, Ue, &[], 60),
+];
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::nf::SplitOption;
+    use crate::state::StateCategory::*;
 
     #[test]
     fn procedure_sizes_match_figure9_scale() {
@@ -625,7 +626,7 @@ mod tests {
             ProcedureKind::MobilityRegistration,
             ProcedureKind::Paging,
         ] {
-            for s in &Procedure::build(kind).steps {
+            for s in Procedure::build(kind).steps {
                 assert!(s.bytes > 0, "{}: {}", kind.name(), s.label);
                 assert_ne!(s.from, s.to, "{}: {}", kind.name(), s.label);
             }

@@ -144,6 +144,15 @@ impl NasMessage {
     /// Encode: `EPD(1) type(1) [tag(1) len(2BE) value…]*`.
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// Encode into a caller-supplied buffer (cleared first) — the
+    /// allocation-free variant behind [`crate::arena::MessageArena`].
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
+        b.clear();
+        b.reserve(self.wire_len());
         b.push(EPD_5GMM);
         b.push(self.msg_type.to_byte());
         for (tag, value) in &self.ies {
@@ -151,7 +160,6 @@ impl NasMessage {
             b.extend_from_slice(&(value.len() as u16).to_be_bytes());
             b.extend_from_slice(value);
         }
-        b
     }
 
     /// Decode with strict validation.

@@ -109,13 +109,23 @@ impl NgapMessage {
 
     /// Encode: `proc(1) n_ies(1) [id(2BE) len(2BE) value…]*`.
     pub fn encode(&self) -> Vec<u8> {
-        let mut b = vec![self.procedure.to_byte(), self.ies.len() as u8];
+        let mut b = Vec::new();
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// Encode into a caller-supplied buffer (cleared first) — the
+    /// allocation-free variant behind [`crate::arena::MessageArena`].
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
+        b.clear();
+        b.reserve(2 + self.ies.iter().map(|(_, v)| 4 + v.len()).sum::<usize>());
+        b.push(self.procedure.to_byte());
+        b.push(self.ies.len() as u8);
         for (id, v) in &self.ies {
             b.extend_from_slice(&id.to_be_bytes());
             b.extend_from_slice(&(v.len() as u16).to_be_bytes());
             b.extend_from_slice(v);
         }
-        b
     }
 
     /// Decode with strict length validation.

@@ -9,12 +9,12 @@
 
 use crate::ids::{SessionId, Supi, TunnelId};
 use sc_obs::Recorder;
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
-/// A PDU session context at the SMF.
-#[derive(Debug, Clone, PartialEq)]
+/// A PDU session context at the SMF. All-scalar and `Copy`:
+/// [`Smf::establish`] returns it by value, so callers never clone.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PduSession {
     pub supi: Supi,
     pub session_id: SessionId,
@@ -95,13 +95,14 @@ impl Smf {
     }
 
     /// C2/P7-P9 — establish a PDU session: allocate IP + tunnels, select
-    /// the least-loaded anchor UPF.
+    /// the least-loaded anchor UPF. Returns the session by value
+    /// (`PduSession` is `Copy`).
     pub fn establish(
         &mut self,
         supi: Supi,
         session_id: SessionId,
         ran_node: u32,
-    ) -> Result<&PduSession, SmfError> {
+    ) -> Result<PduSession, SmfError> {
         let per_ue = self.sessions.keys().filter(|(s, _)| *s == supi).count();
         if per_ue >= MAX_SESSIONS_PER_UE {
             return Err(SmfError::TooManySessions);
@@ -129,19 +130,10 @@ impl Smf {
             ran_node,
         };
         self.obs.inc("fiveg.smf.establishments", 1);
-        // Gauge before the insert borrow: re-establishment replaces.
-        let new_session = !self.sessions.contains_key(&(supi, session_id));
-        self.obs.set_gauge(
-            "fiveg.smf.sessions",
-            (self.sessions.len() + usize::from(new_session)) as f64,
-        );
-        Ok(match self.sessions.entry((supi, session_id)) {
-            Entry::Occupied(mut o) => {
-                o.insert(session);
-                o.into_mut()
-            }
-            Entry::Vacant(v) => v.insert(session),
-        })
+        self.sessions.insert((supi, session_id), session);
+        self.obs
+            .set_gauge("fiveg.smf.sessions", self.sessions.len() as f64);
+        Ok(session)
     }
 
     /// C3/P10 — path switch: point the downlink at a new RAN node. The
@@ -217,8 +209,8 @@ mod tests {
     #[test]
     fn establish_allocates_unique_resources() -> TestResult {
         let mut s = smf();
-        let a = s.establish(supi(1), SessionId(1), 7)?.clone();
-        let b = s.establish(supi(2), SessionId(1), 7)?.clone();
+        let a = s.establish(supi(1), SessionId(1), 7)?;
+        let b = s.establish(supi(2), SessionId(1), 7)?;
         assert_ne!(a.ip, b.ip);
         assert_ne!(a.uplink_teid, b.uplink_teid);
         assert_ne!(a.downlink_teid, b.downlink_teid);
@@ -245,7 +237,7 @@ mod tests {
         // The legacy session-continuity contract: the IP and anchor
         // survive handovers; only the downlink leg moves.
         let mut s = smf();
-        let before = s.establish(supi(1), SessionId(1), 7)?.clone();
+        let before = s.establish(supi(1), SessionId(1), 7)?;
         let new_teid = s.path_switch(supi(1), SessionId(1), 8)?;
         let after = s
             .session(supi(1), SessionId(1))
@@ -261,7 +253,7 @@ mod tests {
     #[test]
     fn release_frees_anchor_capacity() -> TestResult {
         let mut s = smf();
-        let sess = s.establish(supi(1), SessionId(1), 0)?.clone();
+        let sess = s.establish(supi(1), SessionId(1), 0)?;
         assert_eq!(s.anchor_load()[&sess.anchor_upf], 1);
         s.release(supi(1), SessionId(1))?;
         assert_eq!(s.anchor_load()[&sess.anchor_upf], 0);

@@ -84,7 +84,7 @@ impl BillingState {
 }
 
 /// S5 — security.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SecurityState {
     /// The anchor key (K_AMF analogue).
     pub anchor_key: u64,

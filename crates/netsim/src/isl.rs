@@ -16,7 +16,9 @@
 
 use crate::topo::{Graph, NodeId};
 use sc_geo::sphere::{propagation_delay_ms, GeoPoint};
-use sc_orbit::{Constellation, GroundStationSet, Propagator, SatId, SatState};
+use sc_orbit::{
+    Constellation, GroundStationSet, IndexedSnapshot, Propagator, SatId, SatMask, SatState,
+};
 
 /// What a node in the ISL network represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,9 @@ pub struct IslNetwork {
     num_sats: usize,
     num_ground: usize,
     snapshot: Vec<SatState>,
+    /// Per-station visibility bitsets computed during the build (bit =
+    /// snapshot index of an attached satellite).
+    ground_visibility: Vec<SatMask>,
     time: f64,
 }
 
@@ -67,7 +72,10 @@ impl IslNetwork {
         cfg: IslConfig,
     ) -> Self {
         let constellation = Constellation::new(prop.config().clone());
-        let snapshot = prop.snapshot(t);
+        // Index the snapshot so ground attachment scans only the
+        // satellites near each station instead of the whole shell.
+        let indexed = IndexedSnapshot::build(prop, t);
+        let snapshot = indexed.states();
         let num_sats = snapshot.len();
         let num_ground = stations.len();
         let mut graph = Graph::new(num_sats + num_ground);
@@ -98,17 +106,29 @@ impl IslNetwork {
         }
 
         // Ground-to-satellite links: attach to all visible satellites.
+        // The bitset visibility kernel: candidates come from the spatial
+        // index (a geometric superset of the coverage cap), the exact
+        // elevation test marks bits, and links are added in ascending
+        // snapshot order — the same edges, in the same order, as the
+        // historical full scan.
         let min_elev = prop.config().min_elevation_rad;
+        let mut ground_visibility = Vec::with_capacity(num_ground);
         for (gi, gs) in stations.stations().iter().enumerate() {
             let gnode = num_sats + gi;
-            for (i, st) in snapshot.iter().enumerate() {
+            let mut mask = SatMask::empty(num_sats);
+            indexed.for_each_candidate(&gs.location, |i, st| {
                 let elev = sc_geo::sphere::elevation_angle(&gs.location, &st.position);
                 if elev >= min_elev {
-                    let d_km = st.position.distance_km(&gs.location.surface_vector());
-                    let delay = propagation_delay_ms(d_km) + cfg.per_hop_processing_ms;
-                    graph.add_bidirectional(gnode, i, delay);
+                    mask.set(i);
                 }
+            });
+            for i in mask.iter() {
+                let st = &snapshot[i];
+                let d_km = st.position.distance_km(&gs.location.surface_vector());
+                let delay = propagation_delay_ms(d_km) + cfg.per_hop_processing_ms;
+                graph.add_bidirectional(gnode, i, delay);
             }
+            ground_visibility.push(mask);
         }
 
         Self {
@@ -116,7 +136,8 @@ impl IslNetwork {
             constellation,
             num_sats,
             num_ground,
-            snapshot,
+            snapshot: indexed.into_states(),
+            ground_visibility,
             time: t,
         }
     }
@@ -164,6 +185,13 @@ impl IslNetwork {
     /// Number of ground stations.
     pub fn num_ground(&self) -> usize {
         self.num_ground
+    }
+
+    /// Visibility bitset of ground station `gi`: bit `i` set iff
+    /// satellite `i` (snapshot order) is attached to this station.
+    /// Popcount equals the station's ground-satellite link count.
+    pub fn ground_visibility(&self, gi: usize) -> &SatMask {
+        &self.ground_visibility[gi]
     }
 
     /// The satellite with the highest elevation over `p`, if any.
@@ -259,6 +287,24 @@ mod tests {
                     assert!(w > 1.0 && w < 40.0, "link {i}-{j} weight {w}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ground_visibility_masks_match_links_and_full_scan() {
+        let net = iridium_net();
+        for g in 0..net.num_ground() {
+            let mask = net.ground_visibility(g);
+            // Popcount = attached link count.
+            assert_eq!(
+                mask.count(),
+                net.graph().neighbors(net.ground_node(g)).count(),
+                "station {g}"
+            );
+            // Set bits = exactly the neighbors, ascending.
+            let neighbors: Vec<usize> =
+                net.graph().neighbors(net.ground_node(g)).map(|(n, _)| n).collect();
+            assert_eq!(mask.iter().collect::<Vec<_>>(), neighbors, "station {g}");
         }
     }
 

@@ -35,9 +35,13 @@ pub struct EntityMap {
 }
 
 /// One abstract message of a procedure: from/to node plus a label.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Labels are `&'static str`: every step list ultimately comes from
+/// static tables (the Figure 9 procedures, experiment literals), so
+/// building and replaying steps allocates nothing per label.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimStep {
-    pub label: String,
+    pub label: &'static str,
     pub from: NodeId,
     pub to: NodeId,
 }
@@ -51,7 +55,7 @@ pub struct SimOutcome {
     /// abandonment).
     pub latency_ms: f64,
     /// Per-step delivery times, ms (only completed steps).
-    pub deliveries: Vec<(String, f64)>,
+    pub deliveries: Vec<(&'static str, f64)>,
     /// Total transmissions, including retransmissions.
     pub transmissions: u32,
 }
@@ -128,6 +132,30 @@ enum FailureSource<'a> {
     Timeline(&'a FailureTimeline),
 }
 
+/// Reusable per-run working memory for [`ProcedureSim`].
+///
+/// One run needs an event queue plus five per-step vectors; a sweep
+/// that replays thousands of procedures can hand the same scratch to
+/// every [`ProcedureSim::run_in`] call and amortize all of those
+/// allocations to one. Outcomes and telemetry are bit-identical to the
+/// scratch-free entry points — the queue's [`EventQueue::reset`]
+/// rewinds time and the sequence counter completely.
+#[derive(Default)]
+pub struct SimScratch {
+    q: EventQueue<Ev>,
+    delivered: Vec<bool>,
+    in_flight: Vec<Option<u32>>,
+    partition_retries: Vec<u32>,
+    step_spans: Vec<SpanId>,
+    tx_spans: Vec<SpanId>,
+}
+
+impl SimScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Message-level procedure simulator.
 pub struct ProcedureSim<'a> {
     graph: &'a Graph,
@@ -187,6 +215,19 @@ impl<'a> ProcedureSim<'a> {
         self.run_traced(steps, loss, None)
     }
 
+    /// [`Self::run`] against a caller-owned [`SimScratch`], reusing its
+    /// event queue and per-step buffers. The hot-loop entry point:
+    /// sweeps that replay thousands of procedures back to back pay for
+    /// the scratch once instead of per run.
+    pub fn run_in(
+        &self,
+        steps: &[SimStep],
+        loss: &mut LossProcess,
+        scratch: &mut SimScratch,
+    ) -> SimOutcome {
+        self.run_traced_in(steps, loss, None, scratch)
+    }
+
     /// [`Self::run`], with the procedure's root span parented on
     /// `parent` (e.g. a fiveg procedure span), so the caller's causal
     /// context and this run's hop/retransmission spans form one tree.
@@ -212,6 +253,18 @@ impl<'a> ProcedureSim<'a> {
         loss: &mut LossProcess,
         parent: Option<SpanId>,
     ) -> SimOutcome {
+        self.run_traced_in(steps, loss, parent, &mut SimScratch::new())
+    }
+
+    /// [`Self::run_traced`] against a caller-owned [`SimScratch`];
+    /// outcome- and telemetry-identical, allocation-free per run.
+    pub fn run_traced_in(
+        &self,
+        steps: &[SimStep],
+        loss: &mut LossProcess,
+        parent: Option<SpanId>,
+        scratch: &mut SimScratch,
+    ) -> SimOutcome {
         self.obs.inc("netsim.sim.procedures", 1);
         // Spans allocate field vectors; skip all of it when disabled so
         // the hot path stays an Option check.
@@ -226,7 +279,15 @@ impl<'a> ProcedureSim<'a> {
         } else {
             SpanId::DISABLED
         };
-        let mut q: EventQueue<Ev> = EventQueue::new();
+        let SimScratch {
+            q,
+            delivered,
+            in_flight,
+            partition_retries,
+            step_spans,
+            tx_spans,
+        } = scratch;
+        q.reset();
         q.attach_recorder(self.obs.clone());
         // Dynamic-failure view, replayed as the DES clock advances
         // (absent for the legacy static snapshot).
@@ -234,15 +295,18 @@ impl<'a> ProcedureSim<'a> {
             FailureSource::Timeline(tl) => Some(tl.cursor()),
             FailureSource::Static(_) => None,
         };
-        let mut deliveries: Vec<(String, f64)> = Vec::new();
-        let mut delivered = vec![false; steps.len()];
+        let mut deliveries: Vec<(&'static str, f64)> = Vec::new();
+        delivered.clear();
+        delivered.resize(steps.len(), false);
         // Attempt number of the transmission currently on the wire (its
         // delivery is scheduled), per step; `None` while nothing is in
         // flight. Lets the RTO distinguish "lost" from "merely slower
         // than the timer" and stay silent for the latter.
-        let mut in_flight: Vec<Option<u32>> = vec![None; steps.len()];
+        in_flight.clear();
+        in_flight.resize(steps.len(), None);
         // Partition retries taken so far, per step (drives their backoff).
-        let mut partition_retries = vec![0u32; steps.len()];
+        partition_retries.clear();
+        partition_retries.resize(steps.len(), 0u32);
         let mut transmissions = 0u32;
         let mut completed = true;
         let mut last_time = 0.0f64;
@@ -265,8 +329,10 @@ impl<'a> ProcedureSim<'a> {
         // transmission; the tx span tracks the attempt currently on the
         // wire. DISABLED doubles as "not opened yet" — an enabled
         // recorder never returns it.
-        let mut step_spans: Vec<SpanId> = vec![SpanId::DISABLED; steps.len()];
-        let mut tx_spans: Vec<SpanId> = vec![SpanId::DISABLED; steps.len()];
+        step_spans.clear();
+        step_spans.resize(steps.len(), SpanId::DISABLED);
+        tx_spans.clear();
+        tx_spans.resize(steps.len(), SpanId::DISABLED);
         q.schedule(0.0, Ev::Send { idx: 0, attempt: 1 });
 
         while let Some(ev) = q.pop() {
@@ -300,7 +366,7 @@ impl<'a> ProcedureSim<'a> {
                             now,
                             vec![
                                 ("idx", FieldValue::from(idx)),
-                                ("label", FieldValue::from(steps[idx].label.as_str())),
+                                ("label", FieldValue::from(steps[idx].label)),
                             ],
                         );
                     }
@@ -421,10 +487,10 @@ impl<'a> ProcedureSim<'a> {
                         "netsim.delivery",
                         vec![
                             ("idx", FieldValue::from(idx)),
-                            ("step", FieldValue::from(steps[idx].label.as_str())),
+                            ("step", FieldValue::from(steps[idx].label)),
                         ],
                     );
-                    deliveries.push((steps[idx].label.clone(), now));
+                    deliveries.push((steps[idx].label, now));
                     if idx + 1 < steps.len() {
                         q.schedule(now, Ev::Send {
                             idx: idx + 1,
@@ -495,15 +561,11 @@ impl<'a> ProcedureSim<'a> {
 /// descriptions come from the caller (typically
 /// `sc-fiveg::messages::Procedure` translated per split).
 pub fn steps_from_pairs(
-    pairs: &[(&str, NodeId, NodeId)],
+    pairs: &[(&'static str, NodeId, NodeId)],
 ) -> Vec<SimStep> {
     pairs
         .iter()
-        .map(|(label, from, to)| SimStep {
-            label: label.to_string(),
-            from: *from,
-            to: *to,
-        })
+        .map(|&(label, from, to)| SimStep { label, from, to })
         .collect()
 }
 

@@ -1,0 +1,171 @@
+//! Differential property tests: the calendar-queue [`EventQueue`]
+//! against the retained binary-heap [`reference::ReferenceQueue`].
+//!
+//! The reference queue is the executable specification of the pop
+//! order (ascending time, FIFO among equal timestamps); these tests
+//! pin the calendar queue to it on random workloads that exercise all
+//! three tiers — the sorted `active` day, the 256-slot wheel, and the
+//! overflow heap — plus interleaved pops, ties, and `reset`.
+
+use proptest::prelude::*;
+use sc_netsim::des::{reference::ReferenceQueue, EventQueue};
+
+/// Drain both queues and assert the full `(time, seq, event)` pop
+/// sequences are identical.
+fn assert_drains_equal(cal: &mut EventQueue<usize>, refq: &mut ReferenceQueue<usize>) {
+    loop {
+        let (a, b) = (cal.pop(), refq.pop());
+        assert_eq!(a.is_some(), b.is_some(), "queues ended at different lengths");
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(
+                    (a.time, a.seq, a.event),
+                    (b.time, b.seq, b.event),
+                    "calendar and reference disagree"
+                );
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Map a tier selector and a unit fraction onto an offset that lands
+/// in the current day (< 1 s), the wheel (< 256 days), or the
+/// overflow heap (>= 256 days). Overflow is deliberately rare, as in
+/// real workloads.
+fn tiered(sel: u32, frac: f64) -> f64 {
+    match sel % 9 {
+        0..=3 => frac,
+        4..=7 => frac * 256.0,
+        _ => 256.0 + frac * 1.0e6,
+    }
+}
+
+/// Offsets spanning all three tiers.
+fn any_offset() -> impl Strategy<Value = f64> {
+    (0u32..9, 0.0f64..1.0).prop_map(|(s, f)| tiered(s, f))
+}
+
+proptest! {
+    /// Schedule-everything-then-drain: identical pop order across the
+    /// tier mix.
+    #[test]
+    fn drain_matches_reference(offsets in proptest::collection::vec(any_offset(), 1..200)) {
+        let mut cal = EventQueue::new();
+        let mut refq = ReferenceQueue::new();
+        for (i, dt) in offsets.iter().enumerate() {
+            cal.schedule(*dt, i);
+            refq.schedule(*dt, i);
+        }
+        assert_drains_equal(&mut cal, &mut refq);
+    }
+
+    /// Quantized timestamps force heavy ties; FIFO among equal times
+    /// must match the reference exactly.
+    #[test]
+    fn tie_heavy_drain_matches_reference(
+        quanta in proptest::collection::vec(0u32..8, 1..300),
+    ) {
+        let mut cal = EventQueue::new();
+        let mut refq = ReferenceQueue::new();
+        for (i, q) in quanta.iter().enumerate() {
+            let t = f64::from(*q) * 0.5;
+            cal.schedule(t, i);
+            refq.schedule(t, i);
+        }
+        assert_drains_equal(&mut cal, &mut refq);
+    }
+
+    /// Interleaved schedule/pop: pops advance the clock, later
+    /// schedules land relative to it (as real simulations do), and
+    /// every intermediate pop must agree.
+    #[test]
+    fn interleaved_ops_match_reference(
+        // `Some(dt)` schedules at `now + dt`; `None` pops.
+        ops in proptest::collection::vec(
+            (0u32..4, 0u32..9, 0.0f64..1.0)
+                .prop_map(|(op, s, f)| (op < 3).then(|| tiered(s, f))),
+            1..250,
+        ),
+    ) {
+        let mut cal = EventQueue::new();
+        let mut refq = ReferenceQueue::new();
+        let mut next = 0usize;
+        for op in ops {
+            match op {
+                Some(dt) => {
+                    let t = cal.now() + dt;
+                    cal.schedule(t, next);
+                    refq.schedule(t, next);
+                    next += 1;
+                }
+                None => {
+                    let (a, b) = (cal.pop(), refq.pop());
+                    prop_assert_eq!(
+                        a.as_ref().map(|e| (e.time, e.seq, e.event)),
+                        b.as_ref().map(|e| (e.time, e.seq, e.event))
+                    );
+                    prop_assert_eq!(cal.now(), refq.now());
+                }
+            }
+            prop_assert_eq!(cal.len(), refq.len());
+        }
+        assert_drains_equal(&mut cal, &mut refq);
+    }
+
+    /// A reset calendar queue replays exactly like a fresh reference
+    /// queue — reuse across procedure runs cannot leak state.
+    #[test]
+    fn reset_queue_matches_fresh_reference(
+        warmup in proptest::collection::vec(any_offset(), 0..60),
+        replay in proptest::collection::vec(any_offset(), 1..60),
+    ) {
+        let mut cal = EventQueue::new();
+        for (i, dt) in warmup.iter().enumerate() {
+            cal.schedule(*dt, i);
+        }
+        // Drain roughly half, then reset mid-flight.
+        for _ in 0..warmup.len() / 2 {
+            cal.pop();
+        }
+        cal.reset();
+        prop_assert_eq!(cal.len(), 0);
+        prop_assert_eq!(cal.now(), 0.0);
+
+        let mut refq = ReferenceQueue::new();
+        for (i, dt) in replay.iter().enumerate() {
+            cal.schedule(*dt, i);
+            refq.schedule(*dt, i);
+        }
+        assert_drains_equal(&mut cal, &mut refq);
+    }
+
+    /// `run_until` processes exactly the events the reference queue
+    /// says are due by the horizon, in the same order, and leaves the
+    /// rest pending.
+    #[test]
+    fn run_until_matches_reference_prefix(
+        offsets in proptest::collection::vec(any_offset(), 1..150),
+        horizon in 0.0f64..400.0,
+    ) {
+        let mut cal = EventQueue::new();
+        let mut refq = ReferenceQueue::new();
+        for (i, dt) in offsets.iter().enumerate() {
+            cal.schedule(*dt, i);
+            refq.schedule(*dt, i);
+        }
+        let mut seen = Vec::new();
+        let n = cal.run_until(horizon, |_, t, v| seen.push((t, v)));
+        prop_assert_eq!(n, seen.len());
+        for (t, v) in &seen {
+            let e = refq.pop();
+            prop_assert_eq!(e.as_ref().map(|e| (e.time, e.event)), Some((*t, *v)));
+        }
+        // Everything left in the reference is past the horizon, and the
+        // calendar agrees on the remainder.
+        if let Some(e) = refq.peek() {
+            prop_assert!(e.time > horizon);
+        }
+        assert_drains_equal(&mut cal, &mut refq);
+    }
+}

@@ -7,7 +7,7 @@
 //! user, §3.2).
 
 use crate::constellation::{Constellation, SatId};
-use crate::index::{IndexedSnapshot, PREFILTER_MARGIN_RAD};
+use crate::index::{IndexedSnapshot, SatMask, PREFILTER_MARGIN_RAD};
 use crate::propagator::{Propagator, SatState};
 use sc_geo::sphere::{coverage_half_angle, elevation_angle, GeoPoint};
 
@@ -109,24 +109,45 @@ impl<'a> CoverageModel<'a> {
         out
     }
 
-    /// Exact visibility test for one satellite: the central-angle
-    /// prefilter then the elevation threshold. Shared by the linear and
-    /// indexed paths so they accept exactly the same satellites.
-    fn view_of(&self, i: usize, st: &SatState, p: &GeoPoint) -> Option<SatView> {
+    /// The acceptance predicate every visibility path shares: the
+    /// central-angle prefilter then the elevation threshold. Returns
+    /// the elevation when the satellite is visible.
+    fn visible_elevation(&self, st: &SatState, p: &GeoPoint) -> Option<f64> {
         // Cheap central-angle pre-filter on the sub-point.
         if p.central_angle(&st.subpoint) > self.max_central_angle + PREFILTER_MARGIN_RAD {
             return None;
         }
         let elev = elevation_angle(p, &st.position);
-        if elev >= self.min_elevation {
-            Some(SatView {
-                sat: self.constellation.sat_at(i),
-                elevation_rad: elev,
-                slant_km: st.position.distance_km(&p.surface_vector()),
-            })
-        } else {
-            None
-        }
+        (elev >= self.min_elevation).then_some(elev)
+    }
+
+    /// Exact visibility test for one satellite. Shared by the linear and
+    /// indexed paths so they accept exactly the same satellites.
+    fn view_of(&self, i: usize, st: &SatState, p: &GeoPoint) -> Option<SatView> {
+        self.visible_elevation(st, p).map(|elev| SatView {
+            sat: self.constellation.sat_at(i),
+            elevation_rad: elev,
+            slant_km: st.position.distance_km(&p.surface_vector()),
+        })
+    }
+
+    /// Membership-only visibility: the set of satellites visible from
+    /// `p`, as a [`SatMask`] over snapshot indices. Accepts exactly the
+    /// satellites of [`Self::visible_from_indexed`] (same predicate),
+    /// but skips the per-view slant ranges, structs, and sort — the
+    /// bitset kernel for sweeps that only need "who can see whom".
+    pub fn visibility_mask(&self, snapshot: &IndexedSnapshot, p: &GeoPoint) -> SatMask {
+        debug_assert!(
+            snapshot.query_radius() >= self.max_central_angle + PREFILTER_MARGIN_RAD - 1e-12,
+            "index radius too small for this coverage model"
+        );
+        let mut mask = SatMask::empty(snapshot.states().len());
+        snapshot.for_each_candidate(p, |i, st| {
+            if self.visible_elevation(st, p).is_some() {
+                mask.set(i);
+            }
+        });
+        mask
     }
 
     /// The serving satellite (highest elevation), if any is visible.
@@ -175,11 +196,133 @@ impl<'a> CoverageModel<'a> {
     }
 }
 
+/// The sat×cell visibility table: one [`SatMask`] per ground cell,
+/// built once per snapshot and aggregated with popcounts.
+///
+/// This is the batch form of [`CoverageModel::visibility_mask`] for
+/// sweep engines that ask coverage questions over many ground points at
+/// one instant — covered-cell fractions, mean visible-satellite counts,
+/// which satellites serve anyone at all — without materializing sorted
+/// view lists per point.
+#[derive(Debug, Clone)]
+pub struct CoverageGrid {
+    masks: Vec<SatMask>,
+    nsats: usize,
+}
+
+impl CoverageGrid {
+    /// Build the table for `cells` against one indexed snapshot.
+    pub fn build(cov: &CoverageModel<'_>, snapshot: &IndexedSnapshot, cells: &[GeoPoint]) -> Self {
+        Self {
+            masks: cells
+                .iter()
+                .map(|p| cov.visibility_mask(snapshot, p))
+                .collect(),
+            nsats: snapshot.states().len(),
+        }
+    }
+
+    /// Number of ground cells.
+    pub fn cells(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Number of satellite indices each mask covers.
+    pub fn sats(&self) -> usize {
+        self.nsats
+    }
+
+    /// The visibility mask of one cell.
+    pub fn mask(&self, cell: usize) -> &SatMask {
+        &self.masks[cell]
+    }
+
+    /// Satellites visible from `cell` (popcount).
+    pub fn visible_count(&self, cell: usize) -> usize {
+        self.masks[cell].count()
+    }
+
+    /// Cells with at least one visible satellite.
+    pub fn covered_cells(&self) -> usize {
+        self.masks.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Mean visible satellites per cell (0 for an empty grid).
+    pub fn mean_visible(&self) -> f64 {
+        if self.masks.is_empty() {
+            return 0.0;
+        }
+        self.masks.iter().map(SatMask::count).sum::<usize>() as f64 / self.masks.len() as f64
+    }
+
+    /// Union over all cells: the satellites visible from anywhere in
+    /// the grid.
+    pub fn sat_usage(&self) -> SatMask {
+        let mut u = SatMask::empty(self.nsats);
+        for m in &self.masks {
+            u.union_with(m);
+        }
+        u
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::constellation::ConstellationConfig;
     use crate::propagator::IdealPropagator;
+
+    #[test]
+    fn mask_matches_visible_from_indexed() {
+        let prop = IdealPropagator::new(ConstellationConfig::starlink());
+        let cov = CoverageModel::new(&prop);
+        let snap = IndexedSnapshot::build(&prop, 500.0);
+        for &(lat, lon) in &[(40.0, -100.0), (0.0, 0.0), (-35.0, 150.0), (89.0, 0.0)] {
+            let p = GeoPoint::from_degrees(lat, lon);
+            let views = cov.visible_from_indexed(&snap, &p);
+            let mask = cov.visibility_mask(&snap, &p);
+            assert_eq!(mask.count(), views.len(), "({lat},{lon})");
+            let c = Constellation::new(prop.config().clone());
+            for v in &views {
+                let i = c.index_of(v.sat);
+                assert!(mask.contains(i), "sat {:?} missing from mask", v.sat);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_popcounts_match_per_point_queries() {
+        let prop = IdealPropagator::new(ConstellationConfig::iridium());
+        let cov = CoverageModel::new(&prop);
+        let snap = IndexedSnapshot::build(&prop, 123.0);
+        let cells: Vec<GeoPoint> = [(50.0, 5.0), (88.0, 10.0), (-20.0, -60.0), (0.0, -140.0)]
+            .iter()
+            .map(|&(la, lo)| GeoPoint::from_degrees(la, lo))
+            .collect();
+        let grid = CoverageGrid::build(&cov, &snap, &cells);
+        assert_eq!(grid.cells(), cells.len());
+        assert_eq!(grid.sats(), snap.states().len());
+        let mut covered = 0;
+        let mut total = 0;
+        for (i, p) in cells.iter().enumerate() {
+            let views = cov.visible_from_indexed(&snap, p);
+            assert_eq!(grid.visible_count(i), views.len());
+            assert_eq!(grid.mask(i), &cov.visibility_mask(&snap, p));
+            if !views.is_empty() {
+                covered += 1;
+            }
+            total += views.len();
+        }
+        assert_eq!(grid.covered_cells(), covered);
+        assert!((grid.mean_visible() - total as f64 / cells.len() as f64).abs() < 1e-12);
+        // Union popcount never exceeds the sum and never undercounts a
+        // cell's own mask.
+        let usage = grid.sat_usage();
+        assert!(usage.count() <= total);
+        for i in 0..cells.len() {
+            assert_eq!(grid.mask(i).intersection_count(&usage), grid.visible_count(i));
+        }
+    }
 
     #[test]
     fn starlink_covers_midlatitude_point() {

@@ -31,6 +31,93 @@ use crate::propagator::{Propagator, SatState};
 /// prefilter (kept identical to the historical inline `0.02`).
 pub const PREFILTER_MARGIN_RAD: f64 = 0.02;
 
+/// A fixed-width bitset over one snapshot's satellite indices: one bit
+/// per satellite, packed into `u64` words sized at construction.
+///
+/// This is the unit of the bitset visibility kernel: a "which
+/// satellites can this cell see" answer as `⌈N/64⌉` words instead of a
+/// sorted `Vec<SatView>`, so sweep engines that only need membership
+/// (ground-station attachment, coverage statistics) skip the per-view
+/// structs and sorts, and aggregate with popcounts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatMask {
+    words: Box<[u64]>,
+    nbits: usize,
+}
+
+impl SatMask {
+    /// An all-zeros mask over `nbits` satellite indices.
+    pub fn empty(nbits: usize) -> Self {
+        Self {
+            words: vec![0u64; nbits.div_ceil(64)].into_boxed_slice(),
+            nbits,
+        }
+    }
+
+    /// Number of indices the mask covers.
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.nbits, "index {i} out of range {}", self.nbits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Is bit `i` set?
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.nbits && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits (popcount).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set indices in ascending order (matches the order a linear scan
+    /// over the snapshot would accept them in).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// OR another mask of the same width into this one.
+    pub fn union_with(&mut self, other: &SatMask) {
+        assert_eq!(self.nbits, other.nbits, "mask width mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Popcount of the intersection, without materializing it.
+    pub fn intersection_count(&self, other: &SatMask) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The packed words (low index = low satellite indices).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
 /// A lat/lon bucket grid over one snapshot's sub-points.
 ///
 /// Cell size is the query radius θ, so every satellite within central
@@ -154,6 +241,12 @@ impl IndexedSnapshot {
 
     pub fn states(&self) -> &[SatState] {
         &self.states
+    }
+
+    /// Take the states back out (for builders that index a snapshot
+    /// transiently and then keep the plain state vector).
+    pub fn into_states(self) -> Vec<SatState> {
+        self.states
     }
 
     pub fn index(&self) -> &SpatialIndex {
@@ -299,6 +392,42 @@ mod tests {
             "expected <10% of {} candidates, got {n}",
             snap.states().len()
         );
+    }
+
+    #[test]
+    fn satmask_set_iter_count_roundtrip() {
+        let mut m = SatMask::empty(200);
+        assert!(m.is_empty());
+        for i in [0, 63, 64, 65, 130, 199] {
+            m.set(i);
+        }
+        assert_eq!(m.count(), 6);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 130, 199]);
+        assert!(m.contains(64));
+        assert!(!m.contains(1));
+        assert!(!m.contains(10_000), "out of range is just absent");
+        assert_eq!(m.words().len(), 200usize.div_ceil(64));
+    }
+
+    #[test]
+    fn satmask_union_and_intersection_popcounts() {
+        let mut a = SatMask::empty(100);
+        let mut b = SatMask::empty(100);
+        for i in 0..50 {
+            a.set(i);
+        }
+        for i in 25..75 {
+            b.set(i);
+        }
+        assert_eq!(a.intersection_count(&b), 25);
+        a.union_with(&b);
+        assert_eq!(a.count(), 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn satmask_set_out_of_range_panics() {
+        SatMask::empty(10).set(10);
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod passes;
 pub mod propagator;
 
 pub use constellation::{Constellation, ConstellationConfig, SatId};
-pub use coverage::{CoverageModel, SatView};
-pub use index::{IndexedSnapshot, SnapshotCache, SpatialIndex};
+pub use coverage::{CoverageGrid, CoverageModel, SatView};
+pub use index::{IndexedSnapshot, SatMask, SnapshotCache, SpatialIndex};
 pub use groundstation::{GroundStation, GroundStationSet};
 pub use passes::{Pass, PassPredictor};
 pub use propagator::{IdealPropagator, J4Propagator, Propagator, SatState};

@@ -106,6 +106,32 @@ proptest! {
         );
     }
 
+    /// The bitset kernel accepts exactly the satellites of the sorted
+    /// view query: same membership, ascending snapshot order, for any
+    /// point, preset, and time.
+    #[test]
+    fn visibility_mask_matches_views(
+        cfg in any_config(),
+        lat in -89.0f64..89.0,
+        lon in -180.0f64..180.0,
+        t in 0.0f64..100_000.0,
+    ) {
+        let prop = IdealPropagator::new(cfg.clone());
+        let cov = CoverageModel::new(&prop);
+        let c = Constellation::new(cfg);
+        let p = sc_geo::GeoPoint::from_degrees(lat, lon);
+        let indexed = IndexedSnapshot::build(&prop, t);
+        let mask = cov.visibility_mask(&indexed, &p);
+        let mut view_indices: Vec<usize> = cov
+            .visible_from_indexed(&indexed, &p)
+            .iter()
+            .map(|v| c.index_of(v.sat))
+            .collect();
+        view_indices.sort_unstable();
+        prop_assert_eq!(mask.iter().collect::<Vec<_>>(), view_indices);
+        prop_assert_eq!(mask.capacity(), indexed.states().len());
+    }
+
     /// Period-advanced γ returns to itself for the ideal propagator.
     #[test]
     fn periodicity_in_gamma(cfg in any_config(), plane in 0u16..72, slot in 0u16..40) {

@@ -54,6 +54,10 @@ pub struct SpaceCoreSatellite {
     /// and the active-session gauge; local accesses also feed the
     /// `crypto.statecrypt.*` counters.
     obs: sc_obs::Recorder,
+    /// Pooled NAS encode buffers: each establishment re-encodes the
+    /// piggybacked session request, and after the first one the arena
+    /// serves every run allocation-free.
+    arena: parking_lot::Mutex<sc_fiveg::arena::MessageArena>,
 }
 
 /// Radio/UPF install state for one active session.
@@ -73,6 +77,7 @@ impl SpaceCoreSatellite {
             active: parking_lot::Mutex::new(HashMap::new()),
             home_cert_key: home.cert_verify_key(),
             obs: sc_obs::Recorder::disabled(),
+            arena: parking_lot::Mutex::new(sc_fiveg::arena::MessageArena::new()),
         }
     }
 
@@ -91,6 +96,7 @@ impl SpaceCoreSatellite {
             active: parking_lot::Mutex::new(HashMap::new()),
             home_cert_key: home.cert_verify_key(),
             obs: sc_obs::Recorder::disabled(),
+            arena: parking_lot::Mutex::new(sc_fiveg::arena::MessageArena::new()),
         }
     }
 
@@ -120,9 +126,13 @@ impl SpaceCoreSatellite {
             sc_crypto::wire::encode_state(ue.piggyback()),
             ue_sts.public_value(),
         );
-        let wire_bytes = nas.encode();
-        let parsed = sc_fiveg::nas::NasMessage::decode(&wire_bytes)
-            .map_err(|_| LocalPathFailure::Crypto(StateCryptError::BadHomeSignature))?;
+        let parsed = {
+            let mut arena = self.arena.lock();
+            arena.reset();
+            let wire = arena.encode_nas(&nas);
+            sc_fiveg::nas::NasMessage::decode(arena.bytes(wire))
+                .map_err(|_| LocalPathFailure::Crypto(StateCryptError::BadHomeSignature))?
+        };
         let replica_bytes = parsed
             .ie(sc_fiveg::nas::IeTag::StateReplica)
             .ok_or(LocalPathFailure::NoUeSupport)?;

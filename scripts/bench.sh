@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Performance snapshot: build release and emit a machine-readable
+# BENCH_<date>.json (schema documented in docs/EXPERIMENTS.md) with
+#   - calendar-vs-heap DES events/s on the fig10/ext_chaos shapes,
+#   - run_until loop-shape throughput,
+#   - full fig10/ext_chaos runs: wall s, events/s, p99 step cost
+#     (simulated ms, from the sc-obs span sidecar),
+#   - peak RSS (VmHWM).
+#
+# The output filename's date stamp comes from here (override with
+# SC_BENCH_DATE or pass an explicit path); the Rust binary never reads
+# a wall-clock date. Everything runs --offline against the vendored
+# dependency set.
+#
+# Usage:
+#   scripts/bench.sh              # writes BENCH_<today>.json
+#   scripts/bench.sh out.json     # writes out.json
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DATE="${SC_BENCH_DATE:-$(date +%Y-%m-%d)}"
+OUT="${1:-BENCH_${DATE}.json}"
+
+echo "== bench: cargo build --release --offline -p sc-bench --bin bench-report" >&2
+cargo build -q --release --offline -p sc-bench --bin bench-report
+
+echo "== bench: bench-report $OUT" >&2
+./target/release/bench-report "$OUT"

@@ -21,6 +21,34 @@ cargo test -q --offline "$@"
 echo "== tier-1: sc-audit (warn-only; scripts/audit.sh enforces)" >&2
 cargo run -q -p sc-audit --offline -- --warn-only || true
 
+# Perf-ratchet (opt-out: SC_NO_RATCHET=1). Regenerate the fig10 sc-obs
+# sidecar deterministically (threads=1 — spans record *simulated* time,
+# so the file is byte-stable and a checked-in baseline is meaningful)
+# and gate span regressions against perf/fig10.telemetry.baseline.json
+# with `sctrace diff --fail-on-regress`. 5% headroom: simulated span
+# durations only move when modeled behavior changes, and small modeled
+# shifts should not block unrelated work; anything larger is either a
+# real regression or an intentional change that must regenerate the
+# baseline (see perf/README.md).
+if [ "${SC_NO_RATCHET:-0}" = "0" ]; then
+    echo "== tier-1: perf-ratchet (sctrace diff vs perf/fig10.telemetry.baseline.json)" >&2
+    RATCHET_TMP="$(mktemp -d)"
+    ( cd "$RATCHET_TMP" && \
+      SC_EMU_THREADS=1 cargo run -q --release --offline \
+          --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin fig10 -- \
+          --obs-out "$RATCHET_TMP/fig10.telemetry.json" >/dev/null )
+    cargo run -q --release --offline -p sc-obs --bin sctrace -- \
+        diff perf/fig10.telemetry.baseline.json "$RATCHET_TMP/fig10.telemetry.json" \
+        --fail-on-regress 5 >&2 || {
+        echo "== tier-1: FAIL — perf-ratchet: fig10 span regression vs checked-in baseline" >&2
+        echo "           (intentional change? regenerate per perf/README.md; bypass: SC_NO_RATCHET=1)" >&2
+        rm -rf "$RATCHET_TMP"
+        exit 1
+    }
+    rm -rf "$RATCHET_TMP"
+    echo "== tier-1: perf-ratchet clean (--fail-on-regress 5)" >&2
+fi
+
 # Opt-in telemetry determinism check (SC_OBS=1 scripts/tier1.sh): run
 # fig05 and fig10 with the sc-obs sidecar enabled, twice and under
 # different thread counts, and require byte-identical telemetry.json.

@@ -1,0 +1,95 @@
+//! Byte-stability of the checked-in `results/` figure JSONs.
+//!
+//! Every figure binary writes `serde_json::to_string_pretty` of its
+//! result struct; these tests regenerate each experiment in-process
+//! and require the bytes to match the checked-in file exactly. The
+//! worker-threaded experiments are additionally run at
+//! `SC_EMU_THREADS` 1 and 4 (passed explicitly through `run_with`, so
+//! the tests cannot race on the environment): the scheduler, arena,
+//! and visibility-kernel hot paths must not shift a single output
+//! byte under any thread count.
+//!
+//! fig18 is excluded by design: it reports wall-clock timings
+//! (EXPERIMENTS.md documents it as the one non-reproducible figure).
+
+use std::error::Error;
+
+/// Serialize exactly as `sc_emu::obs::run_cli` does and diff against
+/// the checked-in `results/<name>.json` bytes.
+fn assert_matches_checked_in<R: serde::Serialize>(
+    name: &str,
+    r: &R,
+) -> Result<(), Box<dyn Error>> {
+    let path = format!("{}/results/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let want = std::fs::read_to_string(&path)?;
+    let got = serde_json::to_string_pretty(r)?;
+    if got != want {
+        return Err(format!(
+            "results/{name}.json drifted: regenerated {} bytes != checked-in {} bytes",
+            got.len(),
+            want.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// Serialize two runs of the same experiment and require identity.
+fn assert_same_bytes<R: serde::Serialize>(
+    name: &str,
+    a: &R,
+    b: &R,
+) -> Result<(), Box<dyn Error>> {
+    if serde_json::to_string_pretty(a)? != serde_json::to_string_pretty(b)? {
+        return Err(format!("{name} output differs across thread counts").into());
+    }
+    Ok(())
+}
+
+#[test]
+fn threaded_experiments_byte_stable_across_thread_counts() -> Result<(), Box<dyn Error>> {
+    let (a, b) = (sc_emu::fig10::run_with(1), sc_emu::fig10::run_with(4));
+    assert_same_bytes("fig10", &a, &b)?;
+    assert_matches_checked_in("fig10", &a)?;
+
+    let (a, b) = (sc_emu::fig12::run_with(1), sc_emu::fig12::run_with(4));
+    assert_same_bytes("fig12", &a, &b)?;
+    assert_matches_checked_in("fig12", &a)?;
+
+    let (a, b) = (sc_emu::fig20::run_with(1), sc_emu::fig20::run_with(4));
+    assert_same_bytes("fig20", &a, &b)?;
+    assert_matches_checked_in("fig20", &a)?;
+
+    let (a, b) = (
+        sc_emu::ext_scaling::run_with(1),
+        sc_emu::ext_scaling::run_with(4),
+    );
+    assert_same_bytes("ext_scaling", &a, &b)?;
+    assert_matches_checked_in("ext_scaling", &a)?;
+
+    let obs = sc_obs::Recorder::disabled();
+    let (a, b) = (
+        sc_emu::ext_chaos::run_with(1, &obs),
+        sc_emu::ext_chaos::run_with(4, &obs),
+    );
+    assert_same_bytes("ext_chaos", &a, &b)?;
+    assert_matches_checked_in("ext_chaos", &a)?;
+    Ok(())
+}
+
+#[test]
+fn single_threaded_experiments_match_checked_in_results() -> Result<(), Box<dyn Error>> {
+    assert_matches_checked_in("fig05", &sc_emu::fig05::run())?;
+    assert_matches_checked_in("fig07", &sc_emu::fig07::run())?;
+    assert_matches_checked_in("fig08", &sc_emu::fig08::run())?;
+    assert_matches_checked_in("fig13", &sc_emu::fig13::run())?;
+    assert_matches_checked_in("fig17", &sc_emu::fig17::run())?;
+    assert_matches_checked_in("fig19", &sc_emu::fig19::run())?;
+    assert_matches_checked_in("fig21", &sc_emu::fig21::run())?;
+    assert_matches_checked_in("table3", &sc_emu::table3::run())?;
+    assert_matches_checked_in("table4", &sc_emu::table4::run())?;
+    assert_matches_checked_in("ext_anchor", &sc_emu::ext_anchor::run())?;
+    assert_matches_checked_in("ext_iot", &sc_emu::ext_iot::run())?;
+    assert_matches_checked_in("ext_resilience", &sc_emu::ext_resilience::run())?;
+    Ok(())
+}
