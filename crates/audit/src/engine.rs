@@ -1,10 +1,20 @@
-//! Workspace walker and ratchet comparison: ties the lexer, the rules,
-//! and the baseline together into the `sc-audit` verdict.
+//! Workspace walker and ratchet comparison: ties the lexer, the
+//! parser, the symbol table, the rules, and the baseline together into
+//! the `sc-audit` verdict.
+//!
+//! The run is two-pass. Pass 1 lexes every file, runs the token rules
+//! (R1–R3), and parses each token stream into its AST. Pass 2 merges
+//! the ASTs into a workspace [`Symbols`] table and runs the dataflow
+//! rules (R4/R5 in [`crate::flow`]) — which is what lets a type alias
+//! declared in `sc-fiveg` convict a struct field in `sc-spacecore`.
 
-use crate::baseline::Baseline;
+use crate::baseline::{Baseline, FlowCounts};
+use crate::flow::{self, FileUnit, FlowFinding};
 use crate::lexer;
-use crate::rules::{audit_tokens, Config, Finding, PanicCounts};
-use std::collections::BTreeMap;
+use crate::parser;
+use crate::rules::{self, audit_tokens, Config, Finding, PanicCounts};
+use crate::symbols::Symbols;
+use std::collections::{BTreeMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -15,9 +25,18 @@ pub struct Report {
     /// R1/R2 findings (already annotation-filtered), in deterministic
     /// file/position order.
     pub findings: Vec<Finding>,
+    /// R4/R5 dataflow findings (annotation-filtered, sorted). These are
+    /// gated by the baseline-v2 ratchet rather than failing directly,
+    /// mirroring R3: the checked-in `r4`/`r5` ceilings (normally zero)
+    /// decide pass/fail, so a grandfathered finding is visible but
+    /// non-fatal until its ceiling ratchets down.
+    pub flow: Vec<FlowFinding>,
     /// Measured R3 counters per crate directory name.
     pub counts: BTreeMap<String, PanicCounts>,
-    /// R3 ratchet violations (crate, counter, current, baseline).
+    /// Measured R4/R5 finding counts per crate directory name.
+    pub flow_counts: BTreeMap<String, FlowCounts>,
+    /// Ratchet violations (crate, counter, current, baseline) — R3
+    /// counters plus the v2 `r4`/`r5` ceilings.
     pub ratchet: Vec<RatchetViolation>,
     /// Crates now strictly below their baseline — candidates for
     /// `--update-baseline`.
@@ -35,13 +54,29 @@ pub struct RatchetViolation {
     pub baseline: u32,
 }
 
+impl RatchetViolation {
+    /// The rule family this counter ratchets (`r4`/`r5` → the dataflow
+    /// rules; everything else is R3 panic hygiene).
+    pub fn rule_label(&self) -> &'static str {
+        match self.counter {
+            "r4" => "R4-state-flow",
+            "r5" => "R5-parallel",
+            _ => "R3-ratchet",
+        }
+    }
+}
+
 impl std::fmt::Display for RatchetViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "crates/{}: R3-ratchet {} count {} exceeds baseline {} — remove the new \
+            "crates/{}: {} {} count {} exceeds baseline {} — remove the new \
              site or (after review) regenerate with --update-baseline",
-            self.krate, self.counter, self.current, self.baseline
+            self.krate,
+            self.rule_label(),
+            self.counter,
+            self.current,
+            self.baseline
         )
     }
 }
@@ -103,18 +138,88 @@ fn crate_of(rel: &str) -> Option<&str> {
 
 /// Audit a whole workspace rooted at `root` against `baseline`.
 pub fn audit_workspace(root: &Path, baseline: &Baseline, cfg: &Config) -> io::Result<Report> {
-    let mut report = Report::default();
+    let mut sources = Vec::new();
     for file in collect_files(root)? {
         let src = fs::read_to_string(&file)?;
-        let rel = rel_path(root, &file);
-        audit_one(&rel, &src, cfg, &mut report);
+        sources.push((rel_path(root, &file), src));
     }
-    compare_ratchet(baseline, &mut report);
-    Ok(report)
+    Ok(audit_sources(&sources, baseline, cfg))
 }
 
-/// Audit a single source string as if it lived at `rel` (used by the
-/// fixture tests, and by `audit_workspace` for real files).
+/// Audit a set of (relative-path, source) pairs as one mini-workspace:
+/// the full two-pass pipeline including the cross-file R4/R5 dataflow
+/// rules. `audit_workspace` is this plus the directory walk; the
+/// fixture tests call it directly with in-memory corpora.
+pub fn audit_sources(sources: &[(String, String)], baseline: &Baseline, cfg: &Config) -> Report {
+    let mut report = Report::default();
+    let mut units: Vec<FileUnit> = Vec::new();
+    // (file, line) sites where R1's token probes fired *before* allow
+    // suppression — R4 skips these (one defect, one rule, and an
+    // allow(stateful) on the line must not resurface as an R4).
+    let mut r1_sites: HashSet<(String, u32)> = HashSet::new();
+
+    for (rel, src) in sources {
+        let lexed = lexer::lex(src);
+        let (findings, counts) = audit_tokens(rel, &lexed, cfg);
+        report.findings.extend(findings);
+        if let Some(krate) = crate_of(rel) {
+            report
+                .counts
+                .entry(krate.to_string())
+                .or_default()
+                .add(&counts);
+        }
+        report.files_scanned += 1;
+
+        let mut raw = Vec::new();
+        rules::rule_stateful(rel, &lexed, cfg, &mut raw);
+        rules::rule_retained_lock(rel, &lexed, cfg, &mut raw);
+        for f in raw {
+            r1_sites.insert((rel.clone(), f.line));
+        }
+
+        // Fields under an allow(stateful|state-flow) are excused in the
+        // AST so containers of justified stores don't cascade-fire R4.
+        let excuse = |line: u32| {
+            rules::is_allowed(&lexed, "stateful", line)
+                || rules::is_allowed(&lexed, "state-flow", line)
+        };
+        let ast = parser::parse(&lexed, &excuse);
+        units.push(FileUnit {
+            rel: rel.clone(),
+            lexed,
+            ast,
+        });
+    }
+
+    let symbols = Symbols::build(
+        units
+            .iter()
+            .map(|u| (u.rel.as_str(), &u.ast, u.lexed.tokens.as_slice())),
+    );
+    let mut flow_findings = flow::rule_state_flow(&units, &symbols, cfg, &r1_sites);
+    flow_findings.extend(flow::rule_parallel(&units, cfg));
+    flow_findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    for f in &flow_findings {
+        if let Some(krate) = crate_of(&f.file) {
+            let e = report.flow_counts.entry(krate.to_string()).or_default();
+            if f.rule.starts_with("R4") {
+                e.r4 += 1;
+            } else {
+                e.r5 += 1;
+            }
+        }
+    }
+    report.flow = flow_findings;
+    compare_ratchet(baseline, &mut report);
+    report
+}
+
+/// Audit a single source string as if it lived at `rel`: token rules
+/// (R1–R3) only — the dataflow rules need the whole workspace, use
+/// [`audit_sources`] for those.
 pub fn audit_one(rel: &str, src: &str, cfg: &Config, report: &mut Report) {
     let lexed = lexer::lex(src);
     let (findings, counts) = audit_tokens(rel, &lexed, cfg);
@@ -130,7 +235,8 @@ pub fn audit_one(rel: &str, src: &str, cfg: &Config, report: &mut Report) {
 }
 
 /// Fill in `report.ratchet` / `report.improvements` from the measured
-/// counts. Crates absent from the baseline ratchet at zero.
+/// counts. Crates absent from the baseline ratchet at zero — for the
+/// R3 counters and for the v2 `r4`/`r5` ceilings alike.
 pub fn compare_ratchet(baseline: &Baseline, report: &mut Report) {
     for (krate, counts) in &report.counts {
         let base = baseline.crates.get(krate).copied().unwrap_or_default();
@@ -140,6 +246,30 @@ pub fn compare_ratchet(baseline: &Baseline, report: &mut Report) {
             ("panic", counts.panic, base.panic),
             ("unsafe", counts.r#unsafe, base.r#unsafe),
         ] {
+            if cur > allowed {
+                report.ratchet.push(RatchetViolation {
+                    krate: krate.clone(),
+                    counter,
+                    current: cur,
+                    baseline: allowed,
+                });
+            } else if cur < allowed {
+                report.improvements.push((krate.clone(), counter, cur, allowed));
+            }
+        }
+    }
+    // v2: flow-finding ceilings, over the union of measured and
+    // baselined crates (a crate can improve to zero findings and then
+    // vanish from `flow_counts`).
+    let crates: std::collections::BTreeSet<&String> = report
+        .flow_counts
+        .keys()
+        .chain(baseline.flow.keys())
+        .collect();
+    for krate in crates {
+        let cur = report.flow_counts.get(krate).copied().unwrap_or_default();
+        let base = baseline.flow.get(krate).copied().unwrap_or_default();
+        for (counter, cur, allowed) in [("r4", cur.r4, base.r4), ("r5", cur.r5, base.r5)] {
             if cur > allowed {
                 report.ratchet.push(RatchetViolation {
                     krate: krate.clone(),

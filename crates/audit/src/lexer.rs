@@ -151,6 +151,14 @@ impl<'a> Lexer<'a> {
                     self.push(TokenKind::Str, String::new(), line, col);
                 }
                 'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                'b' if self.peek(1) == Some('\'') => {
+                    // Byte-char literal `b'x'` / `b'\n'` — without this
+                    // arm the `b` would leak as an identifier token.
+                    self.bump(); // `b`
+                    self.bump(); // opening `'`
+                    self.string_body('\'');
+                    self.push(TokenKind::Char, String::new(), line, col);
+                }
                 'r' if self.peek(1) == Some('#')
                     && self
                         .peek(2)

@@ -8,21 +8,44 @@
 //! This crate turns those conventions into a CI-failing check:
 //!
 //! * **R1 `stateful`** — no per-UE keyed collections in satellite-side
-//!   modules without a written justification.
+//!   modules without a written justification (token-level probe at the
+//!   declaration site).
 //! * **R2 `timing` / `rng` / `unordered` / `float-cmp`** — no wall
 //!   clocks outside the reporters, no unseeded RNG, no hash-order
 //!   leakage into results, `total_cmp` over `partial_cmp().unwrap()`.
 //! * **R3 ratchet** — per-crate `unwrap`/`expect`/`panic!`/`unsafe`
 //!   counts can only go down, pinned by `audit.baseline.toml`.
+//! * **R4 `state-flow`** — the *semantic* statelessness prover: a
+//!   zero-dep recursive-descent parser ([`parser`]) builds a
+//!   lightweight AST ([`ast`]), a workspace symbol table with a call
+//!   graph ([`symbols`]) merges it across crates, and the dataflow
+//!   probe ([`flow`]) convicts any satellite-scope storage site whose
+//!   type transitively embeds a per-UE key — through type aliases,
+//!   newtype wrappers, generic instantiations, and cross-crate struct
+//!   fields — with an `--explain`-able flow trace.
+//! * **R5 `parallel`** — determinism of the `SC_EMU_THREADS` parallel
+//!   sweep: closures spawned into `thread::scope`/`parallel_map*`
+//!   regions must not mutate captured locals, take ad-hoc locks, or
+//!   iterate hash-ordered collections.
+//!
+//! R4/R5 are gated by the baseline-v2 per-crate `r4`/`r5` ceilings
+//! (normally zero), mirroring the R3 workflow. Machine-readable SARIF
+//! 2.1.0 output is available via `--format json` ([`sarif`]).
 //!
 //! Run it with `scripts/audit.sh` (fatal) or `scripts/tier1.sh`
 //! (warn-only). See the binary (`src/main.rs`) for the CLI.
 
+pub mod ast;
 pub mod baseline;
 pub mod engine;
+pub mod flow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
 pub use baseline::Baseline;
-pub use engine::{audit_workspace, Report};
+pub use engine::{audit_sources, audit_workspace, Report};
+pub use flow::{FlowFinding, FlowStep};
 pub use rules::{Config, Finding};

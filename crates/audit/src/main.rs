@@ -4,6 +4,7 @@
 use sc_audit::baseline::Baseline;
 use sc_audit::engine::audit_workspace;
 use sc_audit::rules::Config;
+use sc_audit::sarif;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,8 +19,12 @@ OPTIONS:
                          current directory containing crates/)
     --baseline <PATH>    Ratchet file (default: <root>/audit.baseline.toml)
     --update-baseline    Rewrite the ratchet file from current counts
+                         (including the v2 r4/r5 finding ceilings)
     --warn-only          Print findings but always exit 0 (tier-1 mode)
     --counts             Also print the per-crate R3 counters
+    --format <FMT>       Output format: text (default) or json (SARIF 2.1.0)
+    --explain            With text output, print the R4/R5 flow trace
+                         under each dataflow finding
     -h, --help           This help
 
 EXIT STATUS:
@@ -34,6 +39,8 @@ struct Args {
     update_baseline: bool,
     warn_only: bool,
     counts: bool,
+    json: bool,
+    explain: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +50,8 @@ fn parse_args() -> Result<Args, String> {
         update_baseline: false,
         warn_only: false,
         counts: false,
+        json: false,
+        explain: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,6 +63,13 @@ fn parse_args() -> Result<Args, String> {
             "--update-baseline" => args.update_baseline = true,
             "--warn-only" => args.warn_only = true,
             "--counts" => args.counts = true,
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.json = false,
+                Some("json") => args.json = true,
+                Some(other) => return Err(format!("--format must be text or json, got `{other}`")),
+                None => return Err("--format needs text or json".into()),
+            },
+            "--explain" => args.explain = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -122,7 +138,7 @@ fn main() -> ExitCode {
     };
 
     if args.update_baseline {
-        let fresh = Baseline::from_counts(&report.counts);
+        let fresh = Baseline::from_measurements(&report.counts, &report.flow_counts);
         if let Err(e) = std::fs::write(&baseline_path, fresh.render()) {
             eprintln!("sc-audit: writing {}: {e}", baseline_path.display());
             return ExitCode::from(2);
@@ -134,36 +150,53 @@ fn main() -> ExitCode {
         );
     }
 
-    if args.counts {
-        for (krate, c) in &report.counts {
-            println!(
-                "crates/{krate}: unwrap={} expect={} panic={} unsafe={}",
-                c.unwrap, c.expect, c.panic, c.r#unsafe
-            );
+    if args.json {
+        print!("{}", sarif::to_sarif(&report, args.warn_only));
+    } else {
+        if args.counts {
+            for (krate, c) in &report.counts {
+                let f = report.flow_counts.get(krate).copied().unwrap_or_default();
+                println!(
+                    "crates/{krate}: unwrap={} expect={} panic={} unsafe={} r4={} r5={}",
+                    c.unwrap, c.expect, c.panic, c.r#unsafe, f.r4, f.r5
+                );
+            }
+        }
+        for f in &report.findings {
+            println!("{f}");
+        }
+        for f in &report.flow {
+            println!("{f}");
+            if args.explain {
+                for step in &f.trace {
+                    println!("    ↳ {}:{}:{} {}", step.file, step.line, step.col, step.note);
+                }
+            }
+        }
+        if !args.update_baseline {
+            for r in &report.ratchet {
+                println!("{r}");
+            }
+            for (krate, counter, cur, base) in &report.improvements {
+                eprintln!(
+                    "sc-audit: note: crates/{krate} {counter} improved ({cur} < baseline {base}); \
+                     run --update-baseline to lock it in"
+                );
+            }
         }
     }
 
-    for f in &report.findings {
-        println!("{f}");
-    }
-    if !args.update_baseline {
-        for r in &report.ratchet {
-            println!("{r}");
-        }
-        for (krate, counter, cur, base) in &report.improvements {
-            eprintln!(
-                "sc-audit: note: crates/{krate} {counter} improved ({cur} < baseline {base}); \
-                 run --update-baseline to lock it in"
-            );
-        }
-    }
-
-    let violations = report.findings.len() + if args.update_baseline { 0 } else { report.ratchet.len() };
+    // R1/R2 findings are fatal directly; R4/R5 findings gate through
+    // the baseline-v2 ratchet (so grandfathered ceilings behave exactly
+    // like the R3 workflow).
+    let ratchet_fails = if args.update_baseline { 0 } else { report.ratchet.len() };
+    let violations = report.findings.len() + ratchet_fails;
     eprintln!(
-        "sc-audit: {} files scanned, {} finding(s), {} ratchet regression(s)",
+        "sc-audit: {} files scanned, {} finding(s), {} dataflow finding(s), {} ratchet regression(s)",
         report.files_scanned,
         report.findings.len(),
-        if args.update_baseline { 0 } else { report.ratchet.len() }
+        report.flow.len(),
+        ratchet_fails
     );
     if violations == 0 || args.warn_only {
         ExitCode::SUCCESS

@@ -77,6 +77,9 @@ pub struct Config {
     /// Files (or path prefixes) allowed to read wall clocks: the two
     /// wall-clock reporters and the benchmark harness.
     pub timing_allowlist: Vec<String>,
+    /// Path prefixes where R5 (parallel-determinism) applies: the
+    /// emulator's deterministic parallel sweep engine and its callers.
+    pub parallel_scope: Vec<String>,
     /// Type names treated as per-UE keys.
     pub per_ue_keys: Vec<String>,
     /// Pooled-buffer types from the message arena API. These hold
@@ -100,6 +103,7 @@ impl Default for Config {
                 "crates/emu/src/report.rs".into(),
                 "crates/bench/".into(),
             ],
+            parallel_scope: vec!["crates/emu/src/".into()],
             per_ue_keys: ["Supi", "Imsi", "UeId", "Suci", "Guti", "Tmsi"]
                 .iter()
                 .map(|s| s.to_string())
@@ -114,8 +118,9 @@ impl Default for Config {
 
 /// Iterator-chain methods whose result does not depend on hash-map
 /// iteration order, and type names that restore a total order; their
-/// presence in the same statement suppresses R2-unordered.
-const ORDER_INSENSITIVE: &[&str] = &[
+/// presence in the same statement suppresses R2-unordered (and R5's
+/// hash-iteration probe in [`crate::flow`]).
+pub(crate) const ORDER_INSENSITIVE: &[&str] = &[
     "sum", "count", "len", "is_empty", "min", "max", "min_by", "max_by", "min_by_key",
     "max_by_key", "all", "any", "contains", "contains_key", "sort", "sort_by", "sort_unstable",
     "sort_by_key", "sort_unstable_by", "sort_unstable_by_key", "BTreeMap", "BTreeSet",
@@ -166,7 +171,7 @@ fn rule_key(rule: &str) -> &str {
 /// Is a finding of `key` on `line` covered by a directive? A directive
 /// covers its own line (trailing comment) and the next line that holds
 /// any token (annotation-above).
-fn is_allowed(lexed: &Lexed, key: &str, line: u32) -> bool {
+pub(crate) fn is_allowed(lexed: &Lexed, key: &str, line: u32) -> bool {
     lexed.directives.iter().any(|d| {
         d.rule == key
             && (d.line == line
@@ -178,12 +183,14 @@ fn is_allowed(lexed: &Lexed, key: &str, line: u32) -> bool {
     })
 }
 
-fn path_matches(rel_path: &str, prefixes: &[String]) -> bool {
+pub(crate) fn path_matches(rel_path: &str, prefixes: &[String]) -> bool {
     prefixes.iter().any(|p| rel_path.starts_with(p.as_str()))
 }
 
 /// R1 — per-UE keyed collection type mentions in satellite-side scope.
-fn rule_stateful(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+/// `pub(crate)`: the engine re-runs this pre-suppression to compute the
+/// sites R4 must not double-report.
+pub(crate) fn rule_stateful(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
     if !path_matches(rel_path, &cfg.stateful_scope) {
         return;
     }
@@ -260,7 +267,7 @@ const GROWABLE: &[&str] = &[
 ///   recycled handle-addressed scratch, not session state, or
 /// * mention a per-UE key — the keyed-map probe already reports those
 ///   with the sharper message.
-fn rule_retained_lock(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
+pub(crate) fn rule_retained_lock(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>) {
     if !path_matches(rel_path, &cfg.stateful_scope) {
         return;
     }
@@ -414,6 +421,59 @@ fn rule_float_cmp(rel_path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     }
 }
 
+/// Identifiers declared in this token stream with a `HashMap`/`HashSet`
+/// type — `let [mut] name = … HashMap::new()` bindings and
+/// `name: …HashMap<…` field/param annotations. Sorted and deduped for
+/// `binary_search`. Shared by R2-unordered and R5's hash-iteration
+/// probe in [`crate::flow`].
+pub(crate) fn hash_typed_names(toks: &[Token]) -> Vec<String> {
+    let mut hashed: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "let" {
+            // let [mut] name … = … HashMap::new() / HashSet::new() …;
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|a| a.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|a| a.kind == TokenKind::Ident) else {
+                continue;
+            };
+            for tk in &toks[j..] {
+                if tk.is_punct(';') {
+                    break;
+                }
+                if tk.is_ident("HashMap") || tk.is_ident("HashSet") {
+                    hashed.push(name.text.clone());
+                    break;
+                }
+            }
+        } else if toks.get(i + 1).is_some_and(|a| a.is_punct(':')) {
+            // name: …HashMap<…  (struct field or parameter; look a few
+            // tokens ahead so `Mutex<HashMap<…>>` still matches).
+            let window = toks.iter().skip(i + 2).take(8);
+            let mut depth_break = false;
+            for tk in window {
+                if tk.is_punct(';') || tk.is_punct('{') {
+                    depth_break = true;
+                }
+                if depth_break {
+                    break;
+                }
+                if tk.is_ident("HashMap") || tk.is_ident("HashSet") {
+                    hashed.push(t.text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    hashed.sort_unstable();
+    hashed.dedup();
+    hashed
+}
+
 /// R2 — iteration over hash-ordered collections whose order can leak
 /// into emitted results.
 ///
@@ -435,50 +495,7 @@ fn rule_unordered(rel_path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     let toks = &lexed.tokens;
 
     // Pass 1 — collect hash-typed identifiers.
-    let mut hashed: Vec<&str> = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Ident {
-            continue;
-        }
-        if t.text == "let" {
-            // let [mut] name … = … HashMap::new() / HashSet::new() …;
-            let mut j = i + 1;
-            if toks.get(j).is_some_and(|a| a.is_ident("mut")) {
-                j += 1;
-            }
-            let Some(name) = toks.get(j).filter(|a| a.kind == TokenKind::Ident) else {
-                continue;
-            };
-            for tk in &toks[j..] {
-                if tk.is_punct(';') {
-                    break;
-                }
-                if tk.is_ident("HashMap") || tk.is_ident("HashSet") {
-                    hashed.push(&name.text);
-                    break;
-                }
-            }
-        } else if toks.get(i + 1).is_some_and(|a| a.is_punct(':')) {
-            // name: …HashMap<…  (struct field or parameter; look a few
-            // tokens ahead so `Mutex<HashMap<…>>` still matches).
-            let window = toks.iter().skip(i + 2).take(8);
-            let mut depth_break = false;
-            for tk in window {
-                if tk.is_punct(';') || tk.is_punct('{') {
-                    depth_break = true;
-                }
-                if depth_break {
-                    break;
-                }
-                if tk.is_ident("HashMap") || tk.is_ident("HashSet") {
-                    hashed.push(&t.text);
-                    break;
-                }
-            }
-        }
-    }
-    hashed.sort_unstable();
-    hashed.dedup();
+    let hashed = hash_typed_names(toks);
     if hashed.is_empty() {
         return;
     }
@@ -486,8 +503,7 @@ fn rule_unordered(rel_path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     // Pass 2 — flag order-sensitive uses.
     const ITER_METHODS: &[&str] = &["iter", "keys", "values", "into_iter", "iter_mut", "values_mut", "drain"];
     for (i, t) in toks.iter().enumerate() {
-        let is_tracked =
-            t.kind == TokenKind::Ident && hashed.binary_search(&t.text.as_str()).is_ok();
+        let is_tracked = t.kind == TokenKind::Ident && hashed.binary_search(&t.text).is_ok();
         if !is_tracked {
             continue;
         }

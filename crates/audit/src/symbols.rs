@@ -1,0 +1,258 @@
+//! The workspace symbol table: every type and fn declaration from every
+//! parsed file, merged by name across crates, plus a lightweight call
+//! graph extracted from fn body token ranges.
+//!
+//! This is deliberately a *name*-level table, not a path-resolved one:
+//! `use` renames and module paths are ignored, and a name declared in
+//! two crates gets both declarations. For the R4 question — "does this
+//! type transitively embed a per-UE key?" — merging by final name is
+//! conservative in the right direction (a false merge can only create a
+//! finding that a human reviews, never hide one), and it is what keeps
+//! the analyzer ~hundreds of lines instead of a resolver.
+
+use crate::ast::{Ast, Field, ItemKind, TypeExpr};
+use crate::lexer::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One type declaration (alias, struct, or enum) with its location.
+#[derive(Debug, Clone)]
+pub struct TypeDecl {
+    /// Workspace-relative file path.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// Declared under `mod tests` / `#[cfg(test)]`.
+    pub in_tests: bool,
+    pub kind: TypeDeclKind,
+}
+
+#[derive(Debug, Clone)]
+pub enum TypeDeclKind {
+    Alias(TypeExpr),
+    Struct(Vec<Field>),
+    Enum(Vec<Field>),
+}
+
+/// One fn declaration with its extracted body facts.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    pub file: String,
+    pub name: String,
+    /// `impl`/`trait` self type, when any.
+    pub self_ty: Option<String>,
+    pub line: u32,
+    pub col: u32,
+    pub in_tests: bool,
+    /// Names invoked as calls in the body: `name(…)` and `.name(…)`.
+    pub calls: BTreeSet<String>,
+    /// Fields of `self` this fn mutates (`self.f.insert(…)`, `self.f = …`).
+    pub mutated_fields: BTreeSet<String>,
+}
+
+/// The merged workspace table.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// Type declarations by (final-segment) name. Multiple declarations
+    /// of the same name coexist; analyses treat "any declaration
+    /// matches" as a match (conservative merge).
+    pub types: BTreeMap<String, Vec<TypeDecl>>,
+    pub fns: Vec<FnDecl>,
+}
+
+/// Method names that mutate a collection/option in place — used to
+/// detect `self.field.<mutator>(…)` retention writes for flow traces.
+const MUTATORS: &[&str] = &[
+    "insert", "push", "push_back", "push_front", "extend", "append", "entry", "remove",
+    "clear", "retain", "get_or_insert_with", "replace",
+];
+
+/// Control-flow keywords that look like calls (`if (…)`, `while (…)`)
+/// and must not enter the call graph.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "let", "else", "move", "in", "fn",
+    "unsafe", "Some", "Ok", "Err", "None",
+];
+
+impl Symbols {
+    /// Build the table from every parsed file. Items under test
+    /// subtrees are kept (and marked) for fns — the call graph may pass
+    /// through test helpers — but **excluded for types**, so a fixture
+    /// type in a test mod can never launder per-UE state into a
+    /// production finding.
+    pub fn build<'a>(files: impl IntoIterator<Item = (&'a str, &'a Ast, &'a [Token])>) -> Self {
+        let mut out = Symbols::default();
+        for (rel, ast, toks) in files {
+            for item in &ast.items {
+                match &item.kind {
+                    ItemKind::Alias { target } if !item.in_tests => {
+                        out.types.entry(item.name.clone()).or_default().push(TypeDecl {
+                            file: rel.to_string(),
+                            line: item.line,
+                            col: item.col,
+                            in_tests: item.in_tests,
+                            kind: TypeDeclKind::Alias(target.clone()),
+                        });
+                    }
+                    ItemKind::Struct { fields } if !item.in_tests => {
+                        out.types.entry(item.name.clone()).or_default().push(TypeDecl {
+                            file: rel.to_string(),
+                            line: item.line,
+                            col: item.col,
+                            in_tests: item.in_tests,
+                            kind: TypeDeclKind::Struct(fields.clone()),
+                        });
+                    }
+                    ItemKind::Enum { variants } if !item.in_tests => {
+                        out.types.entry(item.name.clone()).or_default().push(TypeDecl {
+                            file: rel.to_string(),
+                            line: item.line,
+                            col: item.col,
+                            in_tests: item.in_tests,
+                            kind: TypeDeclKind::Enum(variants.clone()),
+                        });
+                    }
+                    ItemKind::Fn(f) => {
+                        let (calls, mutated_fields) = match f.body {
+                            Some((a, b)) => body_facts(&toks[a.min(toks.len())..b.min(toks.len())]),
+                            None => (BTreeSet::new(), BTreeSet::new()),
+                        };
+                        out.fns.push(FnDecl {
+                            file: rel.to_string(),
+                            name: item.name.clone(),
+                            self_ty: f.self_ty.clone(),
+                            line: item.line,
+                            col: item.col,
+                            in_tests: item.in_tests,
+                            calls,
+                            mutated_fields,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// All fns whose call set contains `callee` (reverse call edge).
+    /// Deterministic: `fns` is in file/parse order.
+    pub fn callers_of<'a>(&'a self, callee: &'a str) -> impl Iterator<Item = &'a FnDecl> + 'a {
+        self.fns.iter().filter(move |f| f.calls.contains(callee))
+    }
+
+    /// Fns with a given self type that mutate a given field.
+    pub fn mutators_of<'a>(
+        &'a self,
+        self_ty: &'a str,
+        field: &'a str,
+    ) -> impl Iterator<Item = &'a FnDecl> + 'a {
+        self.fns.iter().filter(move |f| {
+            f.self_ty.as_deref() == Some(self_ty) && f.mutated_fields.contains(field)
+        })
+    }
+}
+
+/// Extract (calls, mutated self-fields) from one body token slice.
+fn body_facts(body: &[Token]) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut calls = BTreeSet::new();
+    let mut mutated = BTreeSet::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name (` — call or tuple-struct construction; both are edges
+        // worth following. Exclude keywords and macro bangs.
+        if body.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !NOT_CALLS.contains(&t.text.as_str())
+        {
+            calls.insert(t.text.clone());
+        }
+        // `self . f …` mutation patterns.
+        if t.text == "self"
+            && body.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && body.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+        {
+            let field = &body[i + 2].text;
+            // `self.f = …` (not `==`).
+            if body.get(i + 3).is_some_and(|n| n.is_punct('='))
+                && !body.get(i + 4).is_some_and(|n| n.is_punct('='))
+            {
+                mutated.insert(field.clone());
+            }
+            // `self.f.insert(…)` / `.push(…)` / …
+            if body.get(i + 3).is_some_and(|n| n.is_punct('.'))
+                && body
+                    .get(i + 4)
+                    .is_some_and(|n| MUTATORS.contains(&n.text.as_str()))
+                && body.get(i + 5).is_some_and(|n| n.is_punct('('))
+            {
+                mutated.insert(field.clone());
+            }
+        }
+    }
+    (calls, mutated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn build_one(rel: &str, src: &str) -> Symbols {
+        let lexed = lex(src);
+        let ast = parse(&lexed, &|_| false);
+        Symbols::build([(rel, &ast, lexed.tokens.as_slice())])
+    }
+
+    #[test]
+    fn types_merge_and_test_types_are_excluded() {
+        let src = "
+            pub type SessionKey = Supi;
+            struct Cache { seen: Vec<SessionKey> }
+            #[cfg(test)]
+            mod tests { struct Cache { evil: HashMap<Supi, u8> } }
+        ";
+        let s = build_one("crates/fiveg/src/x.rs", src);
+        assert!(matches!(
+            s.types["SessionKey"][0].kind,
+            TypeDeclKind::Alias(_)
+        ));
+        assert_eq!(s.types["Cache"].len(), 1, "test-mod struct excluded");
+    }
+
+    #[test]
+    fn call_graph_and_mutated_fields() {
+        let src = "
+            struct Cache { seen: Vec<u64>, n: u32 }
+            impl Cache {
+                fn note(&mut self, k: u64) { self.seen.push(k); self.n = self.n + 1; }
+            }
+            struct Sat { cache: Cache }
+            impl Sat {
+                fn handle(&mut self, k: u64) { if k > 0 { self.cache.note(k); } }
+            }
+            fn drive(s: &mut Sat) { s.handle(7); }
+        ";
+        let s = build_one("crates/spacecore/src/x.rs", src);
+        let note = s
+            .fns
+            .iter()
+            .find(|f| f.name == "note")
+            .expect("note parsed");
+        assert!(note.mutated_fields.contains("seen"));
+        assert!(note.mutated_fields.contains("n"));
+        assert_eq!(note.self_ty.as_deref(), Some("Cache"));
+        let handle_callers: Vec<_> = s.callers_of("handle").map(|f| f.name.as_str()).collect();
+        assert_eq!(handle_callers, vec!["drive"]);
+        let note_callers: Vec<_> = s.callers_of("note").map(|f| f.name.as_str()).collect();
+        assert_eq!(note_callers, vec!["handle"]);
+        assert!(
+            s.mutators_of("Cache", "seen").next().is_some(),
+            "mutators_of finds note"
+        );
+        // `if k > 0 (…)`-style keywords never enter the call graph.
+        let handle = s.fns.iter().find(|f| f.name == "handle").unwrap();
+        assert!(!handle.calls.contains("if"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: aliases that launder (or don't) identity. Placed at
+//! `crates/fiveg/src/alias.rs` in the mini-workspace.
+
+use crate::ids::{CellId, Supi};
+
+/// Looks innocent; IS the per-UE key. R4 must see through it.
+pub type SessionKey = Supi;
+
+/// A geospatial key alias — must stay negative.
+pub type CellKey = CellId;

@@ -1,0 +1,18 @@
+//! Fixture: a justified store, and the container cascade it must NOT
+//! trigger. Placed at `crates/spacecore/src/allowed.rs`.
+
+use std::collections::HashSet;
+
+use sc_fiveg::alias::SessionKey;
+
+pub struct PagingSat {
+    // sc-audit: allow(state-flow, reason = "bounded paging dedup window, cleared every superframe")
+    pub seen: HashSet<SessionKey>,
+}
+
+/// Holds `PagingSat` by value. The excused field above must not
+/// resurface here as "Vec of a struct that embeds a key" — the written
+/// justification covers the store *and* everything containing it.
+pub struct Fleet {
+    pub sats: Vec<PagingSat>,
+}

@@ -1,0 +1,9 @@
+//! Fixture negative: ground-segment storage. Placed at
+//! `crates/emu/src/ground.rs` — outside the satellite scope, where the
+//! paper *expects* per-UE databases (the UDM's home network side).
+
+use sc_fiveg::tracked::TrackedUe;
+
+pub struct GroundDb {
+    pub all: Vec<TrackedUe>,
+}

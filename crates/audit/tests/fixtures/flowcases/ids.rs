@@ -1,0 +1,8 @@
+//! Fixture mirror of sc-fiveg's identifier newtypes. Placed at
+//! `crates/fiveg/src/ids.rs` in the mini-workspace.
+
+/// Subscription permanent identifier — THE per-UE key.
+pub struct Supi(pub u64);
+
+/// Geospatial cell identifier — satellite-scope, not per-UE.
+pub struct CellId(pub u32);

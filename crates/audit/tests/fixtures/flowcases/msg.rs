@@ -1,0 +1,14 @@
+//! Fixture negative: per-UE identity as a value in flight. Placed at
+//! `crates/fiveg/src/msg.rs`. A request *carries* a Supi; it does not
+//! retain one — flagging this would make every NF message a finding.
+
+use crate::ids::Supi;
+
+pub struct RegistrationRequest {
+    pub supi: Supi,
+    pub seq: u32,
+}
+
+pub fn forward(msg: RegistrationRequest) -> Supi {
+    msg.supi
+}

@@ -1,0 +1,55 @@
+//! Fixture: parallel closures for R5. Placed at `crates/emu/src/par.rs`
+//! in the mini-workspace. Three seeded positives (captured-mut
+//! mutation, ad-hoc lock, hash-ordered iteration) and a known-clean
+//! closure.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub struct Scope;
+
+impl Scope {
+    pub fn spawn<F: FnOnce()>(&self, f: F) {
+        f();
+    }
+}
+
+/// Positive (a): mutating a captured binding races worker order.
+pub fn capture_mut(s: &Scope) -> u64 {
+    let mut total = 0u64;
+    s.spawn(|| {
+        total += 1;
+    });
+    total
+}
+
+/// Positive (b): ad-hoc shared-mutable access inside the closure.
+pub fn adhoc_lock(s: &Scope, shared: &Mutex<Vec<u8>>) {
+    s.spawn(|| {
+        if let Ok(mut g) = shared.lock() {
+            g.push(1);
+        }
+    });
+}
+
+/// Positive (c): hash-ordered iteration inside the closure.
+pub fn hash_iter(s: &Scope) {
+    let m: HashMap<u32, u32> = HashMap::new();
+    s.spawn(move || {
+        for (k, v) in &m { // sc-audit: allow(unordered, reason = "fixture targets the R5 probe; R2 covers the sequential case")
+            let _ = (k, v);
+        }
+    });
+}
+
+/// Negative: closure-local mutable state and an order-insensitive
+/// reduction are both fine.
+pub fn clean(s: &Scope) {
+    let m: HashMap<u32, u32> = HashMap::new();
+    s.spawn(move || {
+        let mut local = 0u32;
+        local += 1;
+        let total: u32 = m.values().sum();
+        let _ = (local, total);
+    });
+}

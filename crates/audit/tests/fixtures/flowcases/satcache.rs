@@ -1,0 +1,33 @@
+//! Fixture: the satellite-side cache R4 exists to convict. Placed at
+//! `crates/spacecore/src/satcache.rs` in the mini-workspace. Three
+//! seeded true positives (alias-laundered, cross-crate field-embedded,
+//! nested-generic) and one known negative.
+
+use std::collections::{HashMap, HashSet};
+
+use sc_fiveg::alias::SessionKey;
+use sc_fiveg::ids::{CellId, Supi};
+use sc_fiveg::tracked::TrackedUe;
+
+pub struct SessionCache {
+    pub seen: HashSet<SessionKey>,
+    pub recent: Vec<TrackedUe>,
+    pub by_cell: HashMap<CellId, Vec<Supi>>,
+    pub counts: HashMap<CellId, u64>,
+}
+
+impl SessionCache {
+    pub fn note(&mut self, k: SessionKey) {
+        self.seen.insert(k);
+    }
+}
+
+pub struct Satellite {
+    pub cache: SessionCache,
+}
+
+impl Satellite {
+    pub fn handle(&mut self, k: SessionKey) {
+        self.cache.note(k);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a struct that embeds the per-UE key in a field. Placed at
+//! `crates/fiveg/src/tracked.rs` in the mini-workspace — a *different
+//! crate* from the retention site, so catching it requires the
+//! cross-crate symbol table.
+
+use crate::ids::Supi;
+
+pub struct TrackedUe {
+    pub supi: Supi,
+    pub rtt_ms: f64,
+}

@@ -73,12 +73,12 @@ where
                 if i >= n {
                     break;
                 }
-                let item = slots[i]
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .take()
-                    .expect("each slot is claimed exactly once");
+                // sc-audit: allow(parallel, reason = "per-index slot lock; fetch_add hands each index to exactly one worker, so there is no cross-thread contention and the read is order-free")
+                let mut slot = slots[i].lock().unwrap_or_else(|p| p.into_inner());
+                let item = slot.take().expect("each slot is claimed exactly once");
+                drop(slot);
                 let r = f(item);
+                // sc-audit: allow(parallel, reason = "slot-ordered result write: output lands in its input's index, so completion order cannot leak into the collected Vec")
                 *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
             });
         }

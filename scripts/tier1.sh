@@ -16,8 +16,11 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q --offline $*" >&2
 cargo test -q --offline "$@"
 
-# Statelessness/determinism audit, warn-only at this tier: findings are
-# printed but do not fail the build. scripts/audit.sh is the fatal gate.
+# Statelessness/determinism audit, warn-only at this tier: R1/R2 token
+# findings, R4 state-flow and R5 parallel-determinism dataflow findings,
+# and R3/R4/R5 ratchet regressions are printed but do not fail the
+# build. scripts/audit.sh is the fatal gate (and emits the SARIF
+# artifact).
 echo "== tier-1: sc-audit (warn-only; scripts/audit.sh enforces)" >&2
 cargo run -q -p sc-audit --offline -- --warn-only || true
 
