@@ -3,7 +3,7 @@
 //!
 //! Usage: `bench-report <out.json>`
 //!
-//! Three sections (schema documented in EXPERIMENTS.md):
+//! Four sections (schema documented in docs/BENCHMARKS.md):
 //!
 //! * `scheduler` — events/s of the calendar-queue [`EventQueue`]
 //!   against the retained binary-heap [`ReferenceQueue`] on two
@@ -17,6 +17,13 @@
 //!   events processed (`netsim.des.processed`), end-to-end events/s,
 //!   and the p99 `netsim.sim.step` span cost in simulated ms (a
 //!   deterministic quantity: byte-stable across reruns).
+//! * `mload` — the million-UE sharded sustained-load soak
+//!   (`sc_emu::ext_mload`, full config): total UEs, churn events
+//!   processed, steady-state events/s (best wall of the serial and
+//!   parallel runs), the deterministic p99 sim-step cost, and the
+//!   serial-vs-parallel speedup. The two runs are also asserted
+//!   byte-identical — the thread-invariance contract, re-checked at
+//!   bench time.
 //!
 //! Plus `peak_rss_kb` (VmHWM) for the whole process. Wall-clock reads
 //! live here and in the shell wrapper only; the report filename's date
@@ -32,7 +39,33 @@ struct Report {
     scheduler: Scheduler,
     run_until: RunUntil,
     experiments: Experiments,
+    mload: Mload,
     peak_rss_kb: u64,
+}
+
+#[derive(Serialize)]
+struct Mload {
+    total_ues: usize,
+    /// Geospatial-cell shards driving the run.
+    shards: usize,
+    /// Worker threads of the parallel run (`SC_EMU_THREADS` or the
+    /// machine's parallelism).
+    threads: usize,
+    /// Churn events processed over warmup + measured windows.
+    events_total: u64,
+    events_measured: u64,
+    /// Mean concurrent sessions over the measured window.
+    mean_active_sessions: f64,
+    wall_s_serial: f64,
+    wall_s_parallel: f64,
+    /// `events_total` over the best wall time — the engine's sustained
+    /// processing rate.
+    steady_state_events_per_s: f64,
+    parallel_speedup: f64,
+    /// p99 per-event SpaceCore processing cost, simulated ms
+    /// (deterministic; byte-stable across reruns).
+    p99_step_cost_ms: Option<f64>,
+    signaling_reduction: f64,
 }
 
 #[derive(Serialize)]
@@ -326,6 +359,42 @@ fn timed_experiment<R>(name: &str, run: impl FnOnce(&sc_obs::Recorder) -> R) -> 
     }
 }
 
+/// The million-UE soak, timed serially and at the machine's worker
+/// count. Telemetry stays disabled (as in a production soak); the p99
+/// comes from the result's own merged histogram, so it is deterministic
+/// even here.
+fn time_mload() -> Mload {
+    use sc_emu::ext_mload::{run_config_with, MloadConfig};
+    let cfg = MloadConfig::full();
+    let rec = sc_obs::Recorder::disabled();
+    let start = Instant::now();
+    let serial = run_config_with(1, &rec, &cfg);
+    let wall_serial = start.elapsed().as_secs_f64();
+    let threads = sc_emu::engine::thread_count();
+    let start = Instant::now();
+    let parallel = run_config_with(threads, &rec, &cfg);
+    let wall_parallel = start.elapsed().as_secs_f64();
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialize"),
+        serde_json::to_string(&parallel).expect("serialize"),
+        "mload results diverged between 1 and {threads} threads"
+    );
+    Mload {
+        total_ues: cfg.total_ues,
+        shards: cfg.shards,
+        threads,
+        events_total: parallel.events_total,
+        events_measured: parallel.events_measured,
+        mean_active_sessions: parallel.mean_active_sessions,
+        wall_s_serial: wall_serial,
+        wall_s_parallel: wall_parallel,
+        steady_state_events_per_s: parallel.events_total as f64 / wall_serial.min(wall_parallel),
+        parallel_speedup: wall_serial / wall_parallel,
+        p99_step_cost_ms: parallel.p99_step_cost_ms,
+        signaling_reduction: parallel.signaling_reduction,
+    }
+}
+
 fn peak_rss_kb() -> u64 {
     let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
     status
@@ -363,11 +432,18 @@ fn main() {
         fig10: timed_experiment("fig10", sc_emu::fig10::run_obs),
         ext_chaos: timed_experiment("ext_chaos", |rec| sc_emu::ext_chaos::run_with(1, rec)),
     };
+    eprintln!("bench-report: million-UE sustained-load soak");
+    let mload = time_mload();
+    eprintln!(
+        "bench-report: mload {} UEs, {:.0} events/s steady-state, {:.2}x parallel",
+        mload.total_ues, mload.steady_state_events_per_s, mload.parallel_speedup
+    );
     let report = Report {
         schema: "sc-bench/1",
         scheduler,
         run_until,
         experiments,
+        mload,
         peak_rss_kb: peak_rss_kb(),
     };
     let json = match serde_json::to_string_pretty(&report) {

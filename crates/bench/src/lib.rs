@@ -1,2 +1,32 @@
-//! Bench-only crate: see `benches/` for one Criterion target per paper
-//! table/figure plus the DESIGN.md ablations.
+//! Measurement substrate: Criterion micro-benches plus the `BENCH_*.json`
+//! snapshot binary.
+//!
+//! The library itself is intentionally empty — everything measurable
+//! lives in two kinds of targets:
+//!
+//! * **`benches/` — one Criterion target per paper table/figure**, named
+//!   after what it reproduces (`fig05` … `fig21`, `table2_dataset`,
+//!   `table3_cells`, `table4_reductions`), plus the DESIGN.md ablations
+//!   (`ablation_routing`, `ablation_cell_granularity`,
+//!   `ablation_rollback`, `ablation_visibility`), the extension
+//!   experiments (`ext_anchor`, `ext_chaos`, `ext_resilience`), and
+//!   `des_queue`, the calendar-queue vs. binary-heap scheduler
+//!   head-to-head. Run one with
+//!   `cargo bench -p sc-bench --bench fig18a_abe`, or everything with
+//!   `cargo bench -p sc-bench`. Use these for before/after work on a
+//!   single hot path.
+//!
+//! * **`bench-report` (`src/bin/bench_report.rs`) — the cross-PR
+//!   record**: one self-timed binary that emits the `"sc-bench/1"`
+//!   snapshot consumed by `scripts/bench.sh` and checked in as
+//!   `BENCH_<date>.json`. It times the DES scheduler on fig10- and
+//!   ext_chaos-shaped workloads against the replaced binary heap, the
+//!   `run_until` loop shape, full fig10/ext_chaos experiment runs, and
+//!   the million-UE `ext_mload` soak (whose serial and parallel results
+//!   it asserts byte-identical), then reads peak RSS. Schema and the
+//!   snapshot trajectory: `docs/BENCHMARKS.md`.
+//!
+//! This crate and `scripts/` are the only places in the tree allowed to
+//! read a wall clock — everything else must be deterministic, and
+//! sc-audit's R2 rule enforces exactly that (the allowlist lives in
+//! `crates/audit`). Keep new timing code here.

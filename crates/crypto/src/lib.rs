@@ -15,7 +15,19 @@
 //!   protocol of Algorithm 2 (lines 10–14),
 //! * [`statecrypt`] — the complete Algorithm 2 workflow: home setup, key
 //!   generation for satellites/UEs, state encryption with version + TTL,
-//!   signing, decryption and verification at the serving satellite.
+//!   signing, decryption and verification at the serving satellite,
+//! * [`wire`] — the byte-exact codec for encrypted UE states: what
+//!   actually rides inside the NAS `StateReplica` IE and the GTP-U
+//!   `FutureExtensionField` (§5), so message sizes in the signaling
+//!   bills reflect real envelope overhead,
+//! * [`suci`] — the Subscription Concealed Identifier of the paper's
+//!   footnote 4: ECIES-like concealment of the permanent identity under
+//!   the home's public key, used in the initial registration.
+//!
+//! Determinism note: every operation is seeded and wall-clock-free, so
+//! the Fig. 18a/19 experiments (and their telemetry sidecars) are
+//! byte-identical across reruns — the property sc-audit's R2 rule
+//! enforces tree-wide.
 //!
 //! ## Substitution note (DESIGN.md §3)
 //!

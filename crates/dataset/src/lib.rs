@@ -16,7 +16,18 @@
 //!   the region classification used by Figure 12,
 //! * [`workload`] — event-rate models: per-UE session arrivals,
 //!   satellite-transit-driven handover/mobility-registration rates, and
-//!   the per-satellite aggregate rates behind Figures 10/12/20.
+//!   the per-satellite aggregate rates behind Figures 10/12/20,
+//! * [`traffic`] — device-class profiles (consumer broadband,
+//!   massive IoT, …) that scale those workload parameters into the
+//!   mixed-population bills of the `ext_iot` extension,
+//! * [`trace`] — Trace 1-style timestamped session event logs,
+//!   regenerated synthetically for any latency profile so examples can
+//!   show *what a session looks like*, not just its aggregate cost.
+//!
+//! Everything is seeded and deterministic: [`population::PopulationModel::sample_ues`]
+//! is the placement source for Figure 12's per-region breakdown and for
+//! the million-UE sustained-load engine (`sc_emu::ext_mload`), which
+//! shards its UEs by the geospatial cell each sampled point falls in.
 
 pub mod population;
 pub mod table2;

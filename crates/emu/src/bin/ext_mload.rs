@@ -1,0 +1,10 @@
+//! Extension experiment: million-UE sharded sustained-load engine
+//! (`--smoke` runs the bounded tier-1 variant).
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        sc_emu::obs::run_cli("ext_mload", sc_emu::ext_mload::run_smoke_obs, sc_emu::ext_mload::render);
+    } else {
+        sc_emu::obs::run_cli("ext_mload", sc_emu::ext_mload::run_obs, sc_emu::ext_mload::render);
+    }
+}

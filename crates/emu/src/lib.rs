@@ -42,6 +42,7 @@ pub mod engine;
 pub mod ext_anchor;
 pub mod ext_chaos;
 pub mod ext_iot;
+pub mod ext_mload;
 pub mod ext_resilience;
 pub mod ext_scaling;
 pub mod fig05;

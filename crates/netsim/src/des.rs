@@ -633,6 +633,45 @@ impl<E: PartialEq> EventQueue<E> {
         }
         processed
     }
+
+    /// Drain every event with `time < horizon` — a **half-open** batch
+    /// window, unlike [`Self::run_until`]'s inclusive one — into
+    /// `batch` (cleared first), in exactly the order repeated
+    /// [`Self::pop`] calls would return them. Returns the batch size.
+    ///
+    /// This is the batch-processing face of the queue: a caller steps
+    /// simulated time in fixed windows, drains each window wholesale,
+    /// and processes the drained slice without re-entering the queue
+    /// per event. Half-open windows compose — `[t0, t1)`, `[t1, t2)`, …
+    /// partition the time axis, so `drain_until(t1)` then
+    /// `drain_until(t2)` sees every event exactly once.
+    ///
+    /// Deferred processing is only equivalent to interleaved
+    /// processing when no handler reaction can land inside the window
+    /// being processed. Callers must therefore never schedule a
+    /// follow-up less than one full window ahead of the event that
+    /// triggered it; with windows of [`Self::BUCKET_WIDTH_S`] and
+    /// minimum follow-up delays of the same width (the `ext_mload`
+    /// regime), a reaction to an event in `[t, t + w)` lands at or
+    /// past `t + w` — always a later batch. The clock still advances
+    /// per drained event, so scheduling from the processing loop obeys
+    /// the same causality assert as scheduling from a handler.
+    pub fn drain_until(&mut self, horizon: f64, batch: &mut Vec<ScheduledEvent<E>>) -> usize {
+        batch.clear();
+        loop {
+            self.ensure_active();
+            match self.active.front() {
+                Some(ev) if ev.time < horizon => {}
+                _ => break,
+            }
+            let Some(ev) = self.active.pop_front() else { break };
+            self.pending -= 1;
+            self.now = ev.time;
+            self.obs.inc("netsim.des.processed", 1);
+            batch.push(ev);
+        }
+        batch.len()
+    }
 }
 
 pub mod reference {
@@ -762,6 +801,99 @@ mod tests {
         assert_eq!(seen.last().map(|e| e.1), Some(5));
         // The t=6 follow-up remains pending.
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_until_matches_pop_order_and_is_half_open() {
+        let times = [0.0, 0.9, 1.0, 1.0, 1.5, 2.0, 700.0, 0.25];
+        let mut q = EventQueue::new();
+        let mut reference = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+            reference.schedule(t, i);
+        }
+        let mut batch = Vec::new();
+        // Window [0, 1): strictly-before events only.
+        assert_eq!(q.drain_until(1.0, &mut batch), 3);
+        let got: Vec<(f64, usize)> = batch.iter().map(|e| (e.time, e.event)).collect();
+        assert_eq!(got, vec![(0.0, 0), (0.25, 7), (0.9, 1)]);
+        // Window [1, 2): the t = 1.0 ties pop FIFO; t = 2.0 excluded.
+        q.drain_until(2.0, &mut batch);
+        let got: Vec<(f64, usize)> = batch.iter().map(|e| (e.time, e.event)).collect();
+        assert_eq!(got, vec![(1.0, 2), (1.0, 3), (1.5, 4)]);
+        // The remaining drain picks up exactly the events at or past
+        // t = 2.0, still in (time, seq) order.
+        q.drain_until(f64::INFINITY, &mut batch);
+        let got: Vec<(f64, usize)> = batch.iter().map(|e| (e.time, e.event)).collect();
+        assert_eq!(got, vec![(2.0, 5), (700.0, 6)]);
+        assert!(q.is_empty());
+        // Sanity: the windowed drains together visited every event the
+        // reference queue holds, in the same global order.
+        let mut all = Vec::new();
+        while let Some(e) = reference.pop() {
+            all.push(e.event);
+        }
+        assert_eq!(all, vec![0, 7, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn drain_until_windows_equal_whole_pop_sequence() {
+        // Windowed drains concatenated = one straight pop drain.
+        let build = || {
+            let mut q = EventQueue::new();
+            let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+            for i in 0..500u32 {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let t = (rng % 10_000) as f64 / 100.0; // [0, 100)
+                q.schedule(t, i);
+            }
+            q
+        };
+        let mut straight = build();
+        let want: Vec<(f64, u64)> =
+            std::iter::from_fn(|| straight.pop().map(|e| (e.time, e.seq))).collect();
+        let mut windowed = build();
+        let mut got = Vec::new();
+        let mut batch = Vec::new();
+        for w in 0..100u32 {
+            windowed.drain_until((w + 1) as f64, &mut batch);
+            got.extend(batch.iter().map(|e| (e.time, e.seq)));
+        }
+        assert_eq!(got, want);
+        assert!(windowed.is_empty());
+    }
+
+    #[test]
+    fn drain_until_advances_clock_and_allows_next_window_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(0.25, "a");
+        q.schedule(0.75, "b");
+        let mut batch = Vec::new();
+        q.drain_until(1.0, &mut batch);
+        assert_eq!(q.now(), 0.75);
+        // A follow-up one full window ahead of the drained event is
+        // always schedulable — the ext_mload contract.
+        for e in &batch {
+            q.schedule(e.time + 1.0, "follow-up");
+        }
+        q.drain_until(2.5, &mut batch);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].time, 1.25);
+    }
+
+    #[test]
+    fn drain_until_counts_processed_events() {
+        let rec = Recorder::new();
+        let mut q = EventQueue::new();
+        q.attach_recorder(rec.clone());
+        for i in 0..10 {
+            q.schedule(i as f64 * 0.1, i);
+        }
+        let mut batch = Vec::new();
+        q.drain_until(0.55, &mut batch);
+        assert_eq!(rec.snapshot().counter("netsim.des.processed"), 6);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod paging;
 pub mod recovery;
 pub mod relay;
 pub mod satellite;
+pub mod shard;
 pub mod solutions;
 pub mod uestate;
 
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use crate::recovery::RecoveryPlan;
     pub use crate::relay::{GeoRelay, RelayDecision, RelayTrace};
     pub use crate::satellite::{SessionOutcome, SpaceCoreSatellite};
+    pub use crate::shard::{CellLedger, ProcedureCosts, ShardMap, ShardStats};
     pub use crate::solutions::{Solution, SolutionKind};
     pub use crate::uestate::UeDevice;
 }

@@ -111,6 +111,27 @@ if [ "${SC_OBS:-0}" != "0" ] && [ -n "${SC_OBS:-}" ]; then
     cmp "$OBS_TMP/ext_chaos.t1.json" "$OBS_TMP/ext_chaos.t4.json" || {
         echo "== tier-1: FAIL — ext_chaos telemetry differs across thread counts" >&2; exit 1; }
     echo "== tier-1: ext_chaos byte-stable (results + telemetry, threads 1 vs 4)" >&2
+
+    # Sustained-load engine, bounded smoke config (seconds, not the
+    # million-UE soak): per-shard recorders are merged in slot order and
+    # every reported quantity is shard-additive, so both the result JSON
+    # and the telemetry sidecar must be byte-identical across thread
+    # counts (docs/BENCHMARKS.md covers the full soak).
+    echo "== tier-1: ext_mload --smoke result/telemetry byte-stability (threads 1 vs 4)" >&2
+    ( cd "$OBS_TMP" && \
+      SC_EMU_THREADS=1 cargo run -q --release --offline \
+          --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin ext_mload -- \
+          --smoke --obs-out "$OBS_TMP/ext_mload.t1.json" >/dev/null && \
+      cp results/ext_mload.json ext_mload.r1.json && \
+      SC_EMU_THREADS=4 cargo run -q --release --offline \
+          --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin ext_mload -- \
+          --smoke --obs-out "$OBS_TMP/ext_mload.t4.json" >/dev/null && \
+      cp results/ext_mload.json ext_mload.r4.json )
+    cmp "$OBS_TMP/ext_mload.r1.json" "$OBS_TMP/ext_mload.r4.json" || {
+        echo "== tier-1: FAIL — ext_mload results differ across thread counts" >&2; exit 1; }
+    cmp "$OBS_TMP/ext_mload.t1.json" "$OBS_TMP/ext_mload.t4.json" || {
+        echo "== tier-1: FAIL — ext_mload telemetry differs across thread counts" >&2; exit 1; }
+    echo "== tier-1: ext_mload byte-stable (results + telemetry, threads 1 vs 4)" >&2
 fi
 
 echo "== tier-1: OK" >&2
