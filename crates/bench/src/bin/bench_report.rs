@@ -24,6 +24,14 @@
 //!   serial-vs-parallel speedup. The two runs are also asserted
 //!   byte-identical — the thread-invariance contract, re-checked at
 //!   bench time.
+//! * `chaosload` — the fault-injected million-UE soak
+//!   (`sc_emu::ext_chaosload`, full config): recovery SLOs of the
+//!   mid-soak crash/re-crash scenario — sessions dropped, session
+//!   survival, per-crash time-to-99%-re-established, and the
+//!   signaling-surge amplitude — plus wall times. Serial and parallel
+//!   runs are asserted byte-identical, and the two acceptance SLOs
+//!   (survival ≥ 98%, surge ≤ 3× steady state) are asserted here so a
+//!   perf or policy regression fails the bench run loudly.
 //!
 //! Plus `peak_rss_kb` (VmHWM) for the whole process. Wall-clock reads
 //! live here and in the shell wrapper only; the report filename's date
@@ -40,7 +48,31 @@ struct Report {
     run_until: RunUntil,
     experiments: Experiments,
     mload: Mload,
+    chaosload: Chaosload,
     peak_rss_kb: u64,
+}
+
+#[derive(Serialize)]
+struct Chaosload {
+    total_ues: usize,
+    threads: usize,
+    events_measured: u64,
+    wall_s_serial: f64,
+    wall_s_parallel: f64,
+    events_per_s: f64,
+    /// Connected sessions dropped by the crash/re-crash scenario.
+    sessions_dropped: u64,
+    /// Fraction re-established within the deadline (SLO: ≥ 0.98).
+    session_survival: f64,
+    /// Peak re-registration rate over the crashed footprint vs its
+    /// steady-state C1 rate (SLO: ≤ 3.0 with the retry budget on).
+    surge_amplitude: f64,
+    /// Per-crash time to 99% re-established, s (timeline order).
+    tt99_s: Vec<Option<f64>>,
+    /// p99 session re-establishment latency after a crash, simulated ms
+    /// (deterministic; byte-stable across reruns).
+    reattach_ms_p99: Option<f64>,
+    signaling_reduction: f64,
 }
 
 #[derive(Serialize)]
@@ -395,6 +427,54 @@ fn time_mload() -> Mload {
     }
 }
 
+/// The fault-injected million-UE soak, timed serially and at the
+/// machine's worker count. Beyond the byte-identity assert, this is
+/// where the PR's two recovery SLOs are enforced at bench time: the
+/// crash/re-crash scenario must keep ≥ 98 % of dropped sessions and the
+/// paced retry budget must hold the re-registration surge under 3× the
+/// steady-state C1 rate.
+fn time_chaosload() -> Chaosload {
+    use sc_emu::ext_chaosload::{run_config_with, ChaosloadConfig};
+    let cfg = ChaosloadConfig::full();
+    let rec = sc_obs::Recorder::disabled();
+    let start = Instant::now();
+    let serial = run_config_with(1, &rec, &cfg);
+    let wall_serial = start.elapsed().as_secs_f64();
+    let threads = sc_emu::engine::thread_count();
+    let start = Instant::now();
+    let parallel = run_config_with(threads, &rec, &cfg);
+    let wall_parallel = start.elapsed().as_secs_f64();
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialize"),
+        serde_json::to_string(&parallel).expect("serialize"),
+        "chaosload results diverged between 1 and {threads} threads"
+    );
+    assert!(
+        parallel.session_survival >= 0.98,
+        "session survival {:.4} below the 0.98 SLO",
+        parallel.session_survival
+    );
+    assert!(
+        parallel.surge_amplitude <= 3.0,
+        "signaling surge {:.2}x exceeds the 3x steady-state SLO",
+        parallel.surge_amplitude
+    );
+    Chaosload {
+        total_ues: cfg.load.total_ues,
+        threads,
+        events_measured: parallel.events_measured,
+        wall_s_serial: wall_serial,
+        wall_s_parallel: wall_parallel,
+        events_per_s: parallel.events_measured as f64 / wall_serial.min(wall_parallel),
+        sessions_dropped: parallel.sessions_dropped,
+        session_survival: parallel.session_survival,
+        surge_amplitude: parallel.surge_amplitude,
+        tt99_s: parallel.crashes.iter().map(|c| c.tt99_s).collect(),
+        reattach_ms_p99: parallel.reattach_ms_p99,
+        signaling_reduction: parallel.signaling_reduction,
+    }
+}
+
 fn peak_rss_kb() -> u64 {
     let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
     status
@@ -438,12 +518,21 @@ fn main() {
         "bench-report: mload {} UEs, {:.0} events/s steady-state, {:.2}x parallel",
         mload.total_ues, mload.steady_state_events_per_s, mload.parallel_speedup
     );
+    eprintln!("bench-report: million-UE chaos soak (crash/re-crash + flap + burst)");
+    let chaosload = time_chaosload();
+    eprintln!(
+        "bench-report: chaosload survival {:.2}%, surge {:.2}x, tt99 {:?} s",
+        chaosload.session_survival * 100.0,
+        chaosload.surge_amplitude,
+        chaosload.tt99_s
+    );
     let report = Report {
-        schema: "sc-bench/1",
+        schema: "sc-bench/2",
         scheduler,
         run_until,
         experiments,
         mload,
+        chaosload,
         peak_rss_kb: peak_rss_kb(),
     };
     let json = match serde_json::to_string_pretty(&report) {

@@ -17,14 +17,16 @@
 //!   single hot path.
 //!
 //! * **`bench-report` (`src/bin/bench_report.rs`) — the cross-PR
-//!   record**: one self-timed binary that emits the `"sc-bench/1"`
+//!   record**: one self-timed binary that emits the `"sc-bench/2"`
 //!   snapshot consumed by `scripts/bench.sh` and checked in as
 //!   `BENCH_<date>.json`. It times the DES scheduler on fig10- and
 //!   ext_chaos-shaped workloads against the replaced binary heap, the
-//!   `run_until` loop shape, full fig10/ext_chaos experiment runs, and
-//!   the million-UE `ext_mload` soak (whose serial and parallel results
-//!   it asserts byte-identical), then reads peak RSS. Schema and the
-//!   snapshot trajectory: `docs/BENCHMARKS.md`.
+//!   `run_until` loop shape, full fig10/ext_chaos experiment runs, the
+//!   million-UE `ext_mload` soak, and the fault-injected
+//!   `ext_chaosload` soak (both soaks' serial and parallel results
+//!   asserted byte-identical; chaosload's recovery SLOs — survival
+//!   ≥ 98 %, signaling surge ≤ 3× — asserted too), then reads peak
+//!   RSS. Schema and the snapshot trajectory: `docs/BENCHMARKS.md`.
 //!
 //! This crate and `scripts/` are the only places in the tree allowed to
 //! read a wall clock — everything else must be deterministic, and

@@ -1,0 +1,15 @@
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        sc_emu::obs::run_cli(
+            "ext_chaosload",
+            sc_emu::ext_chaosload::run_smoke_obs,
+            sc_emu::ext_chaosload::render,
+        );
+    } else {
+        sc_emu::obs::run_cli(
+            "ext_chaosload",
+            sc_emu::ext_chaosload::run_obs,
+            sc_emu::ext_chaosload::render,
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Stateless churn-randomness primitives shared by the sharded load
+//! engines (`ext_mload`, `ext_chaosload`).
+//!
+//! The engines' determinism contract — results and telemetry
+//! byte-identical across `SC_EMU_THREADS` and shard counts — rests on
+//! every random draw being a *pure hash* of `(seed, entity, draw#)`
+//! rather than a stateful RNG: a UE's own events are totally ordered by
+//! its shard's DES, so its draw counter sequence (and therefore every
+//! value) is identical under any shard layout or thread schedule.
+
+/// splitmix64 finalizer: the stateless per-UE hash stream.
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Uniform `[0, 1)` draw for `(seed, ue, draw#)` — a pure hash, so the
+/// value depends only on the UE's own draw counter, never on which
+/// shard or thread evaluates it.
+pub fn ue_unit(seed: u64, ue: u32, draw: u32) -> f64 {
+    let h = mix64(seed ^ mix64(((ue as u64) << 32) | draw as u64));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Exponential draw with mean `mean_s`, clamped to `floor_s` (the
+/// engines pass their `MIN_DELAY_S` batch-window contract). The clamp
+/// shifts < 1% of the mass for the ≥ 100 s means used here.
+pub fn exp_clamped(mean_s: f64, u: f64, floor_s: f64) -> f64 {
+    (-mean_s * (1.0 - u).max(1e-12).ln()).max(floor_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ue_unit_is_a_pure_function_of_the_key() {
+        for (seed, ue, draw) in [(0u64, 0u32, 0u32), (7, 42, 9), (u64::MAX, u32::MAX, u32::MAX)] {
+            assert_eq!(ue_unit(seed, ue, draw), ue_unit(seed, ue, draw));
+            assert!((0.0..1.0).contains(&ue_unit(seed, ue, draw)));
+        }
+        assert_ne!(ue_unit(1, 2, 3), ue_unit(1, 2, 4));
+        assert_ne!(ue_unit(1, 2, 3), ue_unit(1, 3, 3));
+        assert_ne!(ue_unit(1, 2, 3), ue_unit(2, 2, 3));
+    }
+
+    #[test]
+    fn exp_clamped_floors_at_the_batch_window() {
+        assert_eq!(exp_clamped(100.0, 0.0, 1.0), 1.0);
+        assert!(exp_clamped(100.0, 0.999, 0.25) > 100.0);
+        for i in 0..1000 {
+            assert!(exp_clamped(106.9, ue_unit(4, 1, i), 1.0) >= 1.0);
+        }
+    }
+}

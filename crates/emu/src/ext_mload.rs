@@ -166,29 +166,13 @@ fn region_slot(r: Region) -> usize {
         .expect("REGIONS covers every variant")
 }
 
-/// splitmix64 finalizer: the stateless per-UE hash stream.
-fn mix64(mut x: u64) -> u64 {
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
-    x
-}
-
-/// Uniform `[0, 1)` draw for `(seed, ue, draw#)` — a pure hash, so the
-/// value depends only on the UE's own draw counter, never on which
-/// shard or thread evaluates it.
-fn ue_unit(seed: u64, ue: u32, draw: u32) -> f64 {
-    let h = mix64(seed ^ mix64(((ue as u64) << 32) | draw as u64));
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
+use crate::churn::ue_unit;
 
 /// Exponential draw with mean `mean_s`, clamped to [`MIN_DELAY_S`].
 /// The clamp is the batch-window contract; it shifts < 1% of the mass
 /// for the ≥ 100 s means used here.
 fn exp_clamped(mean_s: f64, u: f64) -> f64 {
-    (-mean_s * (1.0 - u).max(1e-12).ln()).max(MIN_DELAY_S)
+    crate::churn::exp_clamped(mean_s, u, MIN_DELAY_S)
 }
 
 /// One UE's churn state inside its shard.

@@ -38,9 +38,11 @@
 //! byte-identical across thread counts too. Schema and metric registry:
 //! `docs/TELEMETRY.md`.
 
+pub mod churn;
 pub mod engine;
 pub mod ext_anchor;
 pub mod ext_chaos;
+pub mod ext_chaosload;
 pub mod ext_iot;
 pub mod ext_mload;
 pub mod ext_resilience;

@@ -12,15 +12,35 @@
 //! started.
 //!
 //! Everything is deterministic: the schedule is fixed up front, burst
-//! loss draws come from a seeded [`Xorshift64`] owned by the replay
-//! cursor, and event application order is (time, insertion order) — so
-//! chaos runs replay bit-identically, the property the `ext_chaos`
-//! experiment's byte-stability checks enforce.
+//! loss draws come from a counted splitmix64 hash stream keyed by the
+//! timeline seed (so the n-th draw is a pure function of `(seed, n)`,
+//! never of which cursor clone evaluates it), and event application
+//! order is (time, insertion order) — so chaos runs replay
+//! bit-identically, the property the `ext_chaos` experiment's
+//! byte-stability checks enforce. Sharded engines that fan one timeline
+//! out across UE partitions use [`ChaosCursor::burst_loss_keyed`]
+//! instead: the loss decision is keyed by `(seed, entity, draw#)` and
+//! is therefore invariant to shard layout and drain interleaving.
+//!
+//! Event times are quantized to the integer-microsecond grid on insert
+//! ([`quantize_ms_to_us_grid`]) — the same tick resolution
+//! `spacecore::shard::CellLedger` accounts busy-time in — so a chaos
+//! window split across `drain_until` batch boundaries lands on exactly
+//! the same tick no matter how the batches are cut.
 
 use crate::failure::{NodeFailures, Xorshift64};
 use crate::topo::NodeId;
 use sc_obs::{FieldValue, Recorder};
 use std::collections::HashSet;
+
+/// Quantize a simulated time (ms) onto the integer-microsecond tick
+/// grid. `CellLedger` integrates busy time in integer µs ticks; chaos
+/// windows that open and close on the same grid sum exactly across
+/// `drain_until` batch boundaries, where a raw f64 ms timestamp could
+/// straddle a tick.
+pub fn quantize_ms_to_us_grid(t_ms: f64) -> f64 {
+    (t_ms * 1000.0).round() / 1000.0
+}
 
 /// One chaos action, applied at a scheduled simulated time.
 #[derive(Debug, Clone, PartialEq)]
@@ -193,14 +213,15 @@ impl FailureTimeline {
             dead,
             links_down: HashSet::new(),
             bursts: Vec::new(),
-            rng: Xorshift64::new(self.seed.wrapping_add(0x051C_4A05)),
+            draw_seed: self.seed.wrapping_add(0x051C_4A05),
+            draws: 0,
         }
     }
 
     fn push(mut self, t_ms: f64, action: ChaosAction) -> Self {
         assert!(t_ms >= 0.0 && t_ms.is_finite(), "bad chaos time {t_ms}");
         self.events.push(ChaosEvent {
-            time_ms: t_ms,
+            time_ms: quantize_ms_to_us_grid(t_ms),
             action,
         });
         // Stable sort: ties keep insertion order, so replay order is a
@@ -228,7 +249,26 @@ pub struct ChaosCursor<'a> {
     links_down: HashSet<(NodeId, NodeId)>,
     /// LIFO stack of open burst-window probabilities.
     bursts: Vec<f64>,
-    rng: Xorshift64,
+    /// Burst-draw hash-stream key (timeline seed, domain-separated).
+    draw_seed: u64,
+    /// Draws consumed from the cursor's own stream ([`Self::burst_loss`]).
+    draws: u64,
+}
+
+/// splitmix64 finalizer — the same stateless hash stream the sharded
+/// load engines key their per-UE draws with.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Top 53 bits of a hash as a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl ChaosCursor<'_> {
@@ -294,12 +334,35 @@ impl ChaosCursor<'_> {
 
     /// Draw one burst loss for a transmission happening now. Consumes
     /// cursor randomness only while a burst window is open, so runs
-    /// without bursts never touch the RNG.
+    /// without bursts never touch the draw counter. The n-th draw is a
+    /// pure function of `(timeline seed, n)` — a counted hash stream,
+    /// not evolving RNG state — so a cursor clone replaying the same
+    /// draw sequence reproduces the same losses bit-for-bit.
     pub fn burst_loss(&mut self, obs: &Recorder) -> bool {
         let Some(&p) = self.bursts.last() else {
             return false;
         };
-        let lost = self.rng.chance(p);
+        let u = unit(mix64(self.draw_seed ^ mix64(self.draws)));
+        self.draws += 1;
+        let lost = u < p;
+        if lost {
+            obs.inc("netsim.chaos.burst_losses", 1);
+        }
+        lost
+    }
+
+    /// Keyed burst-loss draw for sharded fan-out: the decision for
+    /// `(key, draw)` — e.g. a UE id and that UE's own draw counter — is
+    /// a pure hash of `(timeline seed, key, draw)`, so it does not
+    /// depend on which shard's cursor evaluates it or in what order
+    /// shards interleave their queries. Like [`Self::burst_loss`], it
+    /// only draws while a burst window is open.
+    pub fn burst_loss_keyed(&self, key: u64, draw: u64, obs: &Recorder) -> bool {
+        let Some(&p) = self.bursts.last() else {
+            return false;
+        };
+        let u = unit(mix64(mix64(self.draw_seed ^ key).wrapping_add(draw)));
+        let lost = u < p;
         if lost {
             obs.inc("netsim.chaos.burst_losses", 1);
         }
@@ -437,6 +500,72 @@ mod tests {
         c.advance_to(1_000.0, &Recorder::disabled());
         assert!(!c.is_dead(42));
         assert_eq!(c.dead_count(), 99);
+    }
+
+    #[test]
+    fn event_times_quantize_to_the_microsecond_grid() {
+        // 0.1 ms is not exactly representable; the grid snaps it so the
+        // stored tick count is integral.
+        let tl = FailureTimeline::none()
+            .crash(0.1 + 1e-9, 1)
+            .recover(1_234.567_890_1, 1);
+        for e in tl.events() {
+            let ticks = e.time_ms * 1000.0;
+            assert_eq!(ticks, ticks.round(), "time {} not on µs grid", e.time_ms);
+        }
+        assert_eq!(tl.events()[0].time_ms, 0.1);
+        assert_eq!(tl.events()[1].time_ms, 1234.568);
+        // Monotone: quantization never reorders a flap window.
+        let flap = FailureTimeline::none().link_flap(9.999_999_6, 10.000_000_4, 0, 1);
+        assert!(flap.events()[0].time_ms <= flap.events()[1].time_ms);
+    }
+
+    #[test]
+    fn burst_stream_is_counted_not_stateful() {
+        let tl = FailureTimeline::none()
+            .loss_burst(0.0, 1_000.0, 0.5)
+            .with_seed(42);
+        let obs = Recorder::disabled();
+        let mut a = tl.cursor();
+        a.advance_to(10.0, &obs);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.burst_loss(&obs)).collect();
+        // A fresh cursor replays the identical sequence: draws are a
+        // function of (seed, draw#), not of accumulated RNG state.
+        let mut b = tl.cursor();
+        b.advance_to(500.0, &obs);
+        let seq_b: Vec<bool> = (0..64).map(|_| b.burst_loss(&obs)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&l| l) && seq_a.iter().any(|&l| !l), "p=0.5 mixes");
+    }
+
+    #[test]
+    fn keyed_burst_draws_are_order_and_cursor_independent() {
+        let tl = FailureTimeline::none()
+            .loss_burst(0.0, 1_000.0, 0.4)
+            .with_seed(7);
+        let obs = Recorder::disabled();
+        let mut c1 = tl.cursor();
+        c1.advance_to(1.0, &obs);
+        let mut c2 = tl.cursor();
+        c2.advance_to(999.0, &obs);
+        // Interleaved vs sequential query order, different cursors:
+        // every (key, draw) decision matches.
+        for key in 0..50u64 {
+            for draw in 0..4u64 {
+                assert_eq!(
+                    c1.burst_loss_keyed(key, draw, &obs),
+                    c2.burst_loss_keyed(key, draw, &obs)
+                );
+            }
+        }
+        // Consuming the cursor's own stream does not perturb keyed draws.
+        let before = c1.burst_loss_keyed(3, 0, &obs);
+        c1.burst_loss(&obs);
+        assert_eq!(before, c1.burst_loss_keyed(3, 0, &obs));
+        // Outside a burst window nothing is ever lost.
+        let mut closed = tl.cursor();
+        closed.advance_to(2_000.0, &obs);
+        assert!(!closed.burst_loss_keyed(3, 0, &obs));
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!
 //! [`RecoveryPlan`] exposes these per-solution semantics for the
 //! `ext_chaos` experiment, which replays the recovery exchange over the
-//! chaos-injected constellation and scores session survival.
+//! chaos-injected constellation and scores session survival. For the
+//! million-UE chaos soak (`ext_chaosload`), [`RecoveryCosts`] condenses
+//! the plans into the per-re-establishment signaling bill and
+//! [`RetryBudget`] paces the correlated re-registration storm a
+//! satellite crash triggers.
 
 use crate::solutions::SolutionKind;
 
@@ -98,6 +102,116 @@ impl RecoveryPlan {
     }
 }
 
+/// The per-re-establishment signaling bill of a serving-satellite
+/// crash, both designs — [`RecoveryPlan`] condensed for hot-path
+/// accounting the way `ProcedureCosts` condenses the mobility decision
+/// table. A failed attempt (replacement not yet visible, burst loss)
+/// bills the probe the UE wasted reaching for a satellite.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryCosts {
+    /// SpaceCore stateless local re-establishment (Fig. 16a): the UE
+    /// presents its self-carried replica to the replacement satellite.
+    pub local_messages: u32,
+    /// Legacy home-routed re-registration: the full C2 re-run.
+    pub legacy_messages: u32,
+    /// Messages a failed attempt wastes (one unanswered probe).
+    pub probe_messages: u32,
+}
+
+impl RecoveryCosts {
+    /// Derive from the per-solution recovery plans.
+    pub fn paper() -> Self {
+        Self {
+            local_messages: RecoveryPlan::for_solution(SolutionKind::SpaceCore).messages,
+            legacy_messages: RecoveryPlan::for_solution(SolutionKind::FiveGNtn).messages,
+            probe_messages: 1,
+        }
+    }
+}
+
+/// Retry-budget policy for the correlated re-registration storm after a
+/// satellite crash: a per-cell token bucket plus jittered exponential
+/// backoff, expressed so that admission decisions are **stateless** —
+/// a pure function of the crash instant, the UE's hash, and the attempt
+/// number.
+///
+/// A classic first-come-first-served bucket would make admission order
+/// (and therefore results) depend on how cells are split across shards
+/// and threads; instead each affected UE hashes into one of `tokens`
+/// refill slots, so the bucket drains at `1/token_interval_s` tokens
+/// per second per cell without any shard observing its neighbors. The
+/// dense per-cell bucket clocks live in `shard::CellStorm`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget {
+    /// Loss-detection delay before the first token is claimable, s.
+    /// Kept at one batch window (≥ the engines' `MIN_DELAY_S`) so the
+    /// paced retries honor the drain-batching contract; the plan-level
+    /// 200 ms detection is quantized up to it.
+    pub detect_s: f64,
+    /// Bucket refill: one token per interval per cell, s.
+    pub token_interval_s: f64,
+    /// Bucket depth: hash-slots a cell's storm spreads over.
+    pub tokens: u32,
+    /// Attempts before the budget is exhausted and the session is
+    /// declared lost.
+    pub max_attempts: u32,
+    /// First backoff step, s (grows by `backoff_factor` per retry).
+    pub backoff_base_s: f64,
+    pub backoff_factor: f64,
+    /// Backoff ceiling, s.
+    pub backoff_cap_s: f64,
+}
+
+impl RetryBudget {
+    /// The defaults the chaos soak runs with: 10 admissions/s/cell
+    /// spread over 128 slots, six attempts, 1.5 s → 6 s backoff.
+    pub fn paper_defaults() -> Self {
+        Self {
+            detect_s: 1.0,
+            token_interval_s: 0.1,
+            tokens: 128,
+            max_attempts: 6,
+            backoff_base_s: 1.5,
+            backoff_factor: 2.0,
+            backoff_cap_s: 6.0,
+        }
+    }
+
+    /// The refill slot a UE hash claims — stateless admission.
+    pub fn slot(&self, hash: u64) -> u32 {
+        (hash % self.tokens.max(1) as u64) as u32
+    }
+
+    /// Offset from the crash instant to the UE's first paced attempt:
+    /// detection, then the claimed slot's refill time, jittered within
+    /// the slot (`jitter` ∈ [0, 1)) so attempts do not align on slot
+    /// boundaries.
+    pub fn first_attempt_s(&self, slot: u32, jitter: f64) -> f64 {
+        self.detect_s + (slot as f64 + jitter) * self.token_interval_s
+    }
+
+    /// Paced delay for a *barred* fresh admission: while a cell is
+    /// overloaded the satellite broadcasts access-class barring, and
+    /// new-session requests re-enter the bucket on a half-rate lane —
+    /// recovery traffic keeps priority for the full token rate.
+    pub fn admission_attempt_s(&self, slot: u32, jitter: f64) -> f64 {
+        self.detect_s + (slot as f64 + jitter) * self.token_interval_s * 2.0
+    }
+
+    /// Jittered exponential backoff before retry `retry` (1-based):
+    /// `base · factor^(retry−1)` capped, scaled by ±25% jitter.
+    pub fn backoff_s(&self, retry: u32, jitter: f64) -> f64 {
+        let exp = self.backoff_factor.powi(retry.saturating_sub(1).min(16) as i32);
+        (self.backoff_base_s * exp).min(self.backoff_cap_s) * (0.75 + 0.5 * jitter)
+    }
+
+    /// Worst-case pacing spread: time for the bucket to admit every
+    /// slot once.
+    pub fn spread_s(&self) -> f64 {
+        self.detect_s + self.tokens as f64 * self.token_interval_s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +253,38 @@ mod tests {
             assert!(sc.messages < p.messages, "{k:?}");
             assert!(sc.detection_delay_ms < p.detection_delay_ms, "{k:?}");
         }
+    }
+
+    #[test]
+    fn recovery_costs_mirror_the_plans() {
+        let c = RecoveryCosts::paper();
+        assert_eq!(c.local_messages, 4, "Fig. 16a local re-establishment");
+        assert_eq!(c.legacy_messages, 13, "full C2 re-run");
+        assert!(c.probe_messages < c.local_messages);
+    }
+
+    #[test]
+    fn retry_budget_slots_pace_and_backoff_grows() {
+        let b = RetryBudget::paper_defaults();
+        // Slots cover [0, tokens) and pace at one per interval.
+        for h in [0u64, 1, 127, 128, 12_345_678, u64::MAX] {
+            assert!(b.slot(h) < b.tokens);
+        }
+        assert!(b.first_attempt_s(0, 0.0) >= b.detect_s);
+        let gap = b.first_attempt_s(1, 0.5) - b.first_attempt_s(0, 0.5);
+        assert!((gap - b.token_interval_s).abs() < 1e-12);
+        assert!(b.first_attempt_s(b.tokens - 1, 0.999) <= b.spread_s());
+        // Backoff: monotone up to the cap, jitter within ±25%.
+        let mut prev = 0.0;
+        for retry in 1..=b.max_attempts {
+            let s = b.backoff_s(retry, 0.5);
+            assert!(s >= prev);
+            assert!(s <= b.backoff_cap_s * 1.25 + 1e-12);
+            prev = s;
+        }
+        assert!(b.backoff_s(1, 0.0) >= 0.75 * b.backoff_base_s);
+        // Huge retry counts saturate instead of overflowing the exponent.
+        assert_eq!(b.backoff_s(1_000, 0.5), b.backoff_s(17, 0.5));
     }
 
     #[test]

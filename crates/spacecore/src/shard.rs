@@ -28,6 +28,7 @@
 //! output across `SC_EMU_THREADS` and shard counts.
 
 use crate::mobility::{MobilityEvent, MobilityManager};
+use crate::recovery::RecoveryCosts;
 use sc_fiveg::conn::ConnState;
 use sc_fiveg::messages::{Procedure, ProcedureKind};
 use sc_geo::cells::{CellGrid, CellId};
@@ -345,6 +346,134 @@ impl ShardStats {
     }
 }
 
+/// Dense per-cell storm state for chaos injection: the retry-budget
+/// bucket clock and the overload/admission-control window, both **by
+/// cell index** (`Vec<u64>` of µs ticks — no per-UE keyed collections,
+/// same statelessness rule `CellLedger` obeys).
+///
+/// When a serving satellite crashes, every cell in its footprint opens
+/// a *storm*: `storm_start_us` anchors the cell's token-bucket refill
+/// clock (retries are paced from the crash instant, see
+/// `recovery::RetryBudget`), and `overload_until_us` marks the window
+/// during which the replacement satellite sheds or defers low-priority
+/// signaling. Both are derived purely from the failure timeline, so
+/// every shard — under any shard layout — computes identical windows.
+#[derive(Debug, Clone)]
+pub struct CellStorm {
+    storm_start_us: Vec<u64>,
+    overload_until_us: Vec<u64>,
+}
+
+impl CellStorm {
+    /// Quiet state over `cells` cells: no storms, no overload.
+    pub fn new(cells: usize) -> Self {
+        Self {
+            storm_start_us: vec![0; cells],
+            overload_until_us: vec![0; cells],
+        }
+    }
+
+    /// Open a storm over a contiguous cell range (a crashed satellite's
+    /// footprint): anchor the bucket clock at the crash tick and extend
+    /// the overload window (overlapping storms keep the later close).
+    pub fn open(&mut self, cells: std::ops::Range<usize>, start_us: u64, until_us: u64) {
+        for c in cells {
+            self.storm_start_us[c] = start_us;
+            self.overload_until_us[c] = self.overload_until_us[c].max(until_us);
+        }
+    }
+
+    /// The cell's current bucket-clock anchor (µs tick of the most
+    /// recent crash affecting it; 0 = never stormed).
+    pub fn storm_start_us(&self, cell: usize) -> u64 {
+        self.storm_start_us[cell]
+    }
+
+    /// Is the cell's serving satellite inside an overload window at
+    /// `now_us`?
+    pub fn overloaded(&self, cell: usize, now_us: u64) -> bool {
+        now_us < self.overload_until_us[cell]
+    }
+
+    /// Cells currently inside an overload window.
+    pub fn overloaded_cells(&self, now_us: u64) -> usize {
+        self.overload_until_us.iter().filter(|&&u| now_us < u).count()
+    }
+}
+
+/// Additive robustness tallies for one shard of the chaos soak:
+/// drop/re-establishment counts, the overload-shedding ledger, and the
+/// recovery signaling bill under both designs. Merging is plain `+=`,
+/// like [`ShardStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Sessions dropped by satellite crashes.
+    pub dropped: u64,
+    /// Re-establishment attempts (paced first tries plus retries).
+    pub reattach_attempts: u64,
+    /// Attempts that failed (satellite still down, link down, burst loss).
+    pub reattach_failures: u64,
+    /// Sessions successfully re-established locally.
+    pub reattached: u64,
+    /// Sessions that exhausted the retry budget and were declared lost.
+    pub budget_exhausted: u64,
+    /// Connected-UE sweeps whose handover signaling was deferred by the
+    /// overload gate.
+    pub deferred_handovers: u64,
+    /// RRC releases deferred by the overload gate.
+    pub deferred_releases: u64,
+    /// Cell-crossing C4 updates shed (dropped outright) by the gate.
+    pub shed_crossings: u64,
+    /// Fresh establishments deferred because the serving satellite was
+    /// down at arrival.
+    pub deferred_establishments: u64,
+    /// Attempts killed by a loss-burst window.
+    pub burst_losses: u64,
+    /// Recovery signaling billed to the SpaceCore design.
+    pub spacecore_msgs: u64,
+    /// Recovery signaling billed to the legacy stateful design.
+    pub legacy_msgs: u64,
+}
+
+impl ChaosStats {
+    /// Merge another shard's tallies into this one.
+    pub fn absorb(&mut self, o: &ChaosStats) {
+        self.dropped += o.dropped;
+        self.reattach_attempts += o.reattach_attempts;
+        self.reattach_failures += o.reattach_failures;
+        self.reattached += o.reattached;
+        self.budget_exhausted += o.budget_exhausted;
+        self.deferred_handovers += o.deferred_handovers;
+        self.deferred_releases += o.deferred_releases;
+        self.shed_crossings += o.shed_crossings;
+        self.deferred_establishments += o.deferred_establishments;
+        self.burst_losses += o.burst_losses;
+        self.spacecore_msgs += o.spacecore_msgs;
+        self.legacy_msgs += o.legacy_msgs;
+    }
+
+    /// Bill a failed re-establishment attempt (one wasted probe each
+    /// design); returns the SpaceCore-side message count.
+    pub fn bill_attempt_failure(&mut self, costs: &RecoveryCosts) -> u32 {
+        self.reattach_attempts += 1;
+        self.reattach_failures += 1;
+        self.spacecore_msgs += costs.probe_messages as u64;
+        self.legacy_msgs += costs.probe_messages as u64;
+        costs.probe_messages
+    }
+
+    /// Bill a successful local re-establishment (4 messages SpaceCore,
+    /// the 13-message home-routed re-registration legacy); returns the
+    /// SpaceCore-side message count.
+    pub fn bill_reattach(&mut self, costs: &RecoveryCosts) -> u32 {
+        self.reattach_attempts += 1;
+        self.reattached += 1;
+        self.spacecore_msgs += costs.local_messages as u64;
+        self.legacy_msgs += costs.legacy_messages as u64;
+        costs.local_messages
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +571,49 @@ mod tests {
         b.bill_crossing(&costs);
         a.absorb(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn cell_storm_windows_merge_by_latest_close() {
+        let mut s = CellStorm::new(10);
+        assert!(!s.overloaded(3, 0));
+        assert_eq!(s.overloaded_cells(0), 0);
+        s.open(2..5, 1_000_000, 5_000_000);
+        assert_eq!(s.storm_start_us(3), 1_000_000);
+        assert!(s.overloaded(3, 4_999_999) && !s.overloaded(3, 5_000_000));
+        assert!(!s.overloaded(5, 2_000_000), "outside the footprint");
+        // A second overlapping storm re-anchors the clock but never
+        // shortens the overload window.
+        s.open(3..6, 2_000_000, 4_000_000);
+        assert_eq!(s.storm_start_us(3), 2_000_000);
+        assert!(s.overloaded(3, 4_500_000), "earlier window still open");
+        assert!(s.overloaded(5, 3_999_999));
+        assert_eq!(s.overloaded_cells(3_000_000), 4);
+    }
+
+    #[test]
+    fn chaos_stats_absorb_matches_single_stream() {
+        let costs = RecoveryCosts::paper();
+        let mut whole = ChaosStats::default();
+        let mut a = ChaosStats::default();
+        let mut b = ChaosStats::default();
+        for i in 0..9u32 {
+            let part = if i % 2 == 0 { &mut a } else { &mut b };
+            if i % 3 == 0 {
+                whole.bill_attempt_failure(&costs);
+                part.bill_attempt_failure(&costs);
+            } else {
+                whole.bill_reattach(&costs);
+                part.bill_reattach(&costs);
+            }
+        }
+        whole.dropped += 4;
+        a.dropped += 4;
+        a.absorb(&b);
+        assert_eq!(a, whole);
+        assert_eq!(whole.reattach_attempts, whole.reattached + whole.reattach_failures);
+        // The stateless recovery bill stays far below the home-routed one.
+        assert!(whole.legacy_msgs > 2 * whole.spacecore_msgs);
     }
 
     #[test]

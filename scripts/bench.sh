@@ -8,6 +8,10 @@
 #   - the million-UE ext_mload soak: total UEs, steady-state events/s,
 #     p99 sim-step cost, serial-vs-parallel wall (results asserted
 #     byte-identical across thread counts),
+#   - the fault-injected ext_chaosload soak: sessions dropped, session
+#     survival, per-crash tt99, signaling-surge amplitude (byte-identity
+#     asserted again, plus the recovery SLOs: survival >= 98%,
+#     surge <= 3x steady state),
 #   - peak RSS (VmHWM).
 #
 # The output filename's date stamp comes from here (override with

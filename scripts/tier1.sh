@@ -132,6 +132,29 @@ if [ "${SC_OBS:-0}" != "0" ] && [ -n "${SC_OBS:-}" ]; then
     cmp "$OBS_TMP/ext_mload.t1.json" "$OBS_TMP/ext_mload.t4.json" || {
         echo "== tier-1: FAIL — ext_mload telemetry differs across thread counts" >&2; exit 1; }
     echo "== tier-1: ext_mload byte-stable (results + telemetry, threads 1 vs 4)" >&2
+
+    # Chaos under load, bounded smoke config: the fault-injected soak
+    # (satellite crash + mid-recovery re-crash, feeder flap, loss burst)
+    # drives paced reattach storms, admission barring and overload
+    # deferral across shard boundaries — every one of those draws is
+    # keyed by (seed, ue, attempt) and chaos markers replay per shard,
+    # so results and telemetry must still be byte-identical across
+    # thread counts (docs/BENCHMARKS.md covers the full soak + SLOs).
+    echo "== tier-1: ext_chaosload --smoke result/telemetry byte-stability (threads 1 vs 4)" >&2
+    ( cd "$OBS_TMP" && \
+      SC_EMU_THREADS=1 cargo run -q --release --offline \
+          --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin ext_chaosload -- \
+          --smoke --obs-out "$OBS_TMP/ext_chaosload.t1.json" >/dev/null && \
+      cp results/ext_chaosload.json ext_chaosload.r1.json && \
+      SC_EMU_THREADS=4 cargo run -q --release --offline \
+          --manifest-path "$OLDPWD/Cargo.toml" -p sc-emu --bin ext_chaosload -- \
+          --smoke --obs-out "$OBS_TMP/ext_chaosload.t4.json" >/dev/null && \
+      cp results/ext_chaosload.json ext_chaosload.r4.json )
+    cmp "$OBS_TMP/ext_chaosload.r1.json" "$OBS_TMP/ext_chaosload.r4.json" || {
+        echo "== tier-1: FAIL — ext_chaosload results differ across thread counts" >&2; exit 1; }
+    cmp "$OBS_TMP/ext_chaosload.t1.json" "$OBS_TMP/ext_chaosload.t4.json" || {
+        echo "== tier-1: FAIL — ext_chaosload telemetry differs across thread counts" >&2; exit 1; }
+    echo "== tier-1: ext_chaosload byte-stable (results + telemetry, threads 1 vs 4)" >&2
 fi
 
 echo "== tier-1: OK" >&2
