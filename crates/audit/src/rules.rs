@@ -72,7 +72,11 @@ impl PanicCounts {
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Path prefixes where R1 (per-UE keyed collections) applies: the
-    /// satellite-side modules and the 5G NF hot paths.
+    /// satellite-side modules and the 5G NF hot paths. The sc-obs
+    /// windowed-series buffers inside this scope are fine by
+    /// construction — dense window-indexed `Vec`s keyed by sim-time
+    /// window, never by subscriber identity — so R1's per-UE-key probe
+    /// does not (and must not) fire on the series API.
     pub stateful_scope: Vec<String>,
     /// Files (or path prefixes) allowed to read wall clocks: the two
     /// wall-clock reporters and the benchmark harness.
@@ -350,9 +354,10 @@ fn rule_timing(rel_path: &str, lexed: &Lexed, cfg: &Config, out: &mut Vec<Findin
                 message: format!(
                     "`{}::now()` outside the timing allowlist breaks byte-identical \
                      results; thread simulated time through instead (telemetry \
-                     belongs in sc-obs, whose `Recorder::event`, histograms, and \
-                     `span_open`/`span_close` spans all take sim-time, never \
-                     wall-clock)",
+                     belongs in sc-obs, whose `Recorder::event`, histograms, \
+                     `span_open`/`span_close` spans, and the windowed \
+                     `series_inc`/`series_gauge` time-series all take sim-time, \
+                     never wall-clock)",
                     t.text
                 ),
             });

@@ -31,7 +31,9 @@
 //!   signaling-surge amplitude — plus wall times. Serial and parallel
 //!   runs are asserted byte-identical, and the two acceptance SLOs
 //!   (survival ≥ 98%, surge ≤ 3× steady state) are asserted here so a
-//!   perf or policy regression fails the bench run loudly.
+//!   perf or policy regression fails the bench run loudly. `sc-bench/3`
+//!   adds the surge-per-window summary (breached windows, peak window
+//!   time, settle time) from the folded 1 s re-registration windows.
 //!
 //! Plus `peak_rss_kb` (VmHWM) for the whole process. Wall-clock reads
 //! live here and in the shell wrapper only; the report filename's date
@@ -67,6 +69,13 @@ struct Chaosload {
     /// Peak re-registration rate over the crashed footprint vs its
     /// steady-state C1 rate (SLO: ≤ 3.0 with the retry budget on).
     surge_amplitude: f64,
+    /// Surge-per-window summary over the 1 s re-registration windows
+    /// (`sc-bench/3`): measured windows above the 3× steady-state
+    /// budget (0 with the retry budget on), the sim-time of the peak
+    /// window, and when the storm settled back to ≤ the steady C1 rate.
+    surge_breached_windows: u64,
+    surge_peak_t_s: f64,
+    surge_settle_t_s: Option<f64>,
     /// Per-crash time to 99% re-established, s (timeline order).
     tt99_s: Vec<Option<f64>>,
     /// p99 session re-establishment latency after a crash, simulated ms
@@ -459,6 +468,31 @@ fn time_chaosload() -> Chaosload {
         "signaling surge {:.2}x exceeds the 3x steady-state SLO",
         parallel.surge_amplitude
     );
+    // Surge-per-window summary from the folded 1 s re-registration
+    // windows (the same vector the `emu.chaosload.rereg_storm_per_s`
+    // telemetry series and the windowed SLO pass are built from).
+    let warmup_win = (cfg.load.warmup_s as usize).min(parallel.rereg_storm_win.len());
+    let budget = 3.0 * parallel.steady_c1_per_s;
+    let measured = &parallel.rereg_storm_win[warmup_win..];
+    let surge_breached_windows =
+        measured.iter().filter(|&&v| v as f64 > budget).count() as u64;
+    // Ties resolve to the earliest window, like `SidecarSeries::peak`.
+    let peak_off = measured
+        .iter()
+        .enumerate()
+        .fold((0usize, 0u64), |best, (i, &v)| {
+            if v > best.1 {
+                (i, v)
+            } else {
+                best
+            }
+        })
+        .0;
+    let surge_peak_t_s = (warmup_win + peak_off) as f64;
+    let surge_settle_t_s = measured[peak_off..]
+        .iter()
+        .position(|&v| (v as f64) <= parallel.steady_c1_per_s)
+        .map(|i| (warmup_win + peak_off + i) as f64);
     Chaosload {
         total_ues: cfg.load.total_ues,
         threads,
@@ -469,6 +503,9 @@ fn time_chaosload() -> Chaosload {
         sessions_dropped: parallel.sessions_dropped,
         session_survival: parallel.session_survival,
         surge_amplitude: parallel.surge_amplitude,
+        surge_breached_windows,
+        surge_peak_t_s,
+        surge_settle_t_s,
         tt99_s: parallel.crashes.iter().map(|c| c.tt99_s).collect(),
         reattach_ms_p99: parallel.reattach_ms_p99,
         signaling_reduction: parallel.signaling_reduction,
@@ -527,7 +564,7 @@ fn main() {
         chaosload.tt99_s
     );
     let report = Report {
-        schema: "sc-bench/2",
+        schema: "sc-bench/3",
         scheduler,
         run_until,
         experiments,

@@ -17,7 +17,7 @@
 //!   single hot path.
 //!
 //! * **`bench-report` (`src/bin/bench_report.rs`) — the cross-PR
-//!   record**: one self-timed binary that emits the `"sc-bench/2"`
+//!   record**: one self-timed binary that emits the `"sc-bench/3"`
 //!   snapshot consumed by `scripts/bench.sh` and checked in as
 //!   `BENCH_<date>.json`. It times the DES scheduler on fig10- and
 //!   ext_chaos-shaped workloads against the replaced binary heap, the

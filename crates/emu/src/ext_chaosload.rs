@@ -456,6 +456,12 @@ fn run_shard(ctx: ShardCtx<'_>, mut ues: Vec<Ue>, rec: &sc_obs::Recorder) -> Sha
     let mut crash_rows: Vec<CrashTrack> = metas.iter().map(|_| CrashTrack::new(in_slots)).collect();
     let mut est_storm_win = vec![0u64; windows_1s];
     let mut rereg_storm_win = vec![0u64; windows_1s];
+    // Storm-gate activity per 1 s window: signaling the overload gate
+    // (or an outage) deferred into the paced lane, and C4 updates it
+    // shed outright. Dense window-indexed Vecs like the storm windows
+    // above — emitted as shard-additive counter series at shard end.
+    let mut gate_deferred_win = vec![0u64; windows_1s];
+    let mut gate_shed_win = vec![0u64; windows_1s];
     let mut events_total = 0u64;
     let mut events_measured = 0u64;
 
@@ -547,6 +553,7 @@ fn run_shard(ctx: ShardCtx<'_>, mut ues: Vec<Ue>, rec: &sc_obs::Recorder) -> Sha
                                 if measured {
                                     stats.arrivals += 1;
                                     cstats.deferred_establishments += 1;
+                                    gate_deferred_win[win_of(t)] += 1;
                                     // Only a burst-lost setup actually
                                     // transmitted to a live satellite;
                                     // barred UEs stay silent and against
@@ -605,6 +612,7 @@ fn run_shard(ctx: ShardCtx<'_>, mut ues: Vec<Ue>, rec: &sc_obs::Recorder) -> Sha
                         // signaling — defer it past the storm.
                         if measured {
                             cstats.deferred_releases += 1;
+                            gate_deferred_win[win_of(t)] += 1;
                         }
                         let u = ue.draw(seed);
                         q.schedule(t + MIN_DELAY_S + u, Ev::Release { ue: i, gen });
@@ -631,6 +639,7 @@ fn run_shard(ctx: ShardCtx<'_>, mut ues: Vec<Ue>, rec: &sc_obs::Recorder) -> Sha
                             // sweep cadence resumes once it lands.
                             if measured {
                                 cstats.deferred_handovers += 1;
+                                gate_deferred_win[win_of(t)] += 1;
                             }
                             let u = ue.draw(seed);
                             q.schedule(t + MIN_DELAY_S + u, Ev::Sweep(i));
@@ -667,6 +676,7 @@ fn run_shard(ctx: ShardCtx<'_>, mut ues: Vec<Ue>, rec: &sc_obs::Recorder) -> Sha
                         // still draws so the stream stays aligned.
                         if measured {
                             cstats.shed_crossings += 1;
+                            gate_shed_win[win_of(t)] += 1;
                         }
                         observe_cost(seed, &mut ues[i as usize], 0, measured, &mut step_hist, rec);
                     } else {
@@ -694,6 +704,7 @@ fn run_shard(ctx: ShardCtx<'_>, mut ues: Vec<Ue>, rec: &sc_obs::Recorder) -> Sha
                         // half-rate admission lane.
                         if measured {
                             cstats.deferred_establishments += 1;
+                            gate_deferred_win[win_of(t)] += 1;
                         }
                         if ue.attempt >= cfg.budget.max_attempts {
                             if measured {
@@ -874,8 +885,28 @@ fn run_shard(ctx: ShardCtx<'_>, mut ues: Vec<Ue>, rec: &sc_obs::Recorder) -> Sha
         }
     }
 
-    // Shard telemetry: counters and integer-valued histograms only
-    // (shard-additive; see the `ext_mload` policy note).
+    // Shard telemetry: counters, integer-valued histograms, and counter
+    // series only (all shard-additive; see the `ext_mload` policy note).
+    // SLO_WINDOW_S equals the series window (1.0 s), so the window
+    // index maps one-to-one onto the series tick grid.
+    for (w, &v) in gate_deferred_win.iter().enumerate() {
+        if v > 0 {
+            rec.series_inc_tick(
+                "emu.chaosload.gate_deferred_per_s",
+                w as u64 * sc_obs::WINDOW_TICKS,
+                v,
+            );
+        }
+    }
+    for (w, &v) in gate_shed_win.iter().enumerate() {
+        if v > 0 {
+            rec.series_inc_tick(
+                "emu.chaosload.gate_shed_per_s",
+                w as u64 * sc_obs::WINDOW_TICKS,
+                v,
+            );
+        }
+    }
     rec.inc("emu.chaosload.events", events_total);
     rec.inc("emu.chaosload.arrivals", stats.arrivals);
     rec.inc("emu.chaosload.establishments", stats.establishments);
@@ -968,6 +999,12 @@ pub struct ExtChaosload {
     pub reattach_ms_p50: Option<f64>,
     pub reattach_ms_p99: Option<f64>,
     pub crashes: Vec<CrashRow>,
+    /// Re-registration signaling per 1 s window over the storm cells —
+    /// the folded source of `peak_rereg_per_s` and the
+    /// `emu.chaosload.rereg_storm_per_s` telemetry series; the storm's
+    /// time axis in the results JSON. `bench-report` reads it
+    /// in-process for the surge-per-window summary.
+    pub rereg_storm_win: Vec<u64>,
 }
 
 /// Per-crash recovery SLO row.
@@ -1155,6 +1192,67 @@ pub fn run_config_with(threads: usize, obs: &sc_obs::Recorder, cfg: &ChaosloadCo
     obs.set_gauge("emu.chaosload.peak_rereg_per_s", peak_rereg_per_s);
     obs.set_gauge("emu.chaosload.surge_amplitude", surge_amplitude);
 
+    // The folded storm windows as top-level counter series (emitted
+    // once, serially — the per-shard vecs were already summed in slot
+    // order above, so the series is shard- and thread-invariant), then
+    // the windowed SLO pass over them: burn = re-registration signaling
+    // per window against the surge budget (3× the storm cells' steady
+    // C1 rate), plus a recovery rule — once every crash's
+    // re-establishment deadline has passed, the storm must have decayed
+    // back under 2× steady. `SloTracker::record` writes the
+    // `slo.burn.*` gauge series, the `slo.breached_windows.*` counters,
+    // and one `slo.breach` event at each rule's first breach.
+    for (w, &v) in est_storm_win.iter().enumerate() {
+        if v > 0 {
+            obs.series_inc_tick(
+                "emu.chaosload.est_storm_per_s",
+                w as u64 * sc_obs::WINDOW_TICKS,
+                v,
+            );
+        }
+    }
+    for (w, &v) in rereg_storm_win.iter().enumerate() {
+        if v > 0 {
+            obs.series_inc_tick(
+                "emu.chaosload.rereg_storm_per_s",
+                w as u64 * sc_obs::WINDOW_TICKS,
+                v,
+            );
+        }
+    }
+    if obs.enabled() {
+        let surge_budget = 3.0 * steady_c1_per_s * SLO_WINDOW_S;
+        let recovery_win = metas
+            .iter()
+            .map(|m| ((m.t_s + cfg.deadline_s) / SLO_WINDOW_S).ceil() as u64)
+            .max()
+            .unwrap_or(0);
+        let recovery_budget = 2.0 * steady_c1_per_s * SLO_WINDOW_S;
+        let tracker = sc_obs::SloTracker::new(vec![
+            sc_obs::SloRule::new(
+                "chaosload.surge",
+                "emu.chaosload.rereg_storm_per_s",
+                surge_budget,
+            )
+            .over_windows(warmup_win as u64, windows_1s as u64)
+            .emit_as(
+                "slo.burn.chaosload_surge",
+                "slo.breached_windows.chaosload_surge",
+            ),
+            sc_obs::SloRule::new(
+                "chaosload.recovery",
+                "emu.chaosload.rereg_storm_per_s",
+                recovery_budget,
+            )
+            .over_windows(recovery_win, windows_1s as u64)
+            .emit_as(
+                "slo.burn.chaosload_recovery",
+                "slo.breached_windows.chaosload_recovery",
+            ),
+        ]);
+        tracker.record(obs, SLO_WINDOW_S);
+    }
+
     ExtChaosload {
         total_ues: cfg.load.total_ues,
         cells: grid.cell_count(),
@@ -1214,6 +1312,7 @@ pub fn run_config_with(threads: usize, obs: &sc_obs::Recorder, cfg: &ChaosloadCo
                 tt99_s: row.tt99_s(),
             })
             .collect(),
+        rereg_storm_win,
     }
 }
 

@@ -278,6 +278,17 @@ fn run_shard(
     for w in 0..windows {
         let end = ((w + 1) as f64 * BATCH_WINDOW_S).min(horizon);
         q.drain_until(end, &mut batch);
+        // Windowed event rate: BATCH_WINDOW_S equals the series window
+        // (1.0 s), so a drained batch maps to exactly one window — the
+        // counter series adds elementwise across shards and is
+        // therefore shard- and thread-invariant like the counters.
+        if !batch.is_empty() {
+            rec.series_inc_tick(
+                "emu.mload.events_per_s",
+                w * sc_obs::WINDOW_TICKS,
+                batch.len() as u64,
+            );
+        }
         for ev in &batch {
             let t = ev.time;
             let measured = t >= cfg.warmup_s;
@@ -368,12 +379,12 @@ fn run_shard(
     }
     ledger.finish();
 
-    // Shard telemetry: counters and (integer-valued) histograms only —
-    // both merge commutatively and sum exactly, so the absorbed
-    // snapshot is invariant to shard count and thread count. Events,
-    // spans and gauges would encode shard layout; the per-shard DES
-    // queues likewise stay recorder-free — their rung/spill counters
-    // depend on how cells are grouped.
+    // Shard telemetry: counters, (integer-valued) histograms, and
+    // counter *series* only — all three merge commutatively and sum
+    // exactly, so the absorbed snapshot is invariant to shard count and
+    // thread count. Events, spans and gauges would encode shard layout;
+    // the per-shard DES queues likewise stay recorder-free — their
+    // rung/spill counters depend on how cells are grouped.
     rec.inc("emu.mload.events", events_total);
     rec.inc("emu.mload.arrivals", stats.arrivals);
     rec.inc("emu.mload.establishments", stats.establishments);

@@ -117,9 +117,10 @@ fn record_telemetry(obs: &sc_obs::Recorder, r: &Fig05) {
     // gateway(2) with one-way GEO delay per leg, traced under a
     // `fiveg.proc.c1_initial_registration` root span (route "geo-pipe")
     // so `sctrace` can decompose which legs the bent pipe serializes.
-    let c1 = sc_fiveg::messages::Procedure::build_obs(
+    let c1 = sc_fiveg::messages::Procedure::build_obs_at(
         sc_fiveg::messages::ProcedureKind::InitialRegistration,
         obs,
+        0.0,
     );
     let mut g = sc_netsim::topo::Graph::new(3);
     g.add_bidirectional(0, 1, GEO_ONE_WAY_S * 1e3);

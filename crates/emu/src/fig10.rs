@@ -151,6 +151,16 @@ fn storm_miniature(obs: &sc_obs::Recorder) {
 
     for i in 0..8u64 {
         let s = SessionState::sample(i);
+        // One UE cycle per 1.0 ms series window: registration (C1) and
+        // session (C2) open the window, the satellite sweep's handover
+        // (C3) and AMF relocation (C4) land inside it — so the merged
+        // sidecar carries all four `fiveg.msgs_per_window.*` series
+        // with a real time axis.
+        let t = i as f64;
+        Procedure::build_obs_at(ProcedureKind::InitialRegistration, obs, t);
+        Procedure::build_obs_at(ProcedureKind::SessionEstablishment, obs, t);
+        Procedure::build_obs_at(ProcedureKind::Handover, obs, t + 0.25);
+        Procedure::build_obs_at(ProcedureKind::MobilityRegistration, obs, t + 0.5);
         let _ = sc_crypto::suci::conceal_obs(
             obs,
             suci_home.public,
@@ -187,7 +197,7 @@ fn storm_miniature(obs: &sc_obs::Recorder) {
     let nf = sc_netsim::failure::NodeFailures::none();
     let sim = sc_netsim::sim::ProcedureSim::new(&g, &nf, sc_netsim::sim::SimConfig::default())
         .with_recorder(obs.clone());
-    let c2 = Procedure::build_obs(ProcedureKind::SessionEstablishment, obs);
+    let c2 = Procedure::build_obs_at(ProcedureKind::SessionEstablishment, obs, 0.0);
     let steps = crate::obs::replay_steps(&c2);
     crate::obs::replay_traced(
         obs,

@@ -185,6 +185,20 @@ impl ProcedureKind {
         }
     }
 
+    /// Windowed message-rate series name for this kind: signaling
+    /// messages built per 1.0 sim-time window (see docs/TELEMETRY.md).
+    /// Written by [`Procedure::build_obs_at`]; the five series side by
+    /// side show which procedure class drives a storm.
+    pub fn rate_series_name(self) -> &'static str {
+        match self {
+            ProcedureKind::InitialRegistration => "fiveg.msgs_per_window.c1_initial_registration",
+            ProcedureKind::SessionEstablishment => "fiveg.msgs_per_window.c2_session_establishment",
+            ProcedureKind::Handover => "fiveg.msgs_per_window.c3_handover",
+            ProcedureKind::MobilityRegistration => "fiveg.msgs_per_window.c4_mobility_registration",
+            ProcedureKind::Paging => "fiveg.msgs_per_window.paging",
+        }
+    }
+
     /// Root-span kind for a traced run of this procedure (the static
     /// name `sctrace` groups critical paths by; see docs/TELEMETRY.md).
     pub fn span_kind(self) -> &'static str {
@@ -246,6 +260,16 @@ impl Procedure {
         obs.inc("fiveg.procedures.built", 1);
         obs.inc(kind.counter_name(), 1);
         obs.observe("fiveg.procedure.messages", p.message_count() as f64);
+        p
+    }
+
+    /// [`Procedure::build_obs`] stamped at sim-time `t`: additionally
+    /// adds the procedure's message count to the per-kind windowed
+    /// rate series ([`ProcedureKind::rate_series_name`]), so the C1–C4
+    /// mix per window is visible in `sctrace series`.
+    pub fn build_obs_at(kind: ProcedureKind, obs: &sc_obs::Recorder, t: f64) -> Procedure {
+        let p = Procedure::build_obs(kind, obs);
+        obs.series_inc(kind.rate_series_name(), t, p.message_count() as u64);
         p
     }
 
@@ -701,6 +725,30 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), kinds.len());
+        // The windowed rate-series names are likewise distinct.
+        let mut series: Vec<&str> = kinds.iter().map(|k| k.rate_series_name()).collect();
+        assert!(series.iter().all(|n| n.starts_with("fiveg.msgs_per_window.")));
+        series.sort_unstable();
+        series.dedup();
+        assert_eq!(series.len(), kinds.len());
+    }
+
+    #[test]
+    fn build_obs_at_bills_the_windowed_rate_series() {
+        let rec = sc_obs::Recorder::new();
+        // Two C2 builds in window 0, one in window 2: the series carries
+        // the per-window message totals, the counters the run totals.
+        let p = Procedure::build_obs_at(ProcedureKind::SessionEstablishment, &rec, 0.1);
+        Procedure::build_obs_at(ProcedureKind::SessionEstablishment, &rec, 0.9);
+        Procedure::build_obs_at(ProcedureKind::SessionEstablishment, &rec, 2.0);
+        let s = rec.snapshot();
+        assert_eq!(s.counter("fiveg.procedures.c2_session_establishment"), 3);
+        let m = p.message_count() as f64;
+        let pts = s
+            .series
+            .get(ProcedureKind::SessionEstablishment.rate_series_name())
+            .map(|d| d.points());
+        assert_eq!(pts, Some(vec![(0, 2.0 * m), (2, m)]));
     }
 
     #[test]

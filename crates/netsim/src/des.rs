@@ -268,7 +268,10 @@ pub struct EventQueue<E> {
     now: f64,
     /// Telemetry handle (disabled by default; see `sc-obs`). Counts
     /// `netsim.des.scheduled` / `netsim.des.processed` /
-    /// `netsim.des.wheel_spills`.
+    /// `netsim.des.wheel_spills`, and per-window series
+    /// `netsim.des.processed_per_window` (events per 1.0 sim-time
+    /// unit) plus the `netsim.des.queue_depth` gauge series sampled at
+    /// each processed event — the time axis of a load storm.
     obs: Recorder,
 }
 
@@ -557,6 +560,9 @@ impl<E: PartialEq> EventQueue<E> {
         self.pending -= 1;
         self.now = ev.time;
         self.obs.inc("netsim.des.processed", 1);
+        self.obs.series_inc("netsim.des.processed_per_window", ev.time, 1);
+        self.obs
+            .series_gauge("netsim.des.queue_depth", ev.time, self.pending as f64);
         Some(ev)
     }
 
@@ -628,6 +634,9 @@ impl<E: PartialEq> EventQueue<E> {
             self.pending -= 1;
             self.now = ev.time;
             self.obs.inc("netsim.des.processed", 1);
+            self.obs.series_inc("netsim.des.processed_per_window", ev.time, 1);
+            self.obs
+                .series_gauge("netsim.des.queue_depth", ev.time, self.pending as f64);
             handler(self, ev.time, ev.event);
             processed += 1;
         }
@@ -668,6 +677,9 @@ impl<E: PartialEq> EventQueue<E> {
             self.pending -= 1;
             self.now = ev.time;
             self.obs.inc("netsim.des.processed", 1);
+            self.obs.series_inc("netsim.des.processed_per_window", ev.time, 1);
+            self.obs
+                .series_gauge("netsim.des.queue_depth", ev.time, self.pending as f64);
             batch.push(ev);
         }
         batch.len()
@@ -893,7 +905,20 @@ mod tests {
         }
         let mut batch = Vec::new();
         q.drain_until(0.55, &mut batch);
-        assert_eq!(rec.snapshot().counter("netsim.des.processed"), 6);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("netsim.des.processed"), 6);
+        // All six events fall in series window 0 ([0.0, 1.0)); the
+        // depth gauge holds the post-pop queue length of the last one.
+        let per_window = snap
+            .series
+            .get("netsim.des.processed_per_window")
+            .map(|d| d.points());
+        assert_eq!(per_window, Some(vec![(0, 6.0)]));
+        let depth = snap
+            .series
+            .get("netsim.des.queue_depth")
+            .map(|d| d.points());
+        assert_eq!(depth, Some(vec![(0, 4.0)]));
     }
 
     #[test]

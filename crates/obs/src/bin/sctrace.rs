@@ -4,21 +4,28 @@
 //! sctrace tree <telemetry.json>            indented span tree
 //! sctrace critical-path <telemetry.json>   per-kind p50/p95/p99 + slowest chains
 //! sctrace folded <telemetry.json>          flamegraph-compatible folded stacks
+//! sctrace series <telemetry.json>          windowed series sparkline table
 //! sctrace diff <a.json> <b.json> [--fail-on-regress <pct>]
 //! ```
 //!
-//! `diff` exits 2 when any counter or histogram statistic increased by
-//! more than `<pct>` percent from A to B — scripts/tier1.sh uses it as
-//! a telemetry regression gate (a sidecar diffed against its own rerun
-//! must report zero regressions). All other failures exit 1. Output is
-//! a pure function of the input bytes, so reports are as byte-stable
-//! as the sidecars themselves.
+//! `series` renders the sc-obs/3 windowed time-series section: one row
+//! per series with total, peak window, steady-state (median), the
+//! peak/steady storm-amplitude ratio, and a sparkline of the shape.
+//! Older sidecars (sc-obs/1, sc-obs/2) have no series section; the
+//! command says so and exits 0 so pipelines degrade gracefully.
+//!
+//! `diff` exits 2 when any counter, histogram statistic, drop counter,
+//! or series total/peak increased by more than `<pct>` percent from A
+//! to B — scripts/tier1.sh uses it as a telemetry regression gate (a
+//! sidecar diffed against its own rerun must report zero regressions).
+//! All other failures exit 1. Output is a pure function of the input
+//! bytes, so reports are as byte-stable as the sidecars themselves.
 
 use sc_obs::sidecar::Sidecar;
-use sc_obs::trace::{render_diff, TraceForest};
+use sc_obs::trace::{render_diff, render_series, TraceForest};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: sctrace <tree|critical-path|folded> <telemetry.json>\n       sctrace diff <a.json> <b.json> [--fail-on-regress <pct>]";
+const USAGE: &str = "usage: sctrace <tree|critical-path|folded|series> <telemetry.json>\n       sctrace diff <a.json> <b.json> [--fail-on-regress <pct>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +60,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     sc.spans_dropped
                 );
             }
+            Ok(ExitCode::SUCCESS)
+        }
+        "series" => {
+            let path = args.get(1).map(String::as_str).ok_or(USAGE)?;
+            if args.len() > 2 {
+                return Err(USAGE.to_string());
+            }
+            let sc = load(path)?;
+            print!("{}", render_series(&sc));
             Ok(ExitCode::SUCCESS)
         }
         "diff" => {

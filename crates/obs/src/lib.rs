@@ -4,7 +4,10 @@
 //! gauges, and fixed-bucket histograms keyed by `&'static str` names,
 //! plus bounded rings of structured events and causal [`span::Span`]s
 //! (parent-linked, so a procedure and its hops form a trace tree the
-//! `sctrace` binary can analyze), all stamped with **simulated time** —
+//! `sctrace` binary can analyze) and windowed [`series::SeriesSet`]
+//! time-series (fixed 1.0-unit windows on an integer µs-tick grid, so
+//! storms and recoveries have a visible time axis), all stamped with
+//! **simulated time** —
 //! never wall clock. Every figure in EXPERIMENTS.md regenerates
 //! byte-for-byte, and telemetry must not be the thing that breaks that:
 //! snapshots emit in sorted order with a stable float format, so the
@@ -45,7 +48,9 @@ pub mod events;
 pub mod hist;
 mod json;
 pub mod recorder;
+pub mod series;
 pub mod sidecar;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
@@ -53,11 +58,14 @@ pub mod trace;
 pub use events::{Event, EventRing, FieldValue};
 pub use hist::{Histogram, BUCKET_BOUNDS};
 pub use recorder::{Recorder, DEFAULT_EVENT_CAPACITY, DEFAULT_SPAN_CAPACITY};
+pub use series::{SeriesData, SeriesKind, SeriesSet, DEFAULT_SERIES_CAPACITY, WINDOW_TICKS};
 pub use sidecar::Sidecar;
+pub use slo::{SloRule, SloTracker, SloVerdict};
 pub use snapshot::Snapshot;
 pub use span::{Span, SpanId, SpanRing};
 
 /// Schema identifier written into every emitted snapshot, bumped when
 /// the JSON layout changes shape (documented in docs/TELEMETRY.md).
-/// `sc-obs/2` added the causal `"spans"` section; readers accept both.
-pub const SCHEMA: &str = "sc-obs/2";
+/// `sc-obs/2` added the causal `"spans"` section; `sc-obs/3` the
+/// windowed `"series"` section. Readers accept all three generations.
+pub const SCHEMA: &str = "sc-obs/3";

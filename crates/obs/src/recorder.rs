@@ -2,6 +2,7 @@
 
 use crate::events::{Event, EventRing, FieldValue};
 use crate::hist::Histogram;
+use crate::series::SeriesSet;
 use crate::snapshot::Snapshot;
 use crate::span::{SpanId, SpanRing};
 use std::collections::BTreeMap;
@@ -24,6 +25,7 @@ struct Inner {
     hists: BTreeMap<&'static str, Histogram>,
     events: EventRing,
     spans: SpanRing,
+    series: SeriesSet,
 }
 
 impl Inner {
@@ -34,6 +36,7 @@ impl Inner {
             hists: BTreeMap::new(),
             events: EventRing::new(event_capacity),
             spans: SpanRing::new(span_capacity),
+            series: SeriesSet::default(),
         }
     }
 }
@@ -111,6 +114,32 @@ impl Recorder {
         self.with_inner(|i| {
             i.hists.entry(name).or_default().observe(v);
         });
+    }
+
+    /// Add `by` to the **counter series** `name` in the 1.0-unit window
+    /// holding sim-time `t_sim` (the emitting module's native time
+    /// base; see docs/TELEMETRY.md for units per series). Windowed
+    /// counters merge additively across children, like plain counters.
+    pub fn series_inc(&self, name: &'static str, t_sim: f64, by: u64) {
+        self.with_inner(|i| i.series.inc(name, t_sim, by));
+    }
+
+    /// [`Recorder::series_inc`] for callers already on the integer
+    /// µs-tick grid (the sharded engines' `tick()` values).
+    pub fn series_inc_tick(&self, name: &'static str, tick: u64, by: u64) {
+        self.with_inner(|i| i.series.inc_tick(name, tick, by));
+    }
+
+    /// Write `v` into the **gauge series** `name` in the window holding
+    /// sim-time `t_sim` (last write per window wins, including across
+    /// [`Recorder::absorb`], which replays children in merge order).
+    pub fn series_gauge(&self, name: &'static str, t_sim: f64, v: f64) {
+        self.with_inner(|i| i.series.gauge(name, t_sim, v));
+    }
+
+    /// [`Recorder::series_gauge`] on the integer µs-tick grid.
+    pub fn series_gauge_tick(&self, name: &'static str, tick: u64, v: f64) {
+        self.with_inner(|i| i.series.gauge_tick(name, tick, v));
     }
 
     /// Append a structured event at simulated time `t_sim` (the emitting
@@ -215,6 +244,7 @@ impl Recorder {
             i.events.note_dropped(snap.events_dropped);
             i.spans
                 .absorb(&snap.spans, snap.span_ids_allocated, snap.spans_dropped);
+            i.series.merge(&snap.series);
         });
     }
 
@@ -229,6 +259,7 @@ impl Recorder {
             spans: i.spans.iter().cloned().collect(),
             spans_dropped: i.spans.dropped(),
             span_ids_allocated: i.spans.ids_allocated(),
+            series: i.series.clone(),
         })
         .unwrap_or_default()
     }
@@ -244,6 +275,8 @@ mod tests {
         r.inc("a", 1);
         r.set_gauge("b", 2.0);
         r.observe("c", 3.0);
+        r.series_inc("s", 0.0, 1);
+        r.series_gauge("t", 0.0, 1.0);
         r.event(0.0, "d", vec![]);
         let sp = r.span_open(None, "e", 0.0, vec![]);
         assert_eq!(sp, SpanId::DISABLED);
@@ -318,6 +351,30 @@ mod tests {
         assert_eq!(s.histogram("h").map(|h| h.count()), Some(2));
         let ts: Vec<f64> = s.events.iter().map(|e| e.t).collect();
         assert_eq!(ts, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn absorb_adds_counter_series_and_replays_gauge_series() {
+        let parent = Recorder::new();
+        let a = parent.child();
+        let b = parent.child();
+        a.series_inc("win.c", 0.5, 2);
+        b.series_inc("win.c", 0.5, 3);
+        b.series_inc_tick("win.c", 2_000_000, 1);
+        a.series_gauge("win.g", 1.0, 10.0);
+        b.series_gauge_tick("win.g", 1_000_000, 20.0);
+        parent.absorb(&a);
+        parent.absorb(&b);
+        let s = parent.snapshot();
+        assert_eq!(
+            s.series.get("win.c").map(|d| d.points()),
+            Some(vec![(0, 5.0), (2, 1.0)])
+        );
+        assert_eq!(
+            s.series.get("win.g").map(|d| d.points()),
+            Some(vec![(1, 20.0)])
+        );
+        assert_eq!(s.series.dropped(), 0);
     }
 
     #[test]
@@ -396,6 +453,7 @@ mod tests {
                 if let Some(c) = children.get(i) {
                     c.inc("work", (i + 1) as u64);
                     c.observe("cost", i as f64);
+                    c.series_inc("work_per_s", i as f64, (i + 1) as u64);
                     c.event(i as f64, "done", vec![("cell", FieldValue::from(i))]);
                     let root = c.span_open(None, "cell", i as f64, vec![]);
                     c.span(Some(root), "work", i as f64, (i + 1) as f64, vec![]);

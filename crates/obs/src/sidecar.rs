@@ -1,8 +1,9 @@
 //! Reading telemetry sidecars back in.
 //!
 //! [`Sidecar::parse`] is the inverse of [`crate::Snapshot::to_json`]: a
-//! hand-rolled, zero-dependency JSON reader tolerant enough for both
-//! schema generations (`sc-obs/1` without spans, `sc-obs/2` with them).
+//! hand-rolled, zero-dependency JSON reader tolerant enough for every
+//! schema generation (`sc-obs/1` without spans, `sc-obs/2` with them,
+//! `sc-obs/3` with windowed series).
 //! It backs the `sctrace` analysis binary, which must not pull serde
 //! into this crate. Parsing is strict about structure (a malformed
 //! sidecar is an error, not a guess) but lenient about *extra* object
@@ -84,6 +85,48 @@ impl SidecarSpan {
     }
 }
 
+/// One windowed series as serialized (`sc-obs/3` `"series"` section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SidecarSeries {
+    /// `"counter"` or `"gauge"`.
+    pub kind: String,
+    /// Window width in integer µs-grid ticks.
+    pub window_ticks: u64,
+    /// Sparse `(window, value)` points, ascending window order.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl SidecarSeries {
+    /// Sum over all points (per-window totals for counters).
+    pub fn total(&self) -> f64 {
+        self.points.iter().map(|(_, v)| v).sum()
+    }
+
+    /// The `(window, value)` with the largest value (ties: earliest
+    /// window), `None` for an empty series.
+    pub fn peak(&self) -> Option<(u64, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|(wa, va), (wb, vb)| va.total_cmp(vb).then(wb.cmp(wa)))
+    }
+
+    /// Number of windows spanned: last touched window + 1.
+    pub fn windows(&self) -> u64 {
+        self.points.last().map_or(0, |(w, _)| w + 1)
+    }
+
+    /// The value in window `w` (0.0 for an untouched counter window,
+    /// `None` only when no point exists at `w` and the series is a
+    /// gauge — callers treat absence per kind).
+    pub fn value_at(&self, w: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(pw, _)| *pw == w)
+            .map(|(_, v)| *v)
+    }
+}
+
 /// A parsed telemetry sidecar.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Sidecar {
@@ -97,10 +140,13 @@ pub struct Sidecar {
     pub events_dropped: u64,
     pub spans: Vec<SidecarSpan>,
     pub spans_dropped: u64,
+    /// Windowed series (`sc-obs/3`; empty for older generations).
+    pub series: BTreeMap<String, SidecarSeries>,
+    pub series_dropped: u64,
 }
 
 impl Sidecar {
-    /// Parse a telemetry sidecar (schema `sc-obs/1` or `sc-obs/2`).
+    /// Parse a telemetry sidecar (schema `sc-obs/1`, `/2`, or `/3`).
     pub fn parse(input: &str) -> Result<Sidecar, ParseError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
@@ -119,7 +165,7 @@ impl Sidecar {
             .as_obj()
             .ok_or_else(|| err_at(0, "top level is not an object"))?;
         let schema = get_str(obj, "schema")?;
-        if schema != "sc-obs/1" && schema != crate::SCHEMA {
+        if !["sc-obs/1", "sc-obs/2", crate::SCHEMA].contains(&schema.as_str()) {
             return Err(err_at(0, &format!("unsupported schema {schema:?}")));
         }
         let mut out = Sidecar {
@@ -159,6 +205,17 @@ impl Sidecar {
                 .as_u64()
                 .ok_or_else(|| err_at(0, "spans_dropped is not a u64"))?;
         }
+        // sc-obs/1 and /2 have no series section.
+        if let Some(series) = find(obj, "series") {
+            for (k, v) in series.as_obj_or_empty() {
+                out.series.insert(k.clone(), parse_series(k, v)?);
+            }
+        }
+        if let Some(sd) = find(obj, "series_dropped") {
+            out.series_dropped = sd
+                .as_u64()
+                .ok_or_else(|| err_at(0, "series_dropped is not a u64"))?;
+        }
         Ok(out)
     }
 
@@ -195,6 +252,32 @@ fn parse_hist(name: &str, v: &Value) -> Result<SidecarHist, ParseError> {
         min: find(obj, "min").and_then(Value::as_f64),
         max: find(obj, "max").and_then(Value::as_f64),
         buckets,
+    })
+}
+
+fn parse_series(name: &str, v: &Value) -> Result<SidecarSeries, ParseError> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| err_at(0, &format!("series {name:?} is not an object")))?;
+    let mut points = Vec::new();
+    for p in get(obj, "points")?.as_arr_or_empty() {
+        let pair = p.as_arr_or_empty();
+        match (pair.first().and_then(Value::as_u64), pair.get(1).and_then(Value::as_f64)) {
+            (Some(w), Some(v)) => points.push((w, v)),
+            _ => {
+                return Err(err_at(
+                    0,
+                    &format!("series {name:?} point is not a [window, value] pair"),
+                ))
+            }
+        }
+    }
+    Ok(SidecarSeries {
+        kind: get_str(obj, "kind")?,
+        window_ticks: get(obj, "window_ticks")?
+            .as_u64()
+            .ok_or_else(|| err_at(0, &format!("window_ticks of {name:?} is not a u64")))?,
+        points,
     })
 }
 
@@ -510,6 +593,9 @@ mod tests {
             r.observe("net.delay_ms", v);
         }
         r.event(1.0, "net.step", vec![("idx", FieldValue::from(0u64))]);
+        r.series_inc("net.msgs_per_s", 0.5, 3);
+        r.series_inc("net.msgs_per_s", 2.5, 4);
+        r.series_gauge("net.depth", 1.0, 7.5);
         let root = r.span_open(None, "proc", 0.0, vec![("route", FieldValue::from("ground"))]);
         r.span(Some(root), "hop", 0.0, 30.0, vec![("dist_km", FieldValue::from(550.0))]);
         r.span_close_with(root, 62.0, vec![("completed", FieldValue::from(1u64))]);
@@ -535,6 +621,45 @@ mod tests {
         assert_eq!(sc.spans[0].field("completed"), Some("1"));
         assert_eq!(sc.spans[1].parent, Some(0));
         assert_eq!(sc.spans[1].duration(), Some(30.0));
+        let s = sc.series.get("net.msgs_per_s");
+        assert_eq!(s.map(|s| s.kind.as_str()), Some("counter"));
+        assert_eq!(s.map(|s| s.window_ticks), Some(crate::WINDOW_TICKS));
+        assert_eq!(s.map(|s| s.points.clone()), Some(vec![(0, 3.0), (2, 4.0)]));
+        assert_eq!(s.map(|s| s.total()), Some(7.0));
+        assert_eq!(s.and_then(|s| s.peak()), Some((2, 4.0)));
+        assert_eq!(s.map(|s| s.windows()), Some(3));
+        assert_eq!(s.and_then(|s| s.value_at(0)), Some(3.0));
+        assert_eq!(s.and_then(|s| s.value_at(1)), None);
+        let g = sc.series.get("net.depth");
+        assert_eq!(g.map(|g| g.kind.as_str()), Some("gauge"));
+        assert_eq!(g.map(|g| g.points.clone()), Some(vec![(1, 7.5)]));
+        assert_eq!(sc.series_dropped, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn accepts_schema_two_without_series() -> Result<(), ParseError> {
+        // A checked-in sc-obs/2 shape must keep parsing after the /3
+        // bump: spans but no series section.
+        let v2 = r#"{
+  "schema": "sc-obs/2",
+  "experiment": "old",
+  "counters": {"a": 1},
+  "gauges": {},
+  "histograms": {},
+  "events": [],
+  "events_dropped": 0,
+  "spans": [
+    {"id": 0, "parent": null, "kind": "proc", "start": 0.0, "end": 1.0, "fields": {}}
+  ],
+  "spans_dropped": 0
+}
+"#;
+        let sc = Sidecar::parse(v2)?;
+        assert_eq!(sc.schema, "sc-obs/2");
+        assert_eq!(sc.spans.len(), 1);
+        assert!(sc.series.is_empty());
+        assert_eq!(sc.series_dropped, 0);
         Ok(())
     }
 

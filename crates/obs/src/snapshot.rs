@@ -3,6 +3,7 @@
 use crate::events::{Event, FieldValue};
 use crate::hist::Histogram;
 use crate::json::{push_f64, push_str_literal};
+use crate::series::{SeriesData, SeriesSet};
 use crate::span::Span;
 use std::collections::BTreeMap;
 
@@ -30,6 +31,9 @@ pub struct Snapshot {
     /// [`crate::Recorder::absorb`] uses it to offset a child's ids onto
     /// the parent's id space.
     pub span_ids_allocated: u64,
+    /// Windowed time-series (`sc-obs/3`), shed-sample count included
+    /// ([`SeriesSet::dropped`], serialized as `series_dropped`).
+    pub series: SeriesSet,
 }
 
 impl Snapshot {
@@ -72,6 +76,7 @@ impl Snapshot {
             && self.spans.is_empty()
             && self.spans_dropped == 0
             && self.span_ids_allocated == 0
+            && self.series.is_empty()
     }
 
     /// Serialize to the documented telemetry JSON (docs/TELEMETRY.md):
@@ -153,6 +158,39 @@ impl Snapshot {
 
         out.push_str(",\n  \"spans_dropped\": ");
         out.push_str(&self.spans_dropped.to_string());
+
+        out.push_str(",\n  \"series\": {");
+        let mut any_series = false;
+        for (i, (name, data)) in self.series.iter().enumerate() {
+            any_series = true;
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_str_literal(&mut out, name);
+            out.push_str(": {\"kind\": ");
+            push_str_literal(&mut out, data.kind().label());
+            out.push_str(", \"window_ticks\": ");
+            out.push_str(&self.series.window_ticks().to_string());
+            out.push_str(", \"points\": [");
+            for (j, (w, v)) in data.points().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                out.push_str(&w.to_string());
+                out.push_str(", ");
+                match data {
+                    // Counter windows are exact u64 totals; keep the
+                    // integer spelling so they parse losslessly.
+                    SeriesData::Counter(_) => out.push_str(&(*v as u64).to_string()),
+                    SeriesData::Gauge(_) => push_f64(&mut out, *v),
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if any_series { "\n  }" } else { "}" });
+
+        out.push_str(",\n  \"series_dropped\": ");
+        out.push_str(&self.series.dropped().to_string());
         out.push_str("\n}\n");
         out
     }
@@ -231,6 +269,9 @@ mod tests {
         r.inc("a.count", 1);
         r.set_gauge("z.gauge", 0.5);
         r.observe("m.hist", 3.0);
+        r.series_inc("w.count_per_s", 0.5, 4);
+        r.series_inc("w.count_per_s", 2.0, 1);
+        r.series_gauge("w.depth", 1.5, 0.25);
         r.event(
             1.25,
             "net.step",
@@ -245,7 +286,7 @@ mod tests {
     #[test]
     fn json_is_sorted_and_complete() {
         let j = sample().to_json("unit");
-        assert!(j.contains("\"schema\": \"sc-obs/2\""));
+        assert!(j.contains("\"schema\": \"sc-obs/3\""));
         assert!(j.contains("\"experiment\": \"unit\""));
         // Counters in sorted order.
         let a = j.find("a.count");
@@ -273,6 +314,25 @@ mod tests {
         assert!(j.contains("\"events_dropped\": 0"));
         assert!(j.contains("\"spans\": []"));
         assert!(j.contains("\"spans_dropped\": 0"));
+        assert!(j.contains("\"series\": {}"));
+        assert!(j.contains("\"series_dropped\": 0"));
+    }
+
+    #[test]
+    fn series_emission_shape() {
+        let j = sample().to_json("unit");
+        assert!(
+            j.contains(
+                "\"w.count_per_s\": {\"kind\": \"counter\", \"window_ticks\": 1000000, \"points\": [[0, 4], [2, 1]]}"
+            ),
+            "{j}"
+        );
+        assert!(
+            j.contains(
+                "\"w.depth\": {\"kind\": \"gauge\", \"window_ticks\": 1000000, \"points\": [[1, 0.25]]}"
+            ),
+            "{j}"
+        );
     }
 
     #[test]

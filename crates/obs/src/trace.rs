@@ -246,6 +246,130 @@ impl<'a> TraceForest<'a> {
     }
 }
 
+/// The `series` report: one row per windowed series — window count,
+/// total, peak window, a steady-state estimate (median over the
+/// series' span, implicit zeros included for counters), the
+/// peak/steady ratio that quantifies a storm's amplitude, and a
+/// sparkline of the per-window shape. A pure function of the sidecar
+/// bytes, so the report is as byte-stable as the sidecar.
+pub fn render_series(sc: &Sidecar) -> String {
+    if sc.series.is_empty() {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "(no series section — {} predates sc-obs/3; regenerate the sidecar to get windowed series)",
+            sc.schema
+        );
+        return out;
+    }
+    let mut out = String::new();
+    let window_ticks = sc.series.values().next().map_or(0, |s| s.window_ticks);
+    let _ = writeln!(
+        out,
+        "windowed series ({} ticks/window = {} sim-time unit(s) per window)",
+        window_ticks,
+        window_ticks as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>7} {:>5} {:>12} {:>12} {:>6} {:>9} {:>11}  shape",
+        "series", "kind", "n", "total", "peak", "@win", "steady", "peak/stdy"
+    );
+    for (name, s) in &sc.series {
+        let n = s.windows();
+        let (peak_w, peak_v) = s.peak().unwrap_or((0, 0.0));
+        let steady = steady_state(s);
+        let ratio = if steady > 0.0 {
+            format!("{:.2}", peak_v / steady)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>5} {:>12} {:>12} {:>6} {:>9} {:>11}  {}",
+            name,
+            s.kind,
+            n,
+            trim_num(s.total()),
+            trim_num(peak_v),
+            peak_w,
+            trim_num(steady),
+            ratio,
+            sparkline(s, 60)
+        );
+    }
+    if sc.series_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "note: {} series sample(s) were shed (capacity/kind/time); series are partial",
+            sc.series_dropped
+        );
+    }
+    out
+}
+
+/// Median per-window value over the series' span. Counter series count
+/// untouched windows as zero (a silent window is part of the steady
+/// state); gauge series take the median of written samples only.
+fn steady_state(s: &crate::sidecar::SidecarSeries) -> f64 {
+    let mut vals: Vec<f64> = if s.kind == "counter" {
+        let n = s.windows();
+        (0..n).map(|w| s.value_at(w).unwrap_or(0.0)).collect()
+    } else {
+        s.points.iter().map(|(_, v)| *v).collect()
+    };
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.sort_by(f64::total_cmp);
+    let mid = vals.len() / 2;
+    if vals.len() % 2 == 1 {
+        vals[mid]
+    } else {
+        (vals[mid - 1] + vals[mid]) / 2.0
+    }
+}
+
+/// Render the series' per-window shape into at most `cols` glyphs:
+/// windows are chunked evenly, each chunk shows the max value inside
+/// it, scaled against the series peak over eight block heights.
+fn sparkline(s: &crate::sidecar::SidecarSeries, cols: u64) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let n = s.windows();
+    if n == 0 {
+        return String::new();
+    }
+    let peak = s.peak().map_or(0.0, |(_, v)| v);
+    let cols = cols.clamp(1, n);
+    let mut line = String::new();
+    for c in 0..cols {
+        // Even chunking: chunk c covers windows [c*n/cols, (c+1)*n/cols).
+        let from = c * n / cols;
+        let to = (((c + 1) * n) / cols).max(from + 1);
+        let mut chunk_max = 0.0f64;
+        for w in from..to.min(n) {
+            chunk_max = chunk_max.max(s.value_at(w).unwrap_or(0.0));
+        }
+        let idx = if peak > 0.0 {
+            (((chunk_max / peak) * 8.0).ceil() as usize).clamp(0, 8)
+        } else {
+            0
+        };
+        line.push(if idx == 0 { GLYPHS[0] } else { GLYPHS[idx - 1] });
+    }
+    line
+}
+
+/// Compact number formatting for the series table: integers print bare,
+/// fractions keep two decimals.
+fn trim_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
 /// The outcome of [`render_diff`].
 pub struct DiffReport {
     /// Human-readable report, one line per differing series.
@@ -254,11 +378,15 @@ pub struct DiffReport {
     pub regressions: Vec<String>,
 }
 
-/// Compare two sidecars series-by-series. A **regression** is any
-/// counter or histogram statistic (count, mean, p50, p95, p99) that
-/// *increased* from `a` to `b` by more than `fail_pct` percent — the
-/// gate direction suits cost-like series (transmissions, losses,
-/// latency percentiles), which is what the CI self-diff guards.
+/// Compare two sidecars metric-by-metric. A **regression** is any
+/// counter, histogram statistic (count, mean, p50, p95, p99), windowed
+/// series quantity (total, peak), or drop counter
+/// (`events_dropped`/`spans_dropped`/`series_dropped` — silent ring or
+/// window shedding) that *increased* from `a` to `b` by more than
+/// `fail_pct` percent — the gate direction suits cost-like quantities
+/// (transmissions, losses, latency percentiles), which is what the CI
+/// self-diff guards. Window-aligned series deltas are reported in the
+/// text (first differing windows) so a shifted storm is attributable.
 /// Identical sidecars always produce zero regressions.
 pub fn render_diff(a: &Sidecar, b: &Sidecar, fail_pct: f64) -> DiffReport {
     let mut text = String::new();
@@ -316,6 +444,73 @@ pub fn render_diff(a: &Sidecar, b: &Sidecar, fail_pct: f64) -> DiffReport {
             );
         }
     }
+    // Drop counters: shed telemetry is itself a regression — a run that
+    // overflows a ring or series capacity must not pass the gate
+    // silently.
+    compare(
+        "events_dropped".to_string(),
+        Some(a.events_dropped as f64),
+        Some(b.events_dropped as f64),
+    );
+    compare(
+        "spans_dropped".to_string(),
+        Some(a.spans_dropped as f64),
+        Some(b.spans_dropped as f64),
+    );
+    compare(
+        "series_dropped".to_string(),
+        Some(a.series_dropped as f64),
+        Some(b.series_dropped as f64),
+    );
+    let series_names: std::collections::BTreeSet<&String> =
+        a.series.keys().chain(b.series.keys()).collect();
+    let mut window_lines = String::new();
+    for name in series_names {
+        let sa = a.series.get(name);
+        let sb = b.series.get(name);
+        compare(
+            format!("series {name} total"),
+            sa.map(|s| s.total()),
+            sb.map(|s| s.total()),
+        );
+        compare(
+            format!("series {name} peak"),
+            sa.and_then(|s| s.peak()).map(|(_, v)| v),
+            sb.and_then(|s| s.peak()).map(|(_, v)| v),
+        );
+        // Window-aligned delta report (text only; totals/peaks gate):
+        // the first few windows whose values differ, so a shifted or
+        // reshaped storm is visible, not just its magnitude.
+        if let (Some(sa), Some(sb)) = (sa, sb) {
+            let windows: std::collections::BTreeSet<u64> = sa
+                .points
+                .iter()
+                .chain(sb.points.iter())
+                .map(|(w, _)| *w)
+                .collect();
+            let mut shown = 0;
+            let mut differing = 0;
+            for w in windows {
+                let va = sa.value_at(w).unwrap_or(0.0);
+                let vb = sb.value_at(w).unwrap_or(0.0);
+                if va != vb {
+                    differing += 1;
+                    if shown < 3 {
+                        let _ = writeln!(window_lines, "series {name} w{w}: {va} -> {vb}");
+                        shown += 1;
+                    }
+                }
+            }
+            if differing > shown {
+                let _ = writeln!(
+                    window_lines,
+                    "series {name}: {} more differing window(s)",
+                    differing - shown
+                );
+            }
+        }
+    }
+    text.push_str(&window_lines);
     if text.is_empty() {
         text.push_str("no differences\n");
     }
@@ -435,6 +630,77 @@ mod tests {
         // Improvements never regress.
         let r = render_diff(&b, &a, 0.0);
         assert!(r.regressions.is_empty());
+        Ok(())
+    }
+
+    /// A storm-shaped sidecar: steady 10/window with a spike to 40 at
+    /// window 3, plus a gauge sampled in two windows.
+    fn stormy_sidecar(spike: u64) -> Result<Sidecar, String> {
+        let r = Recorder::new();
+        for w in 0..6u64 {
+            r.series_inc_tick("load.per_s", w * crate::WINDOW_TICKS, 10);
+        }
+        r.series_inc_tick("load.per_s", 3 * crate::WINDOW_TICKS, spike - 10);
+        r.series_gauge_tick("depth", 0, 5.0);
+        r.series_gauge_tick("depth", 4 * crate::WINDOW_TICKS, 7.0);
+        Sidecar::parse(&r.snapshot().to_json("unit")).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn diff_gates_series_totals_and_peaks() -> Result<(), String> {
+        let a = stormy_sidecar(40)?;
+        let b = stormy_sidecar(80)?;
+        // Peak 40 -> 80 (+100%), total 90 -> 130 (+44%): both regress at 0.
+        let r = render_diff(&a, &b, 0.0);
+        assert!(r.regressions.contains(&"series load.per_s total".to_string()), "{:?}", r.regressions);
+        assert!(r.regressions.contains(&"series load.per_s peak".to_string()), "{:?}", r.regressions);
+        // Window-aligned delta names the reshaped window.
+        assert!(r.text.contains("series load.per_s w3: 40 -> 80"), "{}", r.text);
+        // Self-diff stays clean.
+        let r = render_diff(&a, &stormy_sidecar(40)?, 0.0);
+        assert_eq!(r.text, "no differences\n");
+        Ok(())
+    }
+
+    #[test]
+    fn diff_gates_drop_counters() -> Result<(), String> {
+        let ra = Recorder::new();
+        let a = Sidecar::parse(&ra.snapshot().to_json("u")).map_err(|e| e.to_string())?;
+        let rb = Recorder::new();
+        rb.series_inc("shed", -1.0, 1); // negative time: dropped
+        let b = Sidecar::parse(&rb.snapshot().to_json("u")).map_err(|e| e.to_string())?;
+        let r = render_diff(&a, &b, 0.0);
+        assert_eq!(r.regressions, vec!["series_dropped".to_string()]);
+        assert!(r.text.contains("series_dropped: 0 -> 1"), "{}", r.text);
+        Ok(())
+    }
+
+    #[test]
+    fn render_series_tables_storm_shape() -> Result<(), String> {
+        let sc = stormy_sidecar(40)?;
+        let out = render_series(&sc);
+        assert!(out.contains("load.per_s"), "{out}");
+        assert!(out.contains("depth"), "{out}");
+        // Peak 40 at window 3; steady-state (median of 10,10,10,40,10,10) = 10;
+        // ratio 4.00.
+        assert!(out.contains("4.00"), "{out}");
+        // Sparkline: 6 windows, peak glyph at the spike.
+        assert!(out.contains('█'), "{out}");
+        // Stable across re-renders of the same bytes.
+        assert_eq!(out, render_series(&stormy_sidecar(40)?));
+        Ok(())
+    }
+
+    #[test]
+    fn render_series_degrades_without_series_section() -> Result<(), String> {
+        // An sc-obs/2 sidecar has no series section.
+        let sc = Sidecar::parse(
+            "{\n  \"schema\": \"sc-obs/2\",\n  \"experiment\": \"old\",\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"events\": [],\n  \"events_dropped\": 0\n}\n",
+        )
+        .map_err(|e| e.to_string())?;
+        let out = render_series(&sc);
+        assert!(out.contains("no series section"), "{out}");
+        assert!(out.contains("sc-obs/2"), "{out}");
         Ok(())
     }
 }

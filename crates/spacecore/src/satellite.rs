@@ -183,6 +183,13 @@ impl SpaceCoreSatellite {
         self.obs.inc("spacecore.satellite.local_establishments", 1);
         self.obs
             .set_gauge("spacecore.satellite.active_sessions", active_now as f64);
+        // Windowed view of the same gauge, stamped at the establishment
+        // time — the rise of a session-load storm has a time axis.
+        self.obs.series_gauge(
+            "spacecore.satellite.active_sessions",
+            now,
+            active_now as f64,
+        );
         Ok(SessionOutcome {
             local: true,
             // P0 (2 messages: RRC request + setup) + P1' piggyback +
@@ -431,6 +438,14 @@ mod tests {
         assert_eq!(snap.counter("spacecore.satellite.rollbacks"), 1);
         assert_eq!(snap.counter("spacecore.satellite.releases"), 1);
         assert_eq!(snap.gauge("spacecore.satellite.active_sessions"), Some(0.0));
+        // The windowed series holds the establishment-time sample
+        // (window 1 ← now = 1.0); releases carry no sim time, so only
+        // the plain gauge sees the drop to zero.
+        let series = snap
+            .series
+            .get("spacecore.satellite.active_sessions")
+            .map(|d| d.points());
+        assert_eq!(series, Some(vec![(1, 1.0)]));
         // The local path also feeds the crypto-layer counters.
         assert_eq!(snap.counter("crypto.statecrypt.local_accesses"), 1);
         assert_eq!(snap.counter("crypto.abe.decrypts"), 1);

@@ -79,7 +79,7 @@ if [ "${SC_OBS:-0}" != "0" ] && [ -n "${SC_OBS:-}" ]; then
     done
 
     # Causal spans + cross-run diff gate: fig10's sidecar must carry the
-    # storm miniature's traced C2 replays (sc-obs/2 "spans" section), and
+    # storm miniature's traced C2 replays ("spans" section), and
     # `sctrace diff` of a byte-identical rerun pair must gate zero
     # regressions at the tightest threshold.
     grep -q '"spans"' "$OBS_TMP/fig10.t1.json" || {
@@ -155,6 +155,24 @@ if [ "${SC_OBS:-0}" != "0" ] && [ -n "${SC_OBS:-}" ]; then
     cmp "$OBS_TMP/ext_chaosload.t1.json" "$OBS_TMP/ext_chaosload.t4.json" || {
         echo "== tier-1: FAIL — ext_chaosload telemetry differs across thread counts" >&2; exit 1; }
     echo "== tier-1: ext_chaosload byte-stable (results + telemetry, threads 1 vs 4)" >&2
+
+    # Windowed time-series layer (sc-obs/3): the cmp checks above already
+    # prove the "series" section byte-stable across thread counts; here,
+    # require that the load-engine sidecars actually carry their windowed
+    # series (an empty section would make those cmps vacuous), and smoke
+    # the `sctrace series` analytics over the storm-shaped chaosload run.
+    for pair in "ext_mload.t1.json:emu.mload.events_per_s" \
+                "ext_chaosload.t1.json:emu.chaosload.rereg_storm_per_s" \
+                "fig10.t1.json:fiveg.msgs_per_window.c2_session_establishment"; do
+        side="${pair%%:*}"; name="${pair#*:}"
+        grep -q "\"$name\"" "$OBS_TMP/$side" || {
+            echo "== tier-1: FAIL — $side sidecar is missing series \"$name\"" >&2; exit 1; }
+    done
+    echo "== tier-1: sctrace series (ext_chaosload storm windows)" >&2
+    cargo run -q --release --offline -p sc-obs --bin sctrace -- \
+        series "$OBS_TMP/ext_chaosload.t1.json" >&2 || {
+        echo "== tier-1: FAIL — sctrace series could not render the chaosload sidecar" >&2
+        exit 1; }
 fi
 
 echo "== tier-1: OK" >&2

@@ -1,0 +1,145 @@
+//! Invariance properties of the sc-obs/3 windowed time-series layer
+//! (docs/TELEMETRY.md): the merged series must be byte-identical across
+//! worker-thread counts, shard partitions (one item per child through
+//! everything-in-one-child), and the granularity events are recorded at
+//! — one `series_inc` per event versus one pre-bucketed
+//! `series_inc_tick` per window, the `drain_until` batch shapes of the
+//! mload/chaosload engines. Plus the window-edge cases: an event
+//! landing exactly on a window boundary, a run confined to one window,
+//! and an empty series. Backward compatibility rides along: sc-obs/1
+//! and sc-obs/2 sidecars (no `series` section) must keep parsing, and
+//! the series analytics must degrade to a clear message, not an error.
+
+use proptest::prelude::*;
+use sc_obs::{Recorder, SeriesSet, WINDOW_TICKS};
+
+const NAMES: [&str; 2] = ["t.alpha_per_s", "t.beta_per_s"];
+
+/// Record counter-series `ops` through `threads` workers over `shards`
+/// input slots and return the merged snapshot bytes. Ops are dealt
+/// round-robin across the slots — the adversarial partition for a merge
+/// that must commute. (Counter series only: like plain gauges, gauge
+/// series are last-write and therefore top-level-only under the
+/// mload/chaosload shard-telemetry policy.)
+fn merged_json(threads: usize, shards: usize, ops: &[(usize, u32, u64)]) -> String {
+    let rec = Recorder::new();
+    let mut slots: Vec<Vec<(usize, u32, u64)>> = vec![Vec::new(); shards];
+    for (i, op) in ops.iter().enumerate() {
+        slots[i % shards].push(*op);
+    }
+    sc_emu::engine::parallel_map_obs_with(threads, &rec, slots, |ops, child| {
+        for &(name_idx, t_centi, by) in &ops {
+            let t = f64::from(t_centi) / 100.0;
+            child.series_inc(NAMES[name_idx % NAMES.len()], t, by);
+        }
+        ops.len()
+    });
+    rec.snapshot().to_json("series_props")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counter series add elementwise, so any thread count over any
+    /// shard partition merges to the same bytes. (Gauge series are
+    /// last-write in slot order, which the fixed round-robin deal keeps
+    /// deterministic too.)
+    #[test]
+    fn series_merge_is_thread_and_shard_invariant(
+        ops in proptest::collection::vec((0usize..2, 0u32..2_000, 1u64..50), 1..120),
+        shards in 1usize..24,
+    ) {
+        let reference = merged_json(1, 1, &ops);
+        prop_assert_eq!(&reference, &merged_json(4, 1, &ops));
+        prop_assert_eq!(&reference, &merged_json(1, shards, &ops));
+        prop_assert_eq!(&reference, &merged_json(4, shards, &ops));
+    }
+
+    /// Recording granularity is invisible for counters: one
+    /// `series_inc` per event produces the same series as one
+    /// pre-bucketed `series_inc_tick` per window — the contract that
+    /// lets `ext_mload` bill a whole drained batch at once while the
+    /// DES bills per event.
+    #[test]
+    fn per_event_and_per_window_recording_agree(
+        events in proptest::collection::vec((0u32..1_000, 1u64..20), 1..200),
+    ) {
+        let mut per_event = SeriesSet::default();
+        let mut per_window: std::collections::BTreeMap<u64, u64> = Default::default();
+        for &(t_centi, by) in &events {
+            let t = f64::from(t_centi) / 100.0;
+            per_event.inc("ev_per_s", t, by);
+            *per_window.entry((u64::from(t_centi) * WINDOW_TICKS / 100) / WINDOW_TICKS)
+                .or_default() += by;
+        }
+        let mut batched = SeriesSet::default();
+        for (&w, &sum) in &per_window {
+            batched.inc_tick("ev_per_s", w * WINDOW_TICKS, sum);
+        }
+        let a = per_event.get("ev_per_s").map(|d| d.points());
+        let b = batched.get("ev_per_s").map(|d| d.points());
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(per_event.dropped(), 0);
+        prop_assert_eq!(batched.dropped(), 0);
+    }
+}
+
+/// An event exactly on a window boundary opens the new window — the
+/// half-open `[w, w+1)` convention of the DES `drain_until` batches.
+#[test]
+fn boundary_event_lands_in_the_new_window() {
+    let mut s = SeriesSet::default();
+    s.inc("x", 0.999_999, 1); // one tick short of the boundary
+    s.inc("x", 1.0, 1); // exactly on it
+    s.inc("x", 1.000_001, 1); // one tick past
+    assert_eq!(
+        s.get("x").map(|d| d.points()),
+        Some(vec![(0, 1.0), (1, 2.0)])
+    );
+}
+
+/// A run confined to a single window produces exactly one point, and a
+/// recorder that never writes a series emits an empty section.
+#[test]
+fn sub_window_runs_and_empty_series() {
+    let mut s = SeriesSet::default();
+    for i in 0..10 {
+        s.inc("x", 0.05 * f64::from(i), 1);
+    }
+    assert_eq!(s.get("x").map(|d| d.points()), Some(vec![(0, 10.0)]));
+
+    let rec = Recorder::new();
+    rec.inc("plain_counter", 1);
+    let json = rec.snapshot().to_json("empty_series");
+    assert!(json.contains("\"series\": {}"), "{json}");
+    assert!(json.contains("\"series_dropped\": 0"), "{json}");
+}
+
+/// Pre-series sidecars keep parsing (sc-obs/1: no spans either;
+/// sc-obs/2: spans but no series), and the series analytics degrade to
+/// a clear message instead of failing — old telemetry archives stay
+/// readable by new tooling.
+#[test]
+fn old_sidecar_generations_parse_and_degrade_gracefully() {
+    let v1 = "{\n  \"schema\": \"sc-obs/1\",\n  \"experiment\": \"archive\",\n  \
+        \"counters\": {\n    \"netsim.des.processed\": 42\n  },\n  \"gauges\": {},\n  \
+        \"histograms\": {},\n  \"events\": [],\n  \"events_dropped\": 0\n}\n";
+    let v2 = "{\n  \"schema\": \"sc-obs/2\",\n  \"experiment\": \"archive\",\n  \
+        \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"events\": [],\n  \
+        \"events_dropped\": 0,\n  \"spans\": [],\n  \"spans_dropped\": 0\n}\n";
+    for (text, schema) in [(v1, "sc-obs/1"), (v2, "sc-obs/2")] {
+        let sc = sc_obs::Sidecar::parse(text).expect(schema);
+        assert_eq!(sc.schema, schema);
+        assert!(sc.series.is_empty());
+        assert_eq!(sc.series_dropped, 0);
+        let report = sc_obs::trace::render_series(&sc);
+        assert!(report.contains("no series section"), "{report}");
+        assert!(report.contains(schema), "{report}");
+    }
+    // A current-schema sidecar with series renders the table instead.
+    let rec = Recorder::new();
+    rec.series_inc("x_per_s", 0.0, 3);
+    let sc = sc_obs::Sidecar::parse(&rec.snapshot().to_json("new")).expect("sc-obs/3");
+    let report = sc_obs::trace::render_series(&sc);
+    assert!(report.contains("x_per_s"), "{report}");
+}
